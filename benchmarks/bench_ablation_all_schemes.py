@@ -1,0 +1,44 @@
+"""Ablation — every scheme (including the ones the paper excludes) on the
+Figure 5/11 settings.
+
+The paper's evaluation drops TS (no checking) and AT because "they are
+not applicable to clients with long disconnections": both discard the
+whole cache after any gap beyond their horizon.  This bench quantifies
+that exclusion and exercises SIG and the GCORE-inspired grouped checking
+as additional baselines.
+"""
+
+from repro.experiments import get_figure, run_figure, scale_from_env
+from repro.experiments.tables import format_figure
+from repro.schemes import available_schemes
+from repro.sim.metrics import CACHE_DROPS
+
+
+def test_all_schemes_on_fig05_settings(benchmark, capsys):
+    spec = get_figure("fig05")
+    scale = scale_from_env()
+    schemes = sorted(available_schemes())
+    result = benchmark.pedantic(
+        lambda: run_figure(spec, scale=scale, points=[10_000, 40_000], schemes=schemes),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_figure(result))
+
+    # The drop-everything schemes discard caches where BS/adaptive salvage.
+    def drops(scheme):
+        return sum(r.counter(CACHE_DROPS) for r in result.results[scheme])
+
+    assert drops("ts") > 10 * max(1.0, drops("bs"))
+    assert drops("at") >= drops("ts")  # AT's horizon is even shorter
+    assert drops("aaw") < drops("ts")
+
+    # Grouped checking spends less uplink than full checking.
+    def uplink(scheme):
+        return sum(r.uplink_cost_per_query for r in result.results[scheme])
+
+    assert uplink("gcore") < uplink("checking")
+    # ... but still far more than the adaptive Tlb uploads.
+    assert uplink("gcore") > uplink("aaw")

@@ -1,0 +1,58 @@
+"""Ablation — the Bit-Sequences report's size and its downlink share.
+
+Verifies the Section 3.1 size formulas against the simulator's measured
+downlink accounting: IR(BS) ~ 2N bits makes the report's share of the
+broadcast channel grow linearly in N, which is the whole mechanism
+behind Figure 5's BS collapse.
+"""
+
+from repro.experiments.figures import scale_from_env
+from repro.reports import bitseq_report_bits, window_report_bits
+from repro.sim import SystemParams, UNIFORM, run_simulation
+
+DB_SIZES = (1000, 10_000, 40_000, 80_000)
+
+
+def run_share_sweep():
+    scale = scale_from_env()
+    out = {}
+    for n in DB_SIZES:
+        params = SystemParams(
+            simulation_time=scale.simulation_time,
+            n_clients=scale.n_clients,
+            db_size=n,
+            disconnect_prob=0.1,
+            disconnect_time_mean=400.0,
+            seed=0,
+        )
+        out[n] = run_simulation(params, UNIFORM, "bs")
+    return out
+
+
+def test_bs_report_size_and_share(benchmark, capsys):
+    results = benchmark.pedantic(run_share_sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("ablation: IR(BS) size formula vs measured downlink share")
+        print(f"  {'N':>7s} {'IR(BS) bits':>12s} {'vs IR(w,25)':>12s} "
+              f"{'measured IR share':>18s}")
+        for n, r in results.items():
+            print(
+                f"  {n:>7d} {bitseq_report_bits(n):>12.0f} "
+                f"{bitseq_report_bits(n) / window_report_bits(25, n):>12.1f}x "
+                f"{r.downlink_ir_share:>18.3f}"
+            )
+
+    sizes = [bitseq_report_bits(n) for n in DB_SIZES]
+    shares = [results[n].downlink_ir_share for n in DB_SIZES]
+    # Formula: ~2N growth.
+    assert sizes[-1] / sizes[0] > 50
+    # Measured: the share of the broadcast channel grows monotonically and
+    # becomes dominant at 80k items (Figure 5's collapse mechanism).
+    assert all(b > a for a, b in zip(shares, shares[1:]))
+    assert shares[-1] > 0.5
+
+    # Each broadcast interval must still fit the report with room for data:
+    # at 80k items the report alone is >80% of an interval's bit budget.
+    interval_bits = 10_000.0 * 20.0
+    assert bitseq_report_bits(80_000) > 0.8 * interval_bits

@@ -1,0 +1,64 @@
+"""Ablation — client radio energy per query, by scheme.
+
+The paper motivates everything with power efficiency ("the power needed
+for transmission is proportional to the fourth power of the distance")
+but reports packet counts, not joules.  This bench converts: with a
+100:1 transmit/receive per-bit cost, where does each scheme's energy
+actually go?
+
+Expected: checking burns transmit energy on cache uploads; BS burns
+receive energy listening to ~2N-bit reports; the adaptive schemes sit
+near the combined minimum — the paper's thesis, in nanojoules.
+"""
+
+from repro.experiments.figures import scale_from_env
+from repro.sim import SystemParams, UNIFORM, run_simulation
+from repro.sim.energy import ENERGY_RX, ENERGY_TX, energy_per_query_nj
+
+SCHEMES = ("aaw", "afw", "checking", "bs")
+
+
+def run_energy_comparison():
+    scale = scale_from_env()
+    params = SystemParams(
+        simulation_time=scale.simulation_time,
+        n_clients=scale.n_clients,
+        db_size=20_000,
+        disconnect_prob=0.2,
+        disconnect_time_mean=600.0,
+        seed=0,
+    )
+    return {
+        scheme: run_simulation(params, UNIFORM, scheme) for scheme in SCHEMES
+    }
+
+
+def test_energy_per_query(benchmark, capsys):
+    results = benchmark.pedantic(run_energy_comparison, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("ablation: client radio energy (nJ/query; tx:rx = 100:1 per bit)")
+        print(f"  {'scheme':>9s} {'tx nJ/q':>12s} {'rx nJ/q':>12s} "
+              f"{'total nJ/q':>12s}")
+        for scheme, r in results.items():
+            answered = max(1.0, r.queries_answered)
+            tx = r.counter(ENERGY_TX) / answered
+            rx = r.counter(ENERGY_RX) / answered
+            print(f"  {scheme:>9s} {tx:>12.0f} {rx:>12.0f} {tx + rx:>12.0f}")
+
+    def validation_tx(scheme):
+        return results[scheme].counter("uplink.validation_bits")
+
+    def rx(scheme):
+        return results[scheme].counter(ENERGY_RX)
+
+    # Checking's validation uploads dominate every other scheme's.
+    assert validation_tx("checking") > 10 * validation_tx("aaw")
+    assert validation_tx("bs") == 0
+    # BS makes clients listen to the biggest reports.
+    assert rx("bs") > rx("checking")
+    assert rx("bs") > rx("aaw")
+    # The adaptive schemes' total energy per query beats both extremes'.
+    totals = {s: energy_per_query_nj(results[s]) for s in SCHEMES}
+    assert totals["aaw"] < totals["bs"]
+    assert totals["aaw"] < totals["checking"]

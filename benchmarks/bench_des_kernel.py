@@ -1,0 +1,92 @@
+"""Microbenchmarks of the discrete-event kernel.
+
+The whole evaluation rides on this substrate; these benches make kernel
+performance regressions visible (events/second, store handoffs, channel
+transmissions).
+"""
+
+from repro.des import Environment, Store
+from repro.net import BROADCAST, Channel, Message, MessageKind, SERVER_ID
+
+
+def pump_timeouts(n_events: int):
+    env = Environment()
+
+    def ticker(env):
+        for _ in range(n_events):
+            yield env.timeout(1.0)
+
+    env.process(ticker(env))
+    env.run()
+    return env.now
+
+
+def test_event_throughput(benchmark):
+    result = benchmark(pump_timeouts, 20_000)
+    assert result == 20_000
+
+
+def pump_store(n_items: int):
+    env = Environment()
+    store = Store(env)
+    moved = []
+
+    def producer(env):
+        for i in range(n_items):
+            yield store.put(i)
+
+    def consumer(env):
+        for _ in range(n_items):
+            moved.append((yield store.get()))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    return len(moved)
+
+
+def test_store_handoff_throughput(benchmark):
+    assert benchmark(pump_store, 5_000) == 5_000
+
+
+def pump_channel(n_messages: int):
+    env = Environment()
+    channel = Channel(env, bandwidth_bps=1e6)
+    delivered = []
+    channel.attach(lambda msg, now: delivered.append(msg))
+    for i in range(n_messages):
+        channel.send(
+            Message(
+                kind=MessageKind.DATA_ITEM,
+                size_bits=100,
+                src=SERVER_ID,
+                dest=BROADCAST,
+                payload=i,
+            )
+        )
+    env.run()
+    return len(delivered)
+
+
+def test_channel_throughput(benchmark):
+    assert benchmark(pump_channel, 5_000) == 5_000
+
+
+def run_small_cell():
+    from repro.sim import SystemParams, UNIFORM, run_simulation
+
+    params = SystemParams(
+        simulation_time=2_000.0,
+        n_clients=20,
+        db_size=1_000,
+        disconnect_prob=0.1,
+        disconnect_time_mean=200.0,
+        seed=1,
+    )
+    return run_simulation(params, UNIFORM, "aaw")
+
+
+def test_full_cell_simulation(benchmark):
+    """End-to-end cost of one small cell-simulation (the sweep unit)."""
+    result = benchmark(run_small_cell)
+    assert result.queries_answered > 0

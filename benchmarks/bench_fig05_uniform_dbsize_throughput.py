@@ -1,0 +1,28 @@
+"""Figure 5 — UNIFORM workload: queries answered vs database size.
+
+Paper's finding: BS throughput "goes down rapidly as the database size
+increases" (its ~2N-bit report eats the downlink) while the other three
+methods are "much less influenced", with checking performing best and
+AAW beating AFW.
+"""
+
+from repro.analysis import dominates, mostly_decreasing, roughly_flat
+
+
+def test_fig05_uniform_dbsize_throughput(regen):
+    result = regen("fig05")
+    aaw, afw = result.series["aaw"], result.series["afw"]
+    checking, bs = result.series["checking"], result.series["bs"]
+
+    # BS collapses with database size; the others stay level.
+    assert mostly_decreasing(bs, slack=0.05)
+    assert bs[-1] < 0.5 * bs[0]
+    assert roughly_flat(aaw, tolerance=0.15)
+    assert roughly_flat(checking, tolerance=0.15)
+
+    # Relative ordering: checking and AAW lead, AFW pays for its full-BS
+    # answers, BS trails everywhere beyond small databases.
+    assert result.mean_of("checking") >= 0.97 * result.mean_of("aaw")
+    assert result.mean_of("aaw") >= result.mean_of("afw")
+    assert dominates(aaw[1:], bs[1:], margin=1.0)
+    assert dominates(checking[1:], bs[1:], margin=1.0)

@@ -1,0 +1,23 @@
+"""Figure 6 — UNIFORM workload: uplink validation cost vs database size.
+
+Paper's finding: BS consumes no uplink; the two adaptive methods spend a
+small, stable cost; checking costs much more and grows with the database
+size (wider ids in its full-cache uploads).
+"""
+
+from repro.analysis import ratio_of_means, relative_spread
+
+
+def test_fig06_uniform_dbsize_uplink(regen):
+    result = regen("fig06")
+    aaw, afw = result.series["aaw"], result.series["afw"]
+    checking, bs = result.series["checking"], result.series["bs"]
+
+    assert max(bs) == 0.0
+    # Adaptive costs are a few bits per query and essentially flat.
+    assert max(max(aaw), max(afw)) < 50.0
+    assert relative_spread(aaw) < 0.6
+    # Checking costs dwarf the adaptive ones and grow with db size.
+    assert ratio_of_means(checking, aaw) > 5.0
+    assert ratio_of_means(checking, afw) > 5.0
+    assert checking[-1] > checking[0]

@@ -1,0 +1,25 @@
+"""Figure 7 — UNIFORM workload: queries answered vs disconnection
+probability.
+
+Paper's finding: throughput declines only mildly as clients disconnect
+more often; BS sits below the other three throughout; AAW beats AFW.
+"""
+
+from repro.analysis import dominates, relative_spread
+
+
+def test_fig07_uniform_discprob_throughput(regen):
+    result = regen("fig07")
+    aaw, afw = result.series["aaw"], result.series["afw"]
+    checking, bs = result.series["checking"], result.series["bs"]
+
+    # Mild decline: each curve ends at or below its start, with small
+    # overall spread.
+    for series in (aaw, afw, checking, bs):
+        assert series[-1] <= series[0]
+        assert relative_spread(series) < 0.15
+
+    # BS trails everyone; AAW >= AFW.
+    assert dominates(aaw, bs, margin=1.02)
+    assert dominates(checking, bs, margin=1.02)
+    assert result.mean_of("aaw") >= result.mean_of("afw")

@@ -1,0 +1,25 @@
+"""Figure 8 — UNIFORM workload: uplink validation cost vs disconnection
+probability.
+
+Paper's finding: more disconnections mean more salvage traffic for both
+checking and the adaptive methods, but checking's full-cache uploads
+dwarf the adaptive Tlb timestamps; AAW/AFW stay within a few bits per
+query; BS never goes uplink.
+"""
+
+from repro.analysis import mostly_increasing, ratio_of_means
+
+
+def test_fig08_uniform_discprob_uplink(regen):
+    result = regen("fig08")
+    aaw, afw = result.series["aaw"], result.series["afw"]
+    checking, bs = result.series["checking"], result.series["bs"]
+
+    assert max(bs) == 0.0
+    # Costs grow with disconnection probability.
+    assert mostly_increasing(aaw, slack=0.1)
+    assert mostly_increasing(checking, slack=0.1)
+    assert checking[-1] > 2 * checking[0]
+    # Checking dwarfs the adaptive methods at every point.
+    assert ratio_of_means(checking, aaw) > 20.0
+    assert ratio_of_means(checking, afw) > 20.0

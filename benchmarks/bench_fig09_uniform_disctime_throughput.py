@@ -1,0 +1,20 @@
+"""Figure 9 — UNIFORM workload: queries answered vs mean disconnection
+time (1 % client buffers).
+
+Paper's finding: throughput is nearly insensitive to how long the
+disconnections last (the downlink stays the bottleneck); BS trails the
+other three.
+"""
+
+from repro.analysis import dominates, relative_spread
+
+
+def test_fig09_uniform_disctime_throughput(regen):
+    result = regen("fig09")
+    aaw = result.series["aaw"]
+    bs = result.series["bs"]
+
+    for scheme in ("aaw", "afw", "checking", "bs"):
+        assert relative_spread(result.series[scheme]) < 0.1
+    assert dominates(aaw, bs, margin=1.02)
+    assert result.mean_of("checking") >= 0.97 * result.mean_of("aaw")

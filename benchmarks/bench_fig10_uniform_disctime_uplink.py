@@ -1,0 +1,20 @@
+"""Figure 10 — UNIFORM workload: uplink validation cost vs mean
+disconnection time (1 % client buffers).
+
+Paper's finding: checking's validation traffic stays an order of
+magnitude above the adaptive methods' across the whole disconnection
+range; BS spends nothing.
+"""
+
+from repro.analysis import ratio_of_means
+
+
+def test_fig10_uniform_disctime_uplink(regen):
+    result = regen("fig10")
+    aaw, afw = result.series["aaw"], result.series["afw"]
+    checking, bs = result.series["checking"], result.series["bs"]
+
+    assert max(bs) == 0.0
+    assert max(max(aaw), max(afw)) < 30.0
+    assert ratio_of_means(checking, aaw) > 20.0
+    assert all(c > 10 * max(a, f) for c, a, f in zip(checking, aaw, afw))

@@ -1,0 +1,31 @@
+"""Figure 11 — HOTCOLD workload: queries answered vs database size.
+
+Paper's findings: throughput is depressed while the database is small
+enough that the 2 % cache cannot hold the 100-item hot region; beyond
+that, checking leads, AAW comes second, AFW third and BS worst (falling
+with database size as its reports grow).
+"""
+
+from repro.analysis import dominates, mostly_decreasing
+
+
+def test_fig11_hotcold_dbsize_throughput(regen):
+    result = regen("fig11")
+    aaw, afw = result.series["aaw"], result.series["afw"]
+    checking, bs = result.series["checking"], result.series["bs"]
+
+    # db=1000 -> 20-item cache < 100-item hot region: depressed start.
+    for series in (aaw, afw, checking):
+        assert series[0] < 0.6 * series[1]
+
+    # BS pays for its report size once the database grows.
+    assert mostly_decreasing(bs[1:], slack=0.05)
+    assert bs[-1] < 0.5 * bs[1]
+
+    # Ordering among the rest (means over the post-depression sweep).
+    def tail_mean(ys):
+        return sum(ys[1:]) / len(ys[1:])
+
+    assert tail_mean(checking) >= 0.97 * tail_mean(aaw)
+    assert tail_mean(aaw) >= tail_mean(afw)
+    assert dominates(aaw[1:], bs[1:], margin=1.0)

@@ -1,0 +1,19 @@
+"""Figure 12 — HOTCOLD workload: uplink validation cost vs database size.
+
+Paper's finding: same picture as Figure 6 under locality — the adaptive
+methods need only a few uplink bits per query, checking needs far more
+(growing with id width), BS none at all.
+"""
+
+from repro.analysis import ratio_of_means
+
+
+def test_fig12_hotcold_dbsize_uplink(regen):
+    result = regen("fig12")
+    aaw, afw = result.series["aaw"], result.series["afw"]
+    checking, bs = result.series["checking"], result.series["bs"]
+
+    assert max(bs) == 0.0
+    assert max(max(aaw), max(afw)) < 50.0
+    assert ratio_of_means(checking, aaw) > 5.0
+    assert checking[-1] > checking[0]

@@ -1,0 +1,20 @@
+"""Figure 14 — HOTCOLD workload: uplink validation cost vs disconnection
+probability.
+
+Paper's finding: as Figure 8 — validation costs grow with p, checking
+far above the adaptive pair, BS at zero.
+"""
+
+from repro.analysis import mostly_increasing, ratio_of_means
+
+
+def test_fig14_hotcold_discprob_uplink(regen):
+    result = regen("fig14")
+    aaw, afw = result.series["aaw"], result.series["afw"]
+    checking, bs = result.series["checking"], result.series["bs"]
+
+    assert max(bs) == 0.0
+    assert mostly_increasing(checking, slack=0.1)
+    assert checking[-1] > 2 * checking[0]
+    assert ratio_of_means(checking, aaw) > 20.0
+    assert ratio_of_means(checking, afw) > 20.0

@@ -1,0 +1,26 @@
+"""Figure 15 — asymmetric channels, UNIFORM: queries answered vs uplink
+bandwidth.
+
+Paper's finding: when the uplink shrinks below a few hundred bits per
+second, the adaptive methods' tiny Tlb uploads beat checking's bulky
+cache uploads on throughput; at ample uplink the methods converge.
+"""
+
+from repro.analysis import mostly_increasing
+
+
+def test_fig15_asymmetric_uniform(regen):
+    result = regen("fig15")
+    aaw, afw = result.series["aaw"], result.series["afw"]
+    checking = result.series["checking"]
+
+    # Throughput rises with uplink bandwidth until the downlink binds.
+    for series in (aaw, afw, checking):
+        assert mostly_increasing(series, slack=0.05)
+
+    # Below ~400 bps the adaptive methods clearly beat checking...
+    for i in range(3):
+        assert aaw[i] > 1.02 * checking[i]
+        assert afw[i] > 1.02 * checking[i]
+    # ... and they converge once the uplink is ample.
+    assert abs(aaw[-1] - checking[-1]) / checking[-1] < 0.05

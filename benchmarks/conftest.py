@@ -1,0 +1,37 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each figure bench times one full sweep (all schemes x all sweep points)
+with pytest-benchmark, prints the regenerated series — the same rows the
+paper plots — and asserts the figure's qualitative *shape* (who wins, the
+growth direction, crossovers).  ``REPRO_SCALE=full`` switches from the
+fast bench scale to the paper's Table 1 scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    format_figure,
+    get_figure,
+    run_figure,
+    scale_from_env,
+)
+
+
+@pytest.fixture
+def regen(benchmark, capsys):
+    """Run one figure sweep under the benchmark timer and print it."""
+
+    def _run(figure_id: str, **kwargs):
+        spec = get_figure(figure_id)
+        scale = scale_from_env()
+        result = benchmark.pedantic(
+            lambda: run_figure(spec, scale=scale, **kwargs),
+            rounds=1,
+            iterations=1,
+        )
+        with capsys.disabled():
+            print()
+            print(format_figure(result))
+        return result
+
+    return _run

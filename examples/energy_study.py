@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Battery-energy study: the paper's power argument in joules.
+
+The paper motivates its schemes with power efficiency — a transmitted
+bit costs a mobile client far more than a received one (transmission
+power grows as distance^4).  This example converts each scheme's packet
+behaviour into energy per query under a 100:1 tx/rx per-bit cost and
+shows where each scheme's battery actually goes.
+
+Usage::
+
+    python examples/energy_study.py
+"""
+
+from repro import SystemParams, run_schemes
+from repro.sim.energy import ENERGY_RX, ENERGY_TX, EnergyModel, energy_per_query_nj
+
+SCHEMES = ("aaw", "afw", "checking", "bs")
+
+
+def main():
+    params = SystemParams(
+        simulation_time=8_000.0,
+        n_clients=50,
+        db_size=20_000,           # big database: BS reports are heavy
+        disconnect_prob=0.2,
+        disconnect_time_mean=600.0,
+        energy=EnergyModel(tx_nj_per_bit=1000.0, rx_nj_per_bit=10.0),
+        seed=13,
+    )
+    print("Client radio energy per query (tx = 100x rx per bit)")
+    print(f"  db={params.db_size} items; disc 600 s @ p=0.2; UNIFORM\n")
+    results = run_schemes(params, "uniform", SCHEMES)
+    print(f"  {'scheme':>9s} {'tx mJ/q':>9s} {'rx mJ/q':>9s} {'total':>9s}  where it goes")
+    stories = {
+        "aaw": "tiny Tlb uploads; small reports",
+        "afw": "tiny Tlb uploads; BS answers cost listening",
+        "checking": "full-cache uploads burn transmit power",
+        "bs": "every client listens to ~2N-bit reports",
+    }
+    for name in SCHEMES:
+        r = results[name]
+        answered = max(1.0, r.queries_answered)
+        tx = r.counter(ENERGY_TX) / answered / 1e6
+        rx = r.counter(ENERGY_RX) / answered / 1e6
+        print(f"  {name:>9s} {tx:>9.2f} {rx:>9.2f} {tx + rx:>9.2f}  {stories[name]}")
+
+    best = min(SCHEMES, key=lambda s: energy_per_query_nj(results[s]))
+    print(f"\nMost battery-efficient here: {best} — the adaptive methods "
+          "avoid both failure modes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Per-client fairness: what aggregate throughput hides.
+
+The paper's throughput metric sums over all clients; a scheme could look
+fine on aggregate while starving its sleepers.  This example enables the
+per-query log, compares how the checking and adaptive schemes serve a
+cell where sleepers abound, and reports Jain's fairness index plus the
+tail latency the histogram monitor records.
+
+Usage::
+
+    python examples/fairness_study.py
+"""
+
+from repro import HOTCOLD, SystemParams
+from repro.sim import SimulationModel
+
+SCHEMES = ("aaw", "checking", "bs", "ts")
+
+
+def main():
+    params = SystemParams(
+        simulation_time=8_000.0,
+        n_clients=40,
+        db_size=5_000,
+        disconnect_prob=0.3,
+        disconnect_time_mean=800.0,
+        update_interarrival_mean=50.0,
+        collect_query_log=True,
+        seed=17,
+    )
+    print("Fairness among clients (HOTCOLD; 30 % of gaps are 800 s sleeps)\n")
+    print(f"  {'scheme':>9s} {'answered':>9s} {'jain':>6s} "
+          f"{'lat p50':>8s} {'lat p95':>8s} {'worst-client hit%':>18s}")
+    for scheme in SCHEMES:
+        model = SimulationModel(params, HOTCOLD, scheme)
+        result = model.run()
+        per_client = model.query_log.per_client().values()
+        worst_hit = min((s.hit_ratio for s in per_client), default=0.0)
+        print(
+            f"  {scheme:>9s} {result.queries_answered:>9.0f} "
+            f"{model.query_log.fairness():>6.3f} "
+            f"{result.raw['query.latency.p50']:>8.1f} "
+            f"{result.raw['query.latency.p95']:>8.1f} "
+            f"{100 * worst_hit:>17.1f}%"
+        )
+    print(
+        "\nTS's full cache drops after every sleep hit the sleepers "
+        "hardest (lowest\nworst-client hit ratio); the salvage schemes "
+        "keep per-client service even."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Replicated comparison with confidence intervals.
+
+The paper reports single simulation runs (standard for 1997).  This
+example re-examines its central uplink-cost claim with modern rigor:
+independent replications, t-based confidence intervals, and a Welch
+test for the AAW-vs-checking difference.
+
+Usage::
+
+    python examples/replication_study.py
+"""
+
+from repro import SystemParams, run_replications
+from repro.analysis import significantly_better, summarize_metric, welch_p_value
+
+SEEDS = list(range(1, 9))
+
+
+def main():
+    params = SystemParams(
+        simulation_time=6_000.0,
+        n_clients=40,
+        db_size=10_000,
+        disconnect_prob=0.2,
+        disconnect_time_mean=600.0,
+    )
+    print(f"Replicating AAW vs checking over {len(SEEDS)} seeds "
+          "(UNIFORM, disc 600 s @ p=0.2)\n")
+
+    by_scheme = {
+        scheme: run_replications(params, "uniform", scheme, seeds=SEEDS)
+        for scheme in ("aaw", "checking")
+    }
+
+    for metric, label in [
+        ("queries_answered", "throughput (queries answered)"),
+        ("uplink_cost_per_query", "uplink validation bits per query"),
+    ]:
+        print(f"  {label}:")
+        for scheme, results in by_scheme.items():
+            print(f"    {scheme:>9s}: {summarize_metric(results, metric)}")
+        print()
+
+    aaw_uplink = [r.uplink_cost_per_query for r in by_scheme["aaw"]]
+    chk_uplink = [r.uplink_cost_per_query for r in by_scheme["checking"]]
+    p = welch_p_value(aaw_uplink, chk_uplink)
+    print(f"  Welch test, uplink cost AAW vs checking: p = {p:.2e}")
+    assert significantly_better(chk_uplink, aaw_uplink)
+    print("  -> checking's uplink cost exceeds AAW's with overwhelming "
+          "significance,\n     replicating the paper's central claim "
+          "beyond single-run noise.")
+
+
+if __name__ == "__main__":
+    main()

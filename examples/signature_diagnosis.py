@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Signature (SIG) reports: probabilistic diagnosis up close.
+
+Uses the report layer directly (no event simulation): builds combined
+signatures over a small database, applies updates, and shows how a
+woken-up client diagnoses its cache by differencing saved vs fresh
+signatures — including the false-positive collateral that makes SIG
+trade re-fetch traffic for uplink silence.
+
+Usage::
+
+    python examples/signature_diagnosis.py
+"""
+
+from repro.db import Database
+from repro.reports import SignatureScheme, build_signature_report
+
+
+def main():
+    n_items = 256
+    scheme = SignatureScheme(
+        n_items,
+        n_subsets=64,
+        signature_bits=32,
+        membership=0.08,        # each item in ~5 of 64 subsets
+        diagnose_threshold=0.5,
+        seed=11,
+    )
+    db = Database(n_items)
+
+    saved = build_signature_report(db, timestamp=0.0, scheme=scheme).combined
+    print(f"Client sleeps holding signatures of a clean {n_items}-item db "
+          f"({scheme.n_subsets} combined sigs x {scheme.signature_bits} bits).")
+
+    updated = [3, 57, 198]
+    for i, item in enumerate(updated):
+        db.apply_update(item, 10.0 * (i + 1))
+    print(f"While it sleeps, the server updates items {updated}.")
+
+    fresh = build_signature_report(db, timestamp=100.0, scheme=scheme)
+    changed = fresh.diff_subsets(saved)
+    print(f"\nOn waking: {len(changed)} of {scheme.n_subsets} combined "
+          f"signatures differ.")
+
+    cached = list(range(0, 120))  # the client caches items 0..119
+    inv = fresh.diagnose(cached, saved)
+    true_positives = sorted(set(updated) & inv.items)
+    false_positives = sorted(inv.items - set(updated))
+    print(f"Diagnosis over the client's {len(cached)} cached items:")
+    print(f"  dropped (truly updated) : {true_positives}")
+    print(f"  dropped (collateral)    : {false_positives}")
+    missed = [i for i in updated if i in cached and i not in inv.items]
+    print(f"  missed stale items      : {missed}  (must be empty)")
+    assert not missed
+
+    rate = len(false_positives) / max(1, len(cached))
+    print(
+        f"\nEvery stale cached item was caught; {rate:.0%} of valid entries "
+        "were dropped as collateral — the price of a fixed-size report and "
+        "zero uplink."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Debugging a simulation with the kernel's event tracer.
+
+Attaches a :class:`TraceRecorder` to a small cell simulation, filtered
+down to process completions, and prints a window of the trace around an
+interesting moment — the kind of inspection you reach for when a
+protocol wedges.  (Tracing never perturbs results; the suite asserts
+bit-identical metrics with and without it.)
+
+Usage::
+
+    python examples/trace_debugging.py
+"""
+
+from repro.des import Process, TraceRecorder
+from repro.sim import SimulationModel, SystemParams, UNIFORM
+
+
+def main():
+    params = SystemParams(
+        simulation_time=300.0,
+        n_clients=3,
+        db_size=50,
+        buffer_fraction=0.2,
+        disconnect_prob=0.0,
+        seed=1,
+    )
+    model = SimulationModel(params, UNIFORM, "aaw")
+
+    trace = TraceRecorder(limit=10_000)
+    model.env.set_tracer(trace)
+    result = model.run()
+
+    print(f"Ran {params.simulation_time:.0f} s; {trace.seen} events processed, "
+          f"{len(trace.records)} recorded.\n")
+
+    print("Timeout events in the first broadcast interval (t < 20 s):")
+    for record in trace.between(0.0, 20.0):
+        if record.kind == "Timeout":
+            print(f"  {record}")
+
+    print("\nLast 8 recorded events:")
+    print(trace.format(last=8))
+
+    # A focused tracer: only watch process lifecycles.
+    model2 = SimulationModel(params, UNIFORM, "aaw")
+    lifecycle = TraceRecorder(predicate=lambda ev: isinstance(ev, Process))
+    model2.env.set_tracer(lifecycle)
+    result2 = model2.run()
+    print(f"\nProcess completions only: {len(lifecycle.records)} records "
+          f"(of {lifecycle.seen} events).")
+
+    assert result.raw == result2.raw, "tracing must not perturb results"
+    print("Metrics identical with both tracers — tracing is side-effect free.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy shim so editable installs work offline (no `wheel` package).
+
+`pip install -e .` needs bdist_wheel under PEP 660; this environment has no
+network to fetch it, so `python setup.py develop` (or `pip install -e .
+--config-settings editable_mode=compat`) provides the fallback.
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Series-shape analysis and replication statistics."""
+
+from .series import (
+    crossover_x,
+    dominates,
+    mostly_decreasing,
+    mostly_increasing,
+    ratio_of_means,
+    relative_spread,
+    roughly_flat,
+    trend_slope,
+)
+from .stats import (
+    ReplicationSummary,
+    significantly_better,
+    summarize,
+    summarize_metric,
+    welch_p_value,
+)
+
+__all__ = [
+    "ReplicationSummary",
+    "crossover_x",
+    "dominates",
+    "mostly_decreasing",
+    "mostly_increasing",
+    "ratio_of_means",
+    "relative_spread",
+    "roughly_flat",
+    "significantly_better",
+    "summarize",
+    "summarize_metric",
+    "trend_slope",
+    "welch_p_value",
+]

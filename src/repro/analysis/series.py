@@ -1,0 +1,101 @@
+"""Series-shape helpers used by benches to check figures qualitatively.
+
+The reproduction matches the paper's *shape* (who wins, growth
+directions, crossover locations), not 1997 testbed absolutes; these
+helpers express those assertions readably.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def trend_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of y over x (0.0 for degenerate inputs)."""
+    n = len(xs)
+    if n < 2 or len(ys) != n:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        return 0.0
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    return sxy / sxx
+
+
+def roughly_flat(ys: Sequence[float], tolerance: float = 0.35) -> bool:
+    """Whether the series varies less than *tolerance* of its mean."""
+    if not ys:
+        return True
+    mean = sum(ys) / len(ys)
+    if mean == 0:
+        return all(y == 0 for y in ys)
+    return (max(ys) - min(ys)) / abs(mean) <= tolerance
+
+
+def mostly_decreasing(ys: Sequence[float], slack: float = 0.05) -> bool:
+    """Whether the series trends downward (small upticks tolerated).
+
+    *slack* is the relative uptick allowed between adjacent points.
+    """
+    if len(ys) < 2:
+        return True
+    for a, b in zip(ys, ys[1:]):
+        if b > a * (1 + slack) + 1e-12:
+            return False
+    return ys[-1] < ys[0]
+
+
+def mostly_increasing(ys: Sequence[float], slack: float = 0.05) -> bool:
+    """Mirror of :func:`mostly_decreasing`."""
+    return mostly_decreasing([-y for y in ys], slack=0.0) or (
+        len(ys) >= 2
+        and ys[-1] > ys[0]
+        and all(b >= a * (1 - slack) - 1e-12 for a, b in zip(ys, ys[1:]))
+    )
+
+
+def dominates(
+    winner: Sequence[float], loser: Sequence[float], margin: float = 1.0
+) -> bool:
+    """Whether *winner* >= *margin* * *loser* at every sweep point."""
+    return all(w >= margin * l for w, l in zip(winner, loser))
+
+
+def ratio_of_means(a: Sequence[float], b: Sequence[float]) -> float:
+    """mean(a) / mean(b) (inf when b's mean is zero and a's is not)."""
+    mean_a = sum(a) / len(a)
+    mean_b = sum(b) / len(b)
+    if mean_b == 0:
+        return float("inf") if mean_a else 1.0
+    return mean_a / mean_b
+
+
+def crossover_x(
+    xs: Sequence[float], a: Sequence[float], b: Sequence[float]
+) -> Optional[float]:
+    """The first x where series *a* stops beating series *b*.
+
+    Returns the midpoint of the bracketing interval, x[0] if *a* never
+    leads, or None if *a* leads everywhere.
+    """
+    leading = [ai > bi for ai, bi in zip(a, b)]
+    if not any(leading):
+        return xs[0]
+    if all(leading):
+        return None
+    for i in range(1, len(xs)):
+        if leading[i - 1] != leading[i]:
+            return (xs[i - 1] + xs[i]) / 2.0
+    return None
+
+
+def relative_spread(ys: Sequence[float]) -> float:
+    """(max - min) / mean; 0 for constant or empty series."""
+    if not ys:
+        return 0.0
+    mean = sum(ys) / len(ys)
+    if mean == 0:
+        return 0.0
+    return (max(ys) - min(ys)) / abs(mean)

@@ -1,0 +1,93 @@
+"""Replication statistics: confidence intervals and scheme comparisons.
+
+The paper reports single-run numbers (era-typical); a modern evaluation
+runs independent replications and reports confidence intervals.  These
+helpers summarize :func:`repro.sim.run_replications` outputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from scipy import stats as _scipy_stats
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Mean and a t-based confidence interval over replications."""
+
+    n: int
+    mean: float
+    stdev: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    @property
+    def half_width(self) -> float:
+        """Half the confidence interval's width."""
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def __str__(self):
+        pct = int(self.confidence * 100)
+        return (
+            f"{self.mean:.4g} ± {self.half_width:.3g} "
+            f"({pct} % CI, n={self.n})"
+        )
+
+
+def summarize(values: Sequence[float], confidence: float = 0.95) -> ReplicationSummary:
+    """Mean and t-distribution confidence interval of *values*."""
+    if not values:
+        raise ValueError("no replications to summarize")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return ReplicationSummary(
+            n=1, mean=mean, stdev=0.0, ci_low=mean, ci_high=mean,
+            confidence=confidence,
+        )
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stdev = math.sqrt(variance)
+    t_crit = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    half = t_crit * stdev / math.sqrt(n)
+    return ReplicationSummary(
+        n=n,
+        mean=mean,
+        stdev=stdev,
+        ci_low=mean - half,
+        ci_high=mean + half,
+        confidence=confidence,
+    )
+
+
+def summarize_metric(
+    results, metric: str, confidence: float = 0.95
+) -> ReplicationSummary:
+    """Summarize one :class:`SimulationResult` attribute across replications."""
+    return summarize(
+        [float(getattr(r, metric)) for r in results], confidence=confidence
+    )
+
+
+def welch_p_value(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sided Welch t-test p-value for mean(a) != mean(b)."""
+    if len(a) < 2 or len(b) < 2:
+        raise ValueError("need at least two replications per group")
+    _stat, p = _scipy_stats.ttest_ind(list(a), list(b), equal_var=False)
+    return float(p)
+
+
+def significantly_better(
+    winner: Sequence[float],
+    loser: Sequence[float],
+    alpha: float = 0.05,
+) -> bool:
+    """True when mean(winner) > mean(loser) at significance *alpha*."""
+    if sum(winner) / len(winner) <= sum(loser) / len(loser):
+        return False
+    return welch_p_value(winner, loser) < alpha

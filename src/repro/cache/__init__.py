@@ -1,0 +1,7 @@
+"""Client cache substrate: LRU policy and certification-timestamp cache."""
+
+from .client_cache import ClientCache
+from .entry import CacheEntry
+from .lru import LRUCache
+
+__all__ = ["CacheEntry", "ClientCache", "LRUCache"]

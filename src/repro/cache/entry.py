@@ -1,0 +1,31 @@
+"""Cache entry bookkeeping for a mobile client."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheEntry:
+    """One cached data item.
+
+    Attributes
+    ----------
+    item:
+        The item id.
+    version:
+        Server version the cached value reflects (ground truth only; a
+        real client would hold the bytes).
+    ts:
+        The server time the value was coherent as of (the TS algorithm's
+        ``t_c`` at fetch time).
+    cert_epoch:
+        The owning cache's certification epoch at insertion; entries are
+        only covered by certifications issued *after* they were inserted
+        (see :class:`~repro.cache.client_cache.ClientCache`).
+    """
+
+    item: int
+    version: int
+    ts: float
+    cert_epoch: int = 0

@@ -1,0 +1,77 @@
+"""A small, exact LRU map.
+
+Used for the clients' item caches (Section 4: "Cached data items are
+managed using an LRU replacement policy").  Kept generic so tests can
+model-check it against a reference implementation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Iterator, Optional, Tuple
+
+
+class LRUCache:
+    """Bounded mapping evicting the least-recently-used entry on overflow."""
+
+    def __init__(self, capacity: int, on_evict: Optional[Callable[[Any, Any], None]] = None):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = int(capacity)
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self._on_evict = on_evict
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def get(self, key, touch: bool = True):
+        """Return the value for *key* (None if absent); touching marks use."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            return None
+        if touch:
+            self._data.move_to_end(key)
+        return value
+
+    def peek(self, key):
+        """Return the value without refreshing recency (None if absent)."""
+        return self._data.get(key)
+
+    def put(self, key, value):
+        """Insert/replace *key*; evicts the LRU entry when over capacity."""
+        if key in self._data:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            return
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            old_key, old_value = self._data.popitem(last=False)
+            self.evictions += 1
+            if self._on_evict is not None:
+                self._on_evict(old_key, old_value)
+
+    def remove(self, key) -> bool:
+        """Delete *key* if present; returns whether it was there."""
+        return self._data.pop(key, None) is not None
+
+    def clear(self):
+        """Drop every entry (without eviction callbacks)."""
+        self._data.clear()
+
+    def keys(self):
+        """Keys in LRU-to-MRU order (a snapshot list)."""
+        return list(self._data.keys())
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate ``(key, value)`` in LRU-to-MRU order."""
+        return iter(list(self._data.items()))
+
+    @property
+    def lru_key(self):
+        """The key next in line for eviction (None when empty)."""
+        return next(iter(self._data), None)

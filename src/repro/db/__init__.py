@@ -1,0 +1,7 @@
+"""Server database substrate: item store, recency index, update workload."""
+
+from .database import Database, NEVER
+from .history import UpdateLog
+from .updates import UpdateGenerator
+
+__all__ = ["Database", "NEVER", "UpdateGenerator", "UpdateLog"]

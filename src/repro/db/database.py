@@ -1,0 +1,103 @@
+"""The server's database of N named items.
+
+The paper's model (Section 2): the database is a collection of ``N`` named
+data items, updated only by the server; a data item is the unit of update
+and query.  For invalidation reports the server needs, at any time:
+
+* the latest update timestamp of each item (``last_update``);
+* the items updated within a window ``(T - wL, T]`` (for TS reports);
+* the globally most-recently-updated distinct items in recency order
+  (for Bit-Sequences reports and for AAW's enlarged windows).
+
+The recency order is maintained incrementally with an ordered dict
+(move-to-end on update), so report construction costs O(result size), not
+O(N) — essential when BS reports are built every 20 simulated seconds.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+#: Timestamp used for "never updated".
+NEVER = float("-inf")
+
+
+class Database:
+    """Server-side item store with an incremental update-recency index."""
+
+    def __init__(self, n_items: int, origin_time: float = 0.0):
+        if n_items <= 0:
+            raise ValueError("database needs at least one item")
+        self.n_items = int(n_items)
+        #: Latest update time per item (NEVER when untouched).
+        self.last_update = np.full(self.n_items, NEVER, dtype=np.float64)
+        #: Monotone per-item version counter; version 0 is the initial value.
+        self.version = np.zeros(self.n_items, dtype=np.int64)
+        self.origin_time = origin_time
+        self.total_updates = 0
+        # item -> last update time; most recently updated item is LAST.
+        self._recency: "OrderedDict[int, float]" = OrderedDict()
+
+    def __repr__(self):
+        return f"<Database n={self.n_items} updates={self.total_updates}>"
+
+    def _check_item(self, item: int):
+        if not 0 <= item < self.n_items:
+            raise IndexError(f"item {item} outside [0, {self.n_items})")
+
+    def apply_update(self, item: int, now: float):
+        """Commit an update of *item* at time *now*."""
+        self._check_item(item)
+        if now < self.last_update[item]:
+            raise ValueError("update time precedes the item's latest update")
+        self.last_update[item] = now
+        self.version[item] += 1
+        self.total_updates += 1
+        self._recency[item] = now
+        self._recency.move_to_end(item)
+
+    def read(self, item: int) -> Tuple[int, float]:
+        """Return ``(version, last_update_time)`` of *item*."""
+        self._check_item(item)
+        return int(self.version[item]), float(self.last_update[item])
+
+    @property
+    def distinct_updated(self) -> int:
+        """How many distinct items have ever been updated."""
+        return len(self._recency)
+
+    def updated_since(self, cutoff: float) -> List[Tuple[int, float]]:
+        """Items whose latest update is strictly after *cutoff*.
+
+        Returned most-recent-first as ``(item, timestamp)`` pairs; cost is
+        O(result size).
+        """
+        out: List[Tuple[int, float]] = []
+        for item, ts in reversed(self._recency.items()):
+            if ts <= cutoff:
+                break
+            out.append((item, ts))
+        return out
+
+    def recency_order(self, limit: int | None = None) -> List[Tuple[int, float]]:
+        """Up to *limit* most-recently-updated items, most recent first."""
+        out: List[Tuple[int, float]] = []
+        for item, ts in reversed(self._recency.items()):
+            if limit is not None and len(out) >= limit:
+                break
+            out.append((item, ts))
+        return out
+
+    def iter_recency_desc(self) -> Iterator[Tuple[int, float]]:
+        """Iterate all updated items most recent first."""
+        return iter(reversed(self._recency.items()))
+
+    def latest_update_time(self) -> float:
+        """Time of the most recent update anywhere (NEVER if none)."""
+        if not self._recency:
+            return NEVER
+        item = next(reversed(self._recency))
+        return self._recency[item]

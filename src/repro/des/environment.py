@@ -1,0 +1,164 @@
+"""The simulation environment: clock, event heap, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional, Union
+
+from .errors import EmptySchedule, StopSimulation
+from .event import AllOf, AnyOf, Event, NORMAL, Timeout
+from .process import Process
+
+Infinity = float("inf")
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Events are processed in ``(time, priority, insertion order)`` order,
+    which makes runs fully deterministic for a fixed seed.
+
+    Parameters
+    ----------
+    initial_time:
+        Simulation clock value at construction (default 0.0).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+        self._tracer = None
+
+    def __repr__(self):
+        return f"<Environment now={self._now} pending={len(self._heap)}>"
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def set_tracer(self, tracer) -> None:
+        """Install (or remove, with None) an event tracer.
+
+        The tracer is called as ``tracer(time, event)`` for every
+        processed event — see :class:`repro.des.trace.TraceRecorder`.
+        """
+        self._tracer = tracer
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None, priority: int = NORMAL) -> Timeout:
+        """Create an event that fires after *delay* simulated seconds."""
+        return Timeout(self, delay, value, priority)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new :class:`Process` from *generator*."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that succeeds once all of *events* have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that succeeds once any of *events* has succeeded."""
+        return AnyOf(self, events)
+
+    # -- scheduling & run loop ----------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL):
+        """Put a triggered *event* onto the heap *delay* seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._eid += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else Infinity
+
+    def step(self):
+        """Process the single next event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._heap)
+        except IndexError:
+            raise EmptySchedule("no scheduled events remain") from None
+        self._now = when
+        if self._tracer is not None:
+            self._tracer(when, event)
+        callbacks = event.callbacks
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+        if event.ok is False and not event._defused and not callbacks:
+            # A failed event nobody waited on: surface the error instead of
+            # silently dropping it.
+            raise event.value
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` — run until the schedule drains.
+            * a number — run until the clock reaches that time.
+            * an :class:`Event` — run until that event is processed and
+              return its value.
+        """
+        until_event: Optional[Event] = None
+        if until is None:
+            stop_at = Infinity
+        elif isinstance(until, Event):
+            until_event = until
+            stop_at = Infinity
+            if until_event.processed:
+                return until_event.value
+            until_event.callbacks.append(_StopCallback())
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(
+                    f"until={stop_at} lies in the past (now={self._now})"
+                )
+
+        try:
+            while self._heap:
+                if self.peek() > stop_at:
+                    self._now = stop_at
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        if until_event is not None:
+            raise RuntimeError(
+                "run(until=event) exhausted the schedule before the event fired"
+            )
+        if stop_at is not Infinity:
+            self._now = stop_at
+        return None
+
+
+class _StopCallback:
+    """Callback object that unwinds :meth:`Environment.run`."""
+
+    def __call__(self, event: Event):
+        if event.ok:
+            raise StopSimulation(event.value)
+        raise event.value

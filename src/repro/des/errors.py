@@ -1,0 +1,37 @@
+"""Exception types used by the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel itself."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no future events remain."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow exception used by ``Environment.run(until=...)``.
+
+    Raised when the *until* event is processed so the run loop can unwind.
+    Carries the value of the event that terminated the run.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The interrupted process receives this exception at its current ``yield``
+    statement.  ``cause`` carries the (arbitrary) object passed to
+    :meth:`Process.interrupt`.
+    """
+
+    @property
+    def cause(self):
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0]

@@ -1,0 +1,236 @@
+"""Core event types for the discrete-event simulation kernel.
+
+An :class:`Event` is the unit of coordination: processes yield events to
+suspend until the event is *processed* (its callbacks run).  The lifecycle
+is ``pending -> triggered (scheduled on the heap) -> processed``.
+
+The kernel is deliberately close in spirit to process-oriented simulation
+packages such as CSIM (used by the paper) and simpy: the rest of the
+library only relies on the small surface defined here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+# Scheduling priorities.  Lower values are popped first among events that
+# share a timestamp.  URGENT is used for interrupts and kernel-internal
+# wake-ups, HIGH for model events that must precede normal activity in the
+# same instant (e.g. database updates commit before a report is built).
+URGENT = 0
+HIGH = 1
+NORMAL = 5
+LOW = 9
+
+PENDING = object()
+
+
+class Event:
+    """An event that may succeed with a value or fail with an exception.
+
+    Parameters
+    ----------
+    env:
+        The :class:`~repro.des.environment.Environment` the event lives in.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused")
+
+    def __init__(self, env):
+        self.env = env
+        #: Callables invoked with this event when it is processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._processed = False
+        #: Set True to suppress the unhandled-failure check for this event.
+        self._defused = False
+
+    def __repr__(self):
+        state = (
+            "processed"
+            if self._processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled for processing."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self._processed
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True if the event succeeded, False if it failed, None if pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception).
+
+        Raises
+        ------
+        AttributeError
+            If the event has not been triggered yet.
+        """
+        if self._value is PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with *value*.
+
+        The event is scheduled for processing at the current simulation time.
+        Returns the event for chaining.
+        """
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event as failed with *exception*.
+
+        Processes waiting on the event will have the exception thrown at
+        their ``yield`` statement.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def _mark_processed(self):
+        self._processed = True
+        self.callbacks = None
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay.
+
+    Created via :meth:`Environment.timeout`; triggers itself immediately on
+    construction.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env, delay: float, value: Any = None, priority: int = NORMAL):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay, priority=priority)
+
+    def __repr__(self):
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class ConditionValue:
+    """Read-only mapping of the events that had fired when a condition met.
+
+    Supports ``cv[event]``, ``event in cv``, ``len(cv)`` and iteration in
+    the order the condition observed the events.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events):
+        self._events = list(events)
+
+    def __getitem__(self, event):
+        if event not in self._events:
+            raise KeyError(event)
+        return event.value
+
+    def __contains__(self, event):
+        return event in self._events
+
+    def __len__(self):
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def values(self):
+        """Values of the fired events, in observation order."""
+        return [e.value for e in self._events]
+
+    def __repr__(self):
+        return f"<ConditionValue {self.values()!r}>"
+
+
+class Condition(Event):
+    """Composite event over a set of child events.
+
+    Succeeds with a :class:`ConditionValue` of the fired children once
+    *evaluate* (a predicate over ``(events, fired_count)``) returns True.
+    Fails as soon as any child fails.
+    """
+
+    __slots__ = ("_events", "_evaluate", "_fired")
+
+    def __init__(self, env, evaluate, events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._fired = []
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events of a condition must share one environment")
+        if not self._events and self._evaluate(self._events, 0):
+            self.succeed(ConditionValue([]))
+            return
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            elif event.triggered:
+                # Already scheduled; observe it when it is processed.
+                event.callbacks.append(self._check)
+            else:
+                event.callbacks.append(self._check)
+
+    def _check(self, event: Event):
+        if self._value is not PENDING:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._fired.append(event)
+        if self._evaluate(self._events, len(self._fired)):
+            self.succeed(ConditionValue(self._fired))
+
+    @staticmethod
+    def all_events(events, count):
+        """Evaluator: every child fired."""
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events, count):
+        """Evaluator: at least one child fired (vacuously true if empty)."""
+        return count > 0 or len(events) == 0
+
+
+class AllOf(Condition):
+    """Condition that succeeds when *all* child events have succeeded."""
+
+    def __init__(self, env, events):
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that succeeds when *any* child event has succeeded."""
+
+    def __init__(self, env, events):
+        super().__init__(env, Condition.any_events, events)

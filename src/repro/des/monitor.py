@@ -1,0 +1,253 @@
+"""Statistics collectors for simulation outputs.
+
+Three collector styles cover the metrics the paper reports:
+
+* :class:`Counter` — monotone totals (queries answered, bits sent).
+* :class:`Tally` — moments of a sample sequence (query latency) via
+  Welford's online algorithm.
+* :class:`TimeWeighted` — time-integral of a piecewise-constant level
+  (queue length, channel busy fraction).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+
+class Counter:
+    """A named monotone counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "counter"):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0):
+        """Increase the counter; negative increments are rejected."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def __repr__(self):
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Tally:
+    """Online mean/variance/min/max of observed samples."""
+
+    __slots__ = ("name", "count", "_mean", "_m2", "min", "max")
+
+    def __init__(self, name: str = "tally"):
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float):
+        """Record one sample."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def __repr__(self):
+        return f"<Tally {self.name} n={self.count} mean={self.mean:.4g}>"
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant level."""
+
+    __slots__ = ("name", "_level", "_last_time", "_area", "_start")
+
+    def __init__(self, env_now: float = 0.0, level: float = 0.0, name: str = "level"):
+        self.name = name
+        self._level = level
+        self._last_time = env_now
+        self._area = 0.0
+        self._start = env_now
+
+    @property
+    def level(self) -> float:
+        """Current level."""
+        return self._level
+
+    def set(self, level: float, now: float):
+        """Change the level at time *now* (accumulates the closed interval)."""
+        if now < self._last_time:
+            raise ValueError("time went backwards")
+        self._area += self._level * (now - self._last_time)
+        self._last_time = now
+        self._level = level
+
+    def adjust(self, delta: float, now: float):
+        """Shift the level by *delta* at time *now*."""
+        self.set(self._level + delta, now)
+
+    def average(self, now: float) -> float:
+        """Time average over ``[start, now]`` (0.0 for an empty interval)."""
+        span = now - self._start
+        if span <= 0:
+            return 0.0
+        return (self._area + self._level * (now - self._last_time)) / span
+
+    def __repr__(self):
+        return f"<TimeWeighted {self.name} level={self._level}>"
+
+
+class Histogram:
+    """Log-scale histogram for long-tailed samples (e.g. query latency).
+
+    Buckets are powers of two times *base*: bucket k counts samples in
+    ``[base * 2^k, base * 2^(k+1))``; an underflow bucket catches smaller
+    values.  Gives percentile estimates without storing samples.
+    """
+
+    __slots__ = ("name", "base", "_counts", "_underflow", "count", "_tally")
+
+    def __init__(self, base: float = 0.001, name: str = "histogram"):
+        if base <= 0:
+            raise ValueError("base must be positive")
+        self.name = name
+        self.base = base
+        self._counts: Dict[int, int] = {}
+        self._underflow = 0
+        self.count = 0
+        self._tally = Tally(name)
+
+    def observe(self, value: float):
+        """Record one sample (negative values are rejected)."""
+        if value < 0:
+            raise ValueError("histogram samples must be non-negative")
+        self.count += 1
+        self._tally.observe(value)
+        if value < self.base:
+            self._underflow += 1
+            return
+        bucket = int(math.floor(math.log2(value / self.base)))
+        self._counts[bucket] = self._counts.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Exact sample mean."""
+        return self._tally.mean
+
+    @property
+    def max(self) -> Optional[float]:
+        """Exact sample maximum."""
+        return self._tally.max
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-quantile (upper edge of the covering bucket)."""
+        if not 0 <= q <= 1:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = self._underflow
+        if seen >= target:
+            return self.base
+        for bucket in sorted(self._counts):
+            seen += self._counts[bucket]
+            if seen >= target:
+                return self.base * 2.0 ** (bucket + 1)
+        return self._tally.max if self._tally.max is not None else 0.0
+
+    def buckets(self) -> Dict[float, int]:
+        """``{bucket lower edge: count}`` including the underflow bucket."""
+        out = {0.0: self._underflow} if self._underflow else {}
+        for bucket in sorted(self._counts):
+            out[self.base * 2.0**bucket] = self._counts[bucket]
+        return out
+
+    def __repr__(self):
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+class MetricSet:
+    """A named bag of collectors with lazy creation.
+
+    Lets model components record into ``metrics.counter("x").add(...)``
+    without pre-registration; the runner snapshots everything at the end.
+    """
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.tallies: Dict[str, Tally] = {}
+        self.levels: Dict[str, TimeWeighted] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Fetch-or-create the counter *name*."""
+        try:
+            return self.counters[name]
+        except KeyError:
+            c = Counter(name)
+            self.counters[name] = c
+            return c
+
+    def tally(self, name: str) -> Tally:
+        """Fetch-or-create the tally *name*."""
+        try:
+            return self.tallies[name]
+        except KeyError:
+            t = Tally(name)
+            self.tallies[name] = t
+            return t
+
+    def histogram(self, name: str, base: float = 0.001) -> Histogram:
+        """Fetch-or-create the histogram *name*."""
+        try:
+            return self.histograms[name]
+        except KeyError:
+            h = Histogram(base=base, name=name)
+            self.histograms[name] = h
+            return h
+
+    def level(self, name: str, now: float = 0.0) -> TimeWeighted:
+        """Fetch-or-create the time-weighted level *name*."""
+        try:
+            return self.levels[name]
+        except KeyError:
+            lv = TimeWeighted(now, name=name)
+            self.levels[name] = lv
+            return lv
+
+    def snapshot(self, now: float) -> Dict[str, float]:
+        """Flatten every collector into a ``{name: value}`` dict."""
+        out: Dict[str, float] = {}
+        for name, c in self.counters.items():
+            out[name] = c.value
+        for name, t in self.tallies.items():
+            out[f"{name}.count"] = t.count
+            out[f"{name}.mean"] = t.mean
+            out[f"{name}.max"] = t.max if t.max is not None else 0.0
+        for name, lv in self.levels.items():
+            out[f"{name}.avg"] = lv.average(now)
+        for name, h in self.histograms.items():
+            out[f"{name}.p50"] = h.percentile(0.50)
+            out[f"{name}.p95"] = h.percentile(0.95)
+            out[f"{name}.p99"] = h.percentile(0.99)
+        return out

@@ -1,0 +1,122 @@
+"""Coroutine processes driven by the simulation environment.
+
+A process wraps a Python generator.  Each ``yield`` hands the kernel an
+:class:`~repro.des.event.Event`; the process is resumed with the event's
+value once it is processed (or has the failure exception thrown in).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .errors import Interrupt
+from .event import Event, URGENT, PENDING
+
+
+class Process(Event):
+    """An executing process; also an event that fires when the process ends.
+
+    The process-as-event succeeds with the generator's return value, or
+    fails with the exception that escaped the generator.  Other processes
+    may therefore ``yield proc`` to join on it.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env, generator: Generator[Event, Any, Any], name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on (None when running
+        #: or finished).
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick the process off at the current time.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env.schedule(init, priority=URGENT)
+
+    def __repr__(self):
+        return f"<Process {self.name!r} at {id(self):#x}>"
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently suspended on, if any."""
+        return self._target
+
+    def interrupt(self, cause: Any = None):
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        The process stops waiting for its current target (the target event
+        itself is unaffected and may fire later, unobserved).  Interrupting
+        a dead process raises ``RuntimeError``.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self._target is None:
+            raise RuntimeError(f"{self!r} is not suspended; cannot interrupt")
+        # Detach from the current target so its eventual processing does not
+        # resume us a second time.
+        target = self._target
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._target = None
+        wakeup = Event(self.env)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        wakeup.callbacks.append(self._resume)
+        self.env.schedule(wakeup, priority=URGENT)
+
+    # -- kernel plumbing ---------------------------------------------------
+
+    def _resume(self, event: Event):
+        """Advance the generator with *event*'s outcome."""
+        self.env._active_process = self
+        self._target = None
+        while True:
+            try:
+                if event is None or event.ok:
+                    value = None if event is None else event.value
+                    next_target = self._generator.send(value)
+                else:
+                    next_target = self._generator.throw(event.value)
+            except StopIteration as stop:
+                self.env._active_process = None
+                self.succeed(stop.value, priority=URGENT)
+                return
+            except BaseException as exc:
+                self.env._active_process = None
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                self.fail(exc, priority=URGENT)
+                return
+
+            if not isinstance(next_target, Event):
+                self.env._active_process = None
+                self._generator.throw(
+                    TypeError(f"process yielded a non-event: {next_target!r}")
+                )
+                return
+            if next_target.env is not self.env:
+                self.env._active_process = None
+                self._generator.throw(
+                    ValueError("yielded event belongs to a different environment")
+                )
+                return
+
+            if next_target.processed:
+                # Already processed: resume synchronously with its outcome.
+                event = next_target
+                continue
+            next_target.callbacks.append(self._resume)
+            self._target = next_target
+            self.env._active_process = None
+            return

@@ -1,0 +1,197 @@
+"""Waitable queues for producer/consumer coordination between processes.
+
+:class:`Store` is an (optionally bounded) FIFO queue; :class:`PriorityStore`
+pops the smallest item first (items must be orderable — see
+:class:`PriorityItem` for attaching arbitrary payloads); :class:`FilterStore`
+lets consumers wait for items matching a predicate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from .event import Event, NORMAL
+
+Infinity = float("inf")
+
+
+class StorePut(Event):
+    """Event returned by :meth:`Store.put`; fires once the item is stored."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; fires with the retrieved item."""
+
+    __slots__ = ()
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._get_queue.append(self)
+        store._trigger()
+
+
+class FilterStoreGet(StoreGet):
+    """Get-event carrying the predicate it is waiting to satisfy."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "FilterStore", filter: Callable[[Any], bool]):
+        self.filter = filter
+        super().__init__(store)
+
+
+class Store:
+    """FIFO queue with blocking put/get semantics.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Maximum number of stored items; ``put`` blocks when full
+        (default: unbounded).
+    """
+
+    def __init__(self, env, capacity: float = Infinity):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._put_queue: List[StorePut] = []
+        self._get_queue: List[StoreGet] = []
+
+    def __len__(self):
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Queue *item*; the returned event fires once it is accepted."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Request an item; the returned event fires with the item."""
+        return StoreGet(self)
+
+    # -- internals -----------------------------------------------------------
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self.capacity:
+            self._store_item(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self._take_item(event))
+            return True
+        return False
+
+    def _store_item(self, item: Any):
+        self.items.append(item)
+
+    def _take_item(self, event: StoreGet) -> Any:
+        return self.items.pop(0)
+
+    def _trigger(self):
+        """Match as many pending puts/gets as possible."""
+        progress = True
+        while progress:
+            progress = False
+            idx = 0
+            while idx < len(self._put_queue):
+                event = self._put_queue[idx]
+                if event.triggered:  # cancelled externally
+                    self._put_queue.pop(idx)
+                    continue
+                if self._do_put(event):
+                    self._put_queue.pop(idx)
+                    progress = True
+                else:
+                    idx += 1
+            idx = 0
+            while idx < len(self._get_queue):
+                event = self._get_queue[idx]
+                if event.triggered:
+                    self._get_queue.pop(idx)
+                    continue
+                if self._do_get(event):
+                    self._get_queue.pop(idx)
+                    progress = True
+                else:
+                    idx += 1
+
+
+@dataclass(order=True)
+class PriorityItem:
+    """Wrapper giving an arbitrary payload a sort key for a PriorityStore.
+
+    Items with equal priority dequeue FIFO thanks to the sequence counter.
+    """
+
+    priority: float
+    seq: int = field(compare=True, default=0)
+    item: Any = field(compare=False, default=None)
+
+
+class PriorityStore(Store):
+    """Store that always yields the smallest item first.
+
+    Items must be mutually orderable; use :class:`PriorityItem` to attach
+    non-orderable payloads.  FIFO order among equal keys is the caller's
+    responsibility (``PriorityItem.seq`` provides it).
+    """
+
+    def _store_item(self, item: Any):
+        heapq.heappush(self.items, item)
+
+    def _take_item(self, event: StoreGet) -> Any:
+        return heapq.heappop(self.items)
+
+    def peek(self) -> Any:
+        """Smallest stored item without removing it (IndexError if empty)."""
+        return self.items[0]
+
+
+class FilterStore(Store):
+    """Store whose consumers may wait for items matching a predicate."""
+
+    def get(self, filter: Callable[[Any], bool] = lambda item: True) -> FilterStoreGet:
+        """Request the first stored item for which *filter* returns True."""
+        return FilterStoreGet(self, filter)
+
+    def _do_get(self, event: StoreGet) -> bool:
+        for i, item in enumerate(self.items):
+            if event.filter(item):  # type: ignore[attr-defined]
+                self.items.pop(i)
+                event.succeed(item)
+                return True
+        return False
+
+    def _trigger(self):
+        # Unlike the FIFO store, a non-matching head must not block later
+        # getters, so every pending getter is offered every item.
+        idx = 0
+        while idx < len(self._put_queue):
+            event = self._put_queue[idx]
+            if event.triggered or self._do_put(event):
+                self._put_queue.pop(idx)
+            else:
+                idx += 1
+        idx = 0
+        while idx < len(self._get_queue):
+            event = self._get_queue[idx]
+            if event.triggered or self._do_get(event):
+                self._get_queue.pop(idx)
+            else:
+                idx += 1

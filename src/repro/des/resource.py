@@ -1,0 +1,204 @@
+"""Shared resources with bounded capacity (CSIM ``facility`` analogues)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .event import Event
+
+
+class Request(Event):
+    """Event returned by :meth:`Resource.request`; fires when granted.
+
+    Usable as a context manager so the slot is always released::
+
+        with resource.request() as req:
+            yield req
+            ...
+    """
+
+    __slots__ = ("resource", "priority", "seq", "owner")
+
+    def __init__(self, resource: "Resource", priority: float = 0.0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        #: Requesting process (set by PreemptiveResource for evictions).
+        self.owner = None
+        resource._seq += 1
+        self.seq = resource._seq
+        resource._queue.append(self)
+        resource._queue.sort(key=lambda r: (r.priority, r.seq))
+        resource._grant()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb):
+        self.resource.release(self)
+        return False
+
+
+class Resource:
+    """A resource with *capacity* slots; requests queue by (priority, FIFO).
+
+    Lower priority values are served first.
+    """
+
+    def __init__(self, env, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self._queue: List[Request] = []
+        self._seq = 0
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    @property
+    def queue(self) -> List[Request]:
+        """Pending (ungranted) requests, in service order."""
+        return list(self._queue)
+
+    def request(self, priority: float = 0.0) -> Request:
+        """Ask for a slot; the returned event fires when granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request):
+        """Return a slot.  Releasing an ungranted request cancels it."""
+        if request in self.users:
+            self.users.remove(request)
+        elif request in self._queue:
+            self._queue.remove(request)
+        self._grant()
+
+    def _grant(self):
+        while self._queue and len(self.users) < self.capacity:
+            nxt = self._queue.pop(0)
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class PreemptiveResource(Resource):
+    """A resource whose higher-priority requests evict current holders.
+
+    When every slot is taken and a new request outranks (strictly lower
+    priority value than) the worst current holder, that holder's process
+    is interrupted with a :class:`Preempted` cause and its slot handed
+    over.  Mirrors the wireless channel's report-preemption discipline
+    as a general kernel primitive.
+
+    Requests must be made by processes (the holder to interrupt is the
+    process that made the request).
+    """
+
+    def request(self, priority: float = 0.0) -> Request:
+        req = Request(self, priority)
+        # The process to interrupt if this holder gets preempted.
+        req.owner = self.env.active_process
+        if not req.triggered:
+            self._try_preempt(req)
+        return req
+
+    def _try_preempt(self, req: Request):
+        holders = [u for u in self.users if getattr(u, "owner", None) is not None]
+        if not holders:
+            return
+        victim = max(holders, key=lambda u: (u.priority, u.seq))
+        if (victim.priority, victim.seq) <= (req.priority, req.seq):
+            return
+        self.users.remove(victim)
+        if victim.owner.is_alive and victim.owner.target is not None:
+            victim.owner.interrupt(Preempted(by=req, resource=self))
+        self._grant()
+
+
+class Preempted:
+    """Interrupt cause handed to a process evicted from a
+    :class:`PreemptiveResource`."""
+
+    def __init__(self, by: Request, resource: "PreemptiveResource"):
+        self.by = by
+        self.resource = resource
+
+    def __repr__(self):
+        return f"<Preempted by priority {self.by.priority}>"
+
+
+class ContainerPut(Event):
+    """Event for :meth:`Container.put`; fires once the amount fits."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container.env)
+        self.amount = amount
+        container._put_queue.append(self)
+        container._trigger()
+
+
+class ContainerGet(Event):
+    """Event for :meth:`Container.get`; fires once the amount is available."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container.env)
+        self.amount = amount
+        container._get_queue.append(self)
+        container._trigger()
+
+
+class Container:
+    """A continuous-quantity reservoir (e.g. battery energy, buffer bytes)."""
+
+    def __init__(self, env, capacity: float = float("inf"), init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not (0 <= init <= capacity):
+            raise ValueError("init must lie in [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._put_queue: List[ContainerPut] = []
+        self._get_queue: List[ContainerGet] = []
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Add *amount*; blocks while it would overflow capacity."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Remove *amount*; blocks while the level is insufficient."""
+        return ContainerGet(self, amount)
+
+    def _trigger(self):
+        progress = True
+        while progress:
+            progress = False
+            if self._put_queue:
+                event = self._put_queue[0]
+                if self._level + event.amount <= self.capacity:
+                    self._level += event.amount
+                    self._put_queue.pop(0)
+                    event.succeed()
+                    progress = True
+            if self._get_queue:
+                event = self._get_queue[0]
+                if self._level >= event.amount:
+                    self._level -= event.amount
+                    self._get_queue.pop(0)
+                    event.succeed()
+                    progress = True

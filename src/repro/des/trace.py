@@ -1,0 +1,104 @@
+"""Event tracing for simulation debugging.
+
+A :class:`TraceRecorder` attached to an environment records every
+processed event as a :class:`TraceRecord` (time, event class, repr of
+the value, process name when the event belongs to one).  Bounded by
+``limit`` so a runaway simulation cannot exhaust memory, filterable by
+a predicate, and renderable as text.
+
+Example::
+
+    env = Environment()
+    trace = TraceRecorder(limit=1000)
+    env.set_tracer(trace)
+    ...
+    print(trace.format())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from .event import PENDING, Event
+from .process import Process
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One processed event."""
+
+    time: float
+    kind: str
+    name: str
+    ok: Optional[bool]
+    value: Any
+
+    def __str__(self):
+        status = "ok" if self.ok else ("FAILED" if self.ok is False else "?")
+        return f"[{self.time:12.4f}] {self.kind:<12s} {self.name:<24s} {status}"
+
+
+class TraceRecorder:
+    """Records processed events from an :class:`Environment`.
+
+    Parameters
+    ----------
+    limit:
+        Maximum records retained (oldest dropped beyond it).
+    predicate:
+        Optional filter ``predicate(event) -> bool``; only matching
+        events are recorded.
+    """
+
+    def __init__(
+        self,
+        limit: int = 10_000,
+        predicate: Optional[Callable[[Event], bool]] = None,
+    ):
+        if limit < 1:
+            raise ValueError("limit must be positive")
+        self.limit = limit
+        self.predicate = predicate
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+        self.seen = 0
+
+    def __call__(self, time: float, event: Event):
+        """Environment hook: record one processed event."""
+        self.seen += 1
+        if self.predicate is not None and not self.predicate(event):
+            return
+        name = event.name if isinstance(event, Process) else ""
+        value = event._value if event._value is not PENDING else None
+        self.records.append(
+            TraceRecord(
+                time=time,
+                kind=type(event).__name__,
+                name=name,
+                ok=event.ok,
+                value=value,
+            )
+        )
+        if len(self.records) > self.limit:
+            self.records.pop(0)
+            self.dropped += 1
+
+    def clear(self):
+        """Forget everything recorded so far."""
+        self.records.clear()
+        self.dropped = 0
+        self.seen = 0
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """Records whose event class name equals *kind*."""
+        return [r for r in self.records if r.kind == kind]
+
+    def between(self, start: float, end: float) -> List[TraceRecord]:
+        """Records with ``start <= time <= end``."""
+        return [r for r in self.records if start <= r.time <= end]
+
+    def format(self, last: Optional[int] = None) -> str:
+        """Render the (last *last*) records as text."""
+        records = self.records if last is None else self.records[-last:]
+        return "\n".join(str(r) for r in records)

@@ -1,0 +1,261 @@
+"""Per-figure experiment definitions for the paper's evaluation (Figs 5-16).
+
+Every figure is a :class:`FigureSpec`: a workload, one swept parameter,
+fixed parameter overrides, and the metric its y-axis plots.  The specs
+carry the paper's exact x-values; the simulation *scale* (length, client
+count) is chosen separately so benches finish in seconds while
+``REPRO_SCALE=full`` reproduces Table 1's scale.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..schemes.registry import EVALUATED_SCHEMES
+from ..sim.params import SystemParams
+
+#: Metric accessor names on SimulationResult.
+THROUGHPUT = "queries_answered"
+UPLINK_COST = "uplink_cost_per_query"
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Simulation size knobs decoupled from the swept science parameters."""
+
+    name: str
+    simulation_time: float
+    n_clients: int
+
+    def apply(self, params: SystemParams) -> SystemParams:
+        return params.with_(
+            simulation_time=self.simulation_time, n_clients=self.n_clients
+        )
+
+
+#: Fast scale for benches/tests: 600 broadcast intervals, 80 clients —
+#: enough offered load to keep the downlink saturated (the regime the
+#: paper measures throughput in) at ~1/10 the full event count.
+BENCH_SCALE = Scale(name="bench", simulation_time=12_000.0, n_clients=80)
+#: The paper's Table 1 scale.
+FULL_SCALE = Scale(name="full", simulation_time=100_000.0, n_clients=100)
+
+
+def scale_from_env(default: Scale = BENCH_SCALE) -> Scale:
+    """Pick the scale from ``REPRO_SCALE`` (``bench`` or ``full``)."""
+    name = os.environ.get("REPRO_SCALE", default.name).lower()
+    if name == "full":
+        return FULL_SCALE
+    if name == "bench":
+        return BENCH_SCALE
+    raise ValueError(f"REPRO_SCALE must be 'bench' or 'full', not {name!r}")
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One figure of the paper's evaluation section."""
+
+    figure_id: str                 # e.g. "fig05"
+    title: str
+    workload: str                  # "uniform" | "hotcold"
+    sweep_param: str               # SystemParams field name
+    sweep_values: Tuple[float, ...]
+    metric: str                    # THROUGHPUT or UPLINK_COST
+    fixed: Dict[str, float] = field(default_factory=dict)
+    schemes: Tuple[str, ...] = EVALUATED_SCHEMES
+    x_label: str = ""
+    expected_shape: str = ""       # documented expectation, used in benches
+
+    def params_for(self, x: float, scale: Scale, seed: int = 0) -> SystemParams:
+        """Concrete parameters for one sweep point."""
+        overrides = dict(self.fixed)
+        overrides[self.sweep_param] = x
+        overrides["seed"] = seed
+        params = SystemParams(**overrides)
+        return scale.apply(params)
+
+
+_DB_SWEEP = (1000, 10_000, 20_000, 40_000, 60_000, 80_000)
+_P_SWEEP = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+_DISC_SWEEP_SHORT = (200, 400, 800, 1200, 1600, 2000)
+_DISC_SWEEP_LONG = (200, 1000, 2000, 4000, 6000, 8000)
+_UPLINK_SWEEP = (100, 200, 300, 400, 600, 800, 1000)
+
+FIGURES: Dict[str, FigureSpec] = {}
+
+
+def _register(spec: FigureSpec):
+    FIGURES[spec.figure_id] = spec
+
+
+_register(FigureSpec(
+    figure_id="fig05",
+    title="UNIFORM: throughput vs database size",
+    workload="uniform",
+    sweep_param="db_size",
+    sweep_values=_DB_SWEEP,
+    metric=THROUGHPUT,
+    fixed=dict(disconnect_prob=0.1, disconnect_time_mean=4000.0,
+               buffer_fraction=0.02),
+    x_label="Database Size",
+    expected_shape="BS falls sharply with db size; others stay level, "
+                   "checking >= AAW >= AFW",
+))
+
+_register(FigureSpec(
+    figure_id="fig06",
+    title="UNIFORM: uplink cost vs database size",
+    workload="uniform",
+    sweep_param="db_size",
+    sweep_values=_DB_SWEEP,
+    metric=UPLINK_COST,
+    fixed=dict(disconnect_prob=0.1, disconnect_time_mean=4000.0,
+               buffer_fraction=0.02),
+    x_label="Database Size",
+    expected_shape="BS = 0; adaptive low and flat; checking high and growing",
+))
+
+_register(FigureSpec(
+    figure_id="fig07",
+    title="UNIFORM: throughput vs disconnection probability",
+    workload="uniform",
+    sweep_param="disconnect_prob",
+    sweep_values=_P_SWEEP,
+    metric=THROUGHPUT,
+    fixed=dict(db_size=10_000, disconnect_time_mean=400.0,
+               buffer_fraction=0.02),
+    x_label="Probability of Disconnection in an Interval",
+    expected_shape="mild decline with p; BS lowest throughout",
+))
+
+_register(FigureSpec(
+    figure_id="fig08",
+    title="UNIFORM: uplink cost vs disconnection probability",
+    workload="uniform",
+    sweep_param="disconnect_prob",
+    sweep_values=_P_SWEEP,
+    metric=UPLINK_COST,
+    fixed=dict(db_size=10_000, disconnect_time_mean=400.0,
+               buffer_fraction=0.02),
+    x_label="Probability of Disconnection in an Interval",
+    expected_shape="costs grow with p; checking >> adaptive; BS = 0",
+))
+
+_register(FigureSpec(
+    figure_id="fig09",
+    title="UNIFORM: throughput vs mean disconnection time",
+    workload="uniform",
+    sweep_param="disconnect_time_mean",
+    sweep_values=_DISC_SWEEP_SHORT,
+    metric=THROUGHPUT,
+    fixed=dict(db_size=10_000, disconnect_prob=0.1, buffer_fraction=0.01),
+    x_label="Mean Disconnection Time",
+    expected_shape="mild decline; BS lowest",
+))
+
+_register(FigureSpec(
+    figure_id="fig10",
+    title="UNIFORM: uplink cost vs mean disconnection time",
+    workload="uniform",
+    sweep_param="disconnect_time_mean",
+    sweep_values=_DISC_SWEEP_LONG,
+    metric=UPLINK_COST,
+    fixed=dict(db_size=10_000, disconnect_prob=0.1, buffer_fraction=0.01),
+    x_label="Mean Disconnection Time",
+    expected_shape="checking >> adaptive; BS = 0",
+))
+
+_register(FigureSpec(
+    figure_id="fig11",
+    title="HOTCOLD: throughput vs database size",
+    workload="hotcold",
+    sweep_param="db_size",
+    sweep_values=_DB_SWEEP,
+    metric=THROUGHPUT,
+    fixed=dict(disconnect_prob=0.1, disconnect_time_mean=400.0,
+               buffer_fraction=0.02),
+    x_label="Database Size",
+    expected_shape="depressed below db~5000 (cache smaller than hot set); "
+                   "checking best, AAW second, AFW third, BS worst",
+))
+
+_register(FigureSpec(
+    figure_id="fig12",
+    title="HOTCOLD: uplink cost vs database size",
+    workload="hotcold",
+    sweep_param="db_size",
+    sweep_values=_DB_SWEEP,
+    metric=UPLINK_COST,
+    fixed=dict(disconnect_prob=0.1, disconnect_time_mean=400.0,
+               buffer_fraction=0.02),
+    x_label="Database Size",
+    expected_shape="like fig06: BS = 0, adaptive low, checking grows",
+))
+
+_register(FigureSpec(
+    figure_id="fig13",
+    title="HOTCOLD: throughput vs disconnection probability",
+    workload="hotcold",
+    sweep_param="disconnect_prob",
+    sweep_values=_P_SWEEP,
+    metric=THROUGHPUT,
+    fixed=dict(db_size=10_000, disconnect_time_mean=400.0,
+               buffer_fraction=0.02),
+    x_label="Probability of Disconnection in an Interval",
+    expected_shape="like fig07 with higher absolute throughput (caching pays)",
+))
+
+_register(FigureSpec(
+    figure_id="fig14",
+    title="HOTCOLD: uplink cost vs disconnection probability",
+    workload="hotcold",
+    sweep_param="disconnect_prob",
+    sweep_values=_P_SWEEP,
+    metric=UPLINK_COST,
+    fixed=dict(db_size=10_000, disconnect_time_mean=400.0,
+               buffer_fraction=0.02),
+    x_label="Probability of Disconnection in an Interval",
+    expected_shape="like fig08",
+))
+
+_register(FigureSpec(
+    figure_id="fig15",
+    title="Asymmetric: UNIFORM throughput vs uplink bandwidth",
+    workload="uniform",
+    sweep_param="uplink_bps",
+    sweep_values=_UPLINK_SWEEP,
+    metric=THROUGHPUT,
+    fixed=dict(db_size=5000, disconnect_prob=0.1,
+               disconnect_time_mean=4000.0, buffer_fraction=0.02),
+    x_label="Uplink Bandwidth (bits/second)",
+    expected_shape="below ~200 bps the adaptive methods beat checking "
+                   "(crossover)",
+))
+
+_register(FigureSpec(
+    figure_id="fig16",
+    title="Asymmetric: HOTCOLD throughput vs uplink bandwidth",
+    workload="hotcold",
+    sweep_param="uplink_bps",
+    sweep_values=_UPLINK_SWEEP,
+    metric=THROUGHPUT,
+    fixed=dict(db_size=5000, disconnect_prob=0.1,
+               disconnect_time_mean=4000.0, buffer_fraction=0.02),
+    x_label="Uplink Bandwidth (bits/second)",
+    expected_shape="same crossover as fig15, higher absolutes",
+))
+
+
+def figure_ids() -> List[str]:
+    """All defined figure ids, in paper order."""
+    return sorted(FIGURES)
+
+
+def get_figure(figure_id: str) -> FigureSpec:
+    """Look up a figure spec."""
+    try:
+        return FIGURES[figure_id]
+    except KeyError:
+        raise KeyError(f"unknown figure {figure_id!r}; have {figure_ids()}")

@@ -1,0 +1,66 @@
+"""Serialization of regenerated figures (JSON round-trip).
+
+Lets long sweeps be saved and re-analyzed without re-running them, and
+gives the CLI a machine-readable ``--output`` format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .figures import Scale, get_figure
+from .sweep import FigureResult
+
+FORMAT_VERSION = 1
+
+
+def figure_result_to_dict(result: FigureResult) -> dict:
+    """Flatten a figure result (series only; full per-run raws stay live)."""
+    return {
+        "version": FORMAT_VERSION,
+        "figure_id": result.spec.figure_id,
+        "title": result.spec.title,
+        "workload": result.spec.workload,
+        "metric": result.spec.metric,
+        "sweep_param": result.spec.sweep_param,
+        "scale": {
+            "name": result.scale.name,
+            "simulation_time": result.scale.simulation_time,
+            "n_clients": result.scale.n_clients,
+        },
+        "xs": list(result.xs),
+        "series": {scheme: list(ys) for scheme, ys in result.series.items()},
+    }
+
+
+def save_figure_result(result: FigureResult, path: Union[str, Path]) -> Path:
+    """Write a figure result as JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(figure_result_to_dict(result), indent=2))
+    return path
+
+
+def load_figure_result(path: Union[str, Path]) -> FigureResult:
+    """Re-hydrate a saved figure result (per-run raws are not restored)."""
+    data = json.loads(Path(path).read_text())
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported figure-result version {data.get('version')!r}"
+        )
+    spec = get_figure(data["figure_id"])
+    if spec.metric != data["metric"] or spec.sweep_param != data["sweep_param"]:
+        raise ValueError(
+            f"saved result for {data['figure_id']} does not match the "
+            "current spec"
+        )
+    scale = Scale(
+        name=data["scale"]["name"],
+        simulation_time=data["scale"]["simulation_time"],
+        n_clients=data["scale"]["n_clients"],
+    )
+    result = FigureResult(spec=spec, scale=scale, xs=list(data["xs"]))
+    result.series = {k: list(v) for k, v in data["series"].items()}
+    return result

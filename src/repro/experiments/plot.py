@@ -1,0 +1,106 @@
+"""ASCII charts of regenerated figures.
+
+Renders a :class:`~repro.experiments.sweep.FigureResult` as a terminal
+line chart — the closest offline equivalent of the paper's gnuplot
+figures.  Each scheme gets a marker character; overlapping points show
+``*``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: Marker per scheme key (falls back to digits for custom schemes).
+MARKERS = {
+    "aaw": "a",
+    "afw": "f",
+    "checking": "c",
+    "bs": "b",
+    "ts": "t",
+    "at": "m",
+    "sig": "s",
+    "gcore": "g",
+}
+
+
+def _marker_for(scheme: str, taken: set) -> str:
+    mark = MARKERS.get(scheme)
+    if mark is None or mark in taken:
+        for candidate in "0123456789":
+            if candidate not in taken:
+                mark = candidate
+                break
+    taken.add(mark)
+    return mark
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render *series* over *xs* as an ASCII line chart.
+
+    The y-axis starts at 0 (the paper's figures mostly do) and the
+    x-positions are spread evenly (the paper's sweeps are near-uniform
+    in x).  Returns a multi-line string.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("chart too small to draw")
+    if not xs or not series:
+        raise ValueError("nothing to plot")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+    y_max = max(max(ys) for ys in series.values())
+    if y_max <= 0:
+        y_max = 1.0
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    taken: set = set()
+    legend: List[str] = []
+    n = len(xs)
+    for scheme, ys in series.items():
+        mark = _marker_for(scheme, taken)
+        legend.append(f"{mark} = {scheme}")
+        for i, y in enumerate(ys):
+            col = 0 if n == 1 else round(i * (width - 1) / (n - 1))
+            row = height - 1 - round((y / y_max) * (height - 1))
+            row = min(max(row, 0), height - 1)
+            cell = grid[row][col]
+            grid[row][col] = mark if cell == " " else "*"
+
+    lines: List[str] = []
+    if y_label:
+        lines.append(f"{y_label}  (y max = {y_max:g})")
+    for r, row in enumerate(grid):
+        if r == 0:
+            edge = f"{y_max:>9.3g} |"
+        elif r == height - 1:
+            edge = f"{0:>9g} |"
+        else:
+            edge = " " * 9 + " |"
+        lines.append(edge + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    x_left = f"{xs[0]:g}"
+    x_right = f"{xs[-1]:g}"
+    pad = width - len(x_left) - len(x_right)
+    lines.append(" " * 11 + x_left + " " * max(1, pad) + x_right)
+    if x_label:
+        lines.append(" " * 11 + x_label)
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def chart_figure(result, width: int = 64, height: int = 16) -> str:
+    """ASCII chart of a :class:`FigureResult` with labels from its spec."""
+    return ascii_chart(
+        result.xs,
+        result.series,
+        width=width,
+        height=height,
+        y_label=result.spec.metric,
+        x_label=result.spec.sweep_param,
+    )

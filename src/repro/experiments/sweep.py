@@ -1,0 +1,62 @@
+"""Sweep execution: run a figure spec into plottable series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.metrics import SimulationResult
+from ..sim.runner import run_simulation
+from .figures import BENCH_SCALE, FigureSpec, Scale
+
+
+@dataclass
+class FigureResult:
+    """The regenerated series of one figure.
+
+    ``series[scheme][i]`` is the metric at ``xs[i]``; ``results`` keeps
+    the full :class:`SimulationResult` per (scheme, x) for deeper checks.
+    """
+
+    spec: FigureSpec
+    scale: Scale
+    xs: List[float]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    results: Dict[str, List[SimulationResult]] = field(default_factory=dict)
+
+    def metric_of(self, scheme: str, x: float) -> float:
+        """The y value of *scheme* at sweep point *x*."""
+        return self.series[scheme][self.xs.index(x)]
+
+    def mean_of(self, scheme: str) -> float:
+        """Mean of a scheme's series across the sweep."""
+        values = self.series[scheme]
+        return sum(values) / len(values)
+
+
+def run_figure(
+    spec: FigureSpec,
+    scale: Scale = BENCH_SCALE,
+    seed: int = 0,
+    points: Optional[Sequence[float]] = None,
+    schemes: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Regenerate one figure: run every (scheme, x) cell.
+
+    *points*/*schemes* restrict the sweep (useful for smoke tests); the
+    defaults use the spec's full definition.
+    """
+    xs = list(points if points is not None else spec.sweep_values)
+    scheme_names = list(schemes if schemes is not None else spec.schemes)
+    out = FigureResult(spec=spec, scale=scale, xs=xs)
+    for scheme in scheme_names:
+        values: List[float] = []
+        results: List[SimulationResult] = []
+        for x in xs:
+            params = spec.params_for(x, scale, seed=seed)
+            result = run_simulation(params, spec.workload, scheme)
+            results.append(result)
+            values.append(float(getattr(result, spec.metric)))
+        out.series[scheme] = values
+        out.results[scheme] = results
+    return out

@@ -1,0 +1,51 @@
+"""Text rendering of regenerated figures (the series the paper plots)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .sweep import FigureResult
+
+#: Paper display names for scheme keys.
+DISPLAY_NAMES = {
+    "aaw": "adaptive with adjusting window",
+    "afw": "adaptive with fixed window",
+    "checking": "simple checking",
+    "bs": "bit sequences",
+    "ts": "TS (no checking)",
+    "at": "amnesic terminals",
+    "sig": "signatures",
+    "gcore": "grouped checking",
+}
+
+
+def format_figure(result: FigureResult, width: int = 12) -> str:
+    """Render one figure's series as an aligned text table."""
+    spec = result.spec
+    lines: List[str] = []
+    lines.append(f"{spec.figure_id}: {spec.title}")
+    lines.append(
+        f"  workload={spec.workload}  metric={spec.metric}  "
+        f"scale={result.scale.name} "
+        f"(T={result.scale.simulation_time:.0f}s, "
+        f"{result.scale.n_clients} clients)"
+    )
+    if spec.expected_shape:
+        lines.append(f"  expected shape: {spec.expected_shape}")
+    header = f"  {spec.sweep_param:>20s}"
+    for scheme in result.series:
+        header += f" {scheme:>{width}s}"
+    lines.append(header)
+    for i, x in enumerate(result.xs):
+        row = f"  {x:>20g}"
+        for scheme in result.series:
+            row += f" {result.series[scheme][i]:>{width}.2f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_legend() -> str:
+    """Scheme-key legend matching the paper's curve labels."""
+    return "\n".join(
+        f"  {key:>9s} = {name}" for key, name in DISPLAY_NAMES.items()
+    )

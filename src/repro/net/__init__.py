@@ -1,0 +1,26 @@
+"""Wireless cell network substrate: messages and shared priority channels."""
+
+from .channel import Channel, ChannelStats
+from .messages import (
+    BROADCAST,
+    KIND_PRIORITY,
+    Message,
+    MessageKind,
+    PRIORITY_CHECK,
+    PRIORITY_DATA,
+    PRIORITY_IR,
+    SERVER_ID,
+)
+
+__all__ = [
+    "BROADCAST",
+    "Channel",
+    "ChannelStats",
+    "KIND_PRIORITY",
+    "Message",
+    "MessageKind",
+    "PRIORITY_CHECK",
+    "PRIORITY_DATA",
+    "PRIORITY_IR",
+    "SERVER_ID",
+]

@@ -1,0 +1,190 @@
+"""Bit-accurate shared wireless channels with class-based priorities.
+
+A :class:`Channel` models one direction of the cell's air interface:
+
+* messages queue by (priority class, FIFO) and transmit one at a time at
+  ``size_bits / bandwidth_bps`` seconds each;
+* messages in the preemptive class (invalidation reports, by default)
+  interrupt an ongoing lower-class transmission, which later *resumes*
+  with its remaining bits — this is what lets the server start every
+  report at exactly ``i * L`` as the paper's model requires;
+* on completion the message is delivered to every attached receiver
+  (broadcast) or matched by destination (the receivers filter).
+
+The same class serves as the downlink (server to all clients) and the
+uplink (clients share it toward the server).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..des import Environment, Event, Interrupt, PriorityItem, PriorityStore
+from ..des.monitor import TimeWeighted
+from .messages import Message, PRIORITY_IR
+
+Receiver = Callable[[Message, float], None]
+
+
+class ChannelStats:
+    """Byte-counting telemetry for one channel."""
+
+    def __init__(self, now: float = 0.0):
+        self.bits_enqueued = 0.0
+        self.bits_delivered = 0.0
+        self.messages_delivered = 0
+        self.bits_by_kind: dict = {}
+        self.busy = TimeWeighted(now, name="busy")
+        self.preemptions = 0
+
+    def utilization(self, now: float) -> float:
+        """Fraction of time the channel spent transmitting."""
+        return self.busy.average(now)
+
+
+class Channel:
+    """A shared priority-scheduled transmission medium.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    bandwidth_bps:
+        Channel capacity in bits per second.
+    name:
+        Used in diagnostics.
+    preempt_threshold:
+        Messages whose priority class is <= this value interrupt an
+        ongoing lower-class transmission (which resumes afterwards).
+        Default: only the IR class preempts.  Set to -1 to disable
+        preemption entirely.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth_bps: float,
+        name: str = "channel",
+        preempt_threshold: int = PRIORITY_IR,
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.env = env
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.name = name
+        self.preempt_threshold = preempt_threshold
+        self.stats = ChannelStats(env.now)
+        self._queue = PriorityStore(env)
+        self._receivers: List[Receiver] = []
+        self._seq = 0
+        self._current: Optional[PriorityItem] = None
+        self._done_events: dict = {}
+        self._proc = env.process(self._transmit(), name=f"{name}-tx")
+
+    def __repr__(self):
+        return f"<Channel {self.name} {self.bandwidth_bps} bps queued={len(self._queue)}>"
+
+    # -- public API ----------------------------------------------------------
+
+    def attach(self, receiver: Receiver):
+        """Register a delivery callback ``receiver(message, now)``.
+
+        Every completed message is offered to every receiver; receivers
+        filter by destination/connectivity themselves (it is a broadcast
+        medium).
+        """
+        self._receivers.append(receiver)
+
+    def detach(self, receiver: Receiver):
+        """Remove a previously attached receiver."""
+        self._receivers.remove(receiver)
+
+    def send(self, message: Message) -> Event:
+        """Enqueue *message*; returns an event that fires on delivery.
+
+        Transmission starts when the message reaches the head of its
+        priority class; a message in the preemptive class interrupts an
+        ongoing lower-class transmission.
+        """
+        message.enqueued_at = self.env.now
+        message.remaining_bits = float(message.size_bits)
+        self.stats.bits_enqueued += message.size_bits
+        done = self.env.event()
+        self._done_events[id(message)] = done
+        self._seq += 1
+        item = PriorityItem(priority=message.priority, seq=self._seq, item=message)
+        self._queue.put(item)
+        if (
+            self._current is not None
+            and message.priority <= self.preempt_threshold
+            and message.priority < self._current.priority
+            # A pending interrupt detaches the transmitter from its timeout;
+            # a second preemption in the same instant must not re-interrupt
+            # (the transmitter re-reads the queue in priority order anyway).
+            and self._proc.target is not None
+        ):
+            self.stats.preemptions += 1
+            self._proc.interrupt("preempted")
+        return done
+
+    @property
+    def transmitting(self) -> Optional[Message]:
+        """The message currently on the air, if any."""
+        return self._current.item if self._current is not None else None
+
+    @property
+    def queued(self) -> int:
+        """Number of messages waiting (not counting the one on the air)."""
+        return len(self._queue)
+
+    def transmission_time(self, size_bits: float) -> float:
+        """Seconds needed to transmit *size_bits* uncontended."""
+        return size_bits / self.bandwidth_bps
+
+    # -- internals -------------------------------------------------------------
+
+    def _transmit(self):
+        env = self.env
+        while True:
+            item = yield self._queue.get()
+            message: Message = item.item
+            if message.size_bits == 0:
+                # Zero-size control messages deliver instantly.
+                self._deliver(message)
+                continue
+            self._current = item
+            self.stats.busy.set(1.0, env.now)
+            started = env.now
+            try:
+                yield env.timeout(message.remaining_bits / self.bandwidth_bps)
+            except Interrupt:
+                elapsed = env.now - started
+                message.remaining_bits = max(
+                    0.0, message.remaining_bits - elapsed * self.bandwidth_bps
+                )
+                self._current = None
+                self.stats.busy.set(0.0, env.now)
+                if message.remaining_bits <= 1e-9:
+                    self._deliver(message)
+                else:
+                    # Re-queue with the original sequence number so the
+                    # message resumes ahead of later arrivals in its class.
+                    self._queue.put(item)
+                continue
+            message.remaining_bits = 0.0
+            self._current = None
+            self.stats.busy.set(0.0, env.now)
+            self._deliver(message)
+
+    def _deliver(self, message: Message):
+        now = self.env.now
+        message.delivered_at = now
+        self.stats.bits_delivered += message.size_bits
+        self.stats.messages_delivered += 1
+        kind_bits = self.stats.bits_by_kind
+        kind_bits[message.kind] = kind_bits.get(message.kind, 0.0) + message.size_bits
+        done = self._done_events.pop(id(message), None)
+        for receiver in self._receivers:
+            receiver(message, now)
+        if done is not None:
+            done.succeed(message)

@@ -1,0 +1,67 @@
+"""Amnesic Terminals (AT) report: only the latest interval's updates.
+
+Barbara & Imielinski's AT scheme broadcasts just the ids of items updated
+during the last broadcast interval ``(T - L, T]`` with no per-item
+timestamps.  A client must have heard *every* report: any gap larger than
+one interval forces a full cache drop.  Implemented as a library citizen
+and ablation baseline (the paper's own evaluation excludes it because it
+cannot survive long disconnections).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from .base import Invalidation, Report, ReportKind
+from .sizes import DEFAULT_TIMESTAMP_BITS, amnesic_report_bits
+
+
+class AmnesicReport(Report):
+    """Ids updated in the last interval; usable only by gap-free clients."""
+
+    kind = ReportKind.AMNESIC
+
+    def __init__(
+        self,
+        timestamp: float,
+        interval: float,
+        items: Iterable[int],
+        n_items: int,
+        timestamp_bits: int = DEFAULT_TIMESTAMP_BITS,
+    ):
+        if interval <= 0:
+            raise ValueError("broadcast interval must be positive")
+        self.timestamp = float(timestamp)
+        self.interval = float(interval)
+        self.items: FrozenSet[int] = frozenset(items)
+        self.n_items = n_items
+        self.size_bits = amnesic_report_bits(len(self.items), n_items, timestamp_bits)
+
+    def __repr__(self):
+        return f"<AmnesicReport T={self.timestamp} n={len(self.items)}>"
+
+    def covers(self, tlb: float) -> bool:
+        """The client must have heard the previous report."""
+        return tlb >= self.timestamp - self.interval
+
+    def invalidation_for(self, tlb: float) -> Invalidation:
+        if not self.covers(tlb):
+            return Invalidation.drop_all()
+        return Invalidation.drop(self.items)
+
+
+def build_amnesic_report(
+    db,
+    timestamp: float,
+    interval: float,
+    timestamp_bits: int = DEFAULT_TIMESTAMP_BITS,
+) -> AmnesicReport:
+    """Construct an AT report from the database recency index."""
+    items = [item for item, _ts in db.updated_since(timestamp - interval)]
+    return AmnesicReport(
+        timestamp=timestamp,
+        interval=interval,
+        items=items,
+        n_items=db.n_items,
+        timestamp_bits=timestamp_bits,
+    )

@@ -1,0 +1,91 @@
+"""Common surface of invalidation reports.
+
+A report is an immutable value object the server broadcasts each period;
+clients query it to decide what to invalidate.  The three possible
+client-side outcomes are captured by :class:`Invalidation`:
+
+* ``covered`` with a set of items to drop — the report reaches back to the
+  client's ``Tlb``, so only the listed items are stale;
+* not covered (``drop_all``) — the client cannot tell which entries are
+  valid and must discard its whole cache (or, in the adaptive schemes,
+  ask the server for more history first).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import AbstractSet, FrozenSet
+
+
+class ReportKind(enum.Enum):
+    """Which report structure a broadcast carries."""
+
+    WINDOW = "window"            # TS-style IR(w)
+    ENLARGED_WINDOW = "window+"  # AAW's IR(w') with a dummy record
+    BIT_SEQUENCES = "bs"         # Jing-style IR(BS)
+    AMNESIC = "amnesic"          # AT: last interval's ids only
+    SIGNATURES = "sig"           # Barbara/Imielinski combined signatures
+
+
+@dataclass(frozen=True)
+class Invalidation:
+    """Outcome of applying a report to a client state.
+
+    Attributes
+    ----------
+    covered:
+        Whether the report's history reaches back to the client's ``Tlb``.
+        When False the client cannot salvage anything from this report
+        alone (``items`` is empty and must be ignored).
+    items:
+        Item ids the client must invalidate (only meaningful when
+        ``covered``).  The set is conservative: a listed item *may* still
+        hold its old value, but no stale item is ever omitted.
+    """
+
+    covered: bool
+    items: FrozenSet[int] = field(default_factory=frozenset)
+
+    @staticmethod
+    def drop_all() -> "Invalidation":
+        """The client must discard its entire cache."""
+        return Invalidation(covered=False)
+
+    @staticmethod
+    def nothing() -> "Invalidation":
+        """The cache is entirely valid."""
+        return Invalidation(covered=True)
+
+    @staticmethod
+    def drop(items: AbstractSet[int]) -> "Invalidation":
+        """Invalidate exactly *items*."""
+        return Invalidation(covered=True, items=frozenset(items))
+
+
+class Report:
+    """Base class for broadcast invalidation reports.
+
+    Attributes
+    ----------
+    kind:
+        The :class:`ReportKind`.
+    timestamp:
+        Broadcast time ``Ti``; the report describes updates up to and
+        including this instant.
+    size_bits:
+        Wire size, from :mod:`repro.reports.sizes`.
+    """
+
+    kind: ReportKind
+    timestamp: float
+    size_bits: float
+
+    def covers(self, tlb: float) -> bool:
+        """Whether a client that last heard a report at *tlb* can use this
+        report alone to invalidate precisely."""
+        raise NotImplementedError
+
+    def invalidation_for(self, tlb: float) -> Invalidation:
+        """What a client with last-heard time *tlb* must invalidate."""
+        raise NotImplementedError

@@ -1,0 +1,170 @@
+"""TS-style window reports: ``IR(w)`` and AAW's enlarged ``IR(w')``.
+
+A window report broadcast at time ``T`` lists every item updated within
+the last ``w`` broadcast intervals — all ``(o_i, t_i)`` with
+``t_i in (T - wL, T]`` — so a client whose last-heard time ``Tlb`` falls
+inside that window can invalidate exactly the items updated after ``Tlb``.
+
+AAW's enlarged report stretches the window back to a requesting client's
+``Tlb`` and marks the stretch with a ``(dummy_id, Tlb)`` record so clients
+can recognise that the report covers them (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from .base import Invalidation, Report, ReportKind
+from .sizes import (
+    DEFAULT_TIMESTAMP_BITS,
+    enlarged_window_report_bits,
+    window_report_bits,
+)
+
+
+class WindowReport(Report):
+    """The classic broadcasting-timestamps report ``IR(w)``.
+
+    Parameters
+    ----------
+    timestamp:
+        Broadcast time ``T``.
+    window_start:
+        ``T - wL``; the report lists items updated strictly after this.
+    items:
+        ``{item: latest update time}`` with every time in
+        ``(window_start, timestamp]``.
+    n_items:
+        Database size (prices the id field).
+    """
+
+    kind = ReportKind.WINDOW
+
+    def __init__(
+        self,
+        timestamp: float,
+        window_start: float,
+        items: Dict[int, float],
+        n_items: int,
+        timestamp_bits: int = DEFAULT_TIMESTAMP_BITS,
+    ):
+        if window_start > timestamp:
+            raise ValueError("window_start lies after the report timestamp")
+        for item, ts in items.items():
+            if not (window_start < ts <= timestamp):
+                raise ValueError(
+                    f"item {item} timestamp {ts} outside window "
+                    f"({window_start}, {timestamp}]"
+                )
+        self.timestamp = float(timestamp)
+        self.window_start = float(window_start)
+        self.items = dict(items)
+        self.n_items = n_items
+        self.size_bits = window_report_bits(len(items), n_items, timestamp_bits)
+
+    def __repr__(self):
+        return (
+            f"<WindowReport T={self.timestamp} window=({self.window_start}, "
+            f"{self.timestamp}] n={len(self.items)}>"
+        )
+
+    def covers(self, tlb: float) -> bool:
+        """True when the client's gap lies inside the window."""
+        return tlb >= self.window_start
+
+    def stale_items_after(self, tlb: float) -> FrozenSet[int]:
+        """Items whose latest update is after *tlb* (requires coverage)."""
+        return frozenset(item for item, ts in self.items.items() if ts > tlb)
+
+    def invalidation_for(self, tlb: float) -> Invalidation:
+        if not self.covers(tlb):
+            return Invalidation.drop_all()
+        return Invalidation.drop(self.stale_items_after(tlb))
+
+
+class EnlargedWindowReport(WindowReport):
+    """AAW's ``IR(w')``: a window stretched back to ``dummy_tlb``.
+
+    Contains every item updated after ``dummy_tlb`` plus the dummy record
+    ``(dummy_id, dummy_tlb)``.  A client whose ``Tlb >= dummy_tlb`` is
+    covered even though its gap exceeds the default window.
+    """
+
+    kind = ReportKind.ENLARGED_WINDOW
+
+    def __init__(
+        self,
+        timestamp: float,
+        dummy_tlb: float,
+        items: Dict[int, float],
+        n_items: int,
+        timestamp_bits: int = DEFAULT_TIMESTAMP_BITS,
+    ):
+        super().__init__(
+            timestamp=timestamp,
+            window_start=dummy_tlb,
+            items=items,
+            n_items=n_items,
+            timestamp_bits=timestamp_bits,
+        )
+        self.dummy_tlb = float(dummy_tlb)
+        # One extra (dummy_id, Tlb) record relative to the plain report.
+        self.size_bits = enlarged_window_report_bits(
+            len(items), n_items, timestamp_bits
+        )
+
+    def __repr__(self):
+        return (
+            f"<EnlargedWindowReport T={self.timestamp} back_to={self.dummy_tlb} "
+            f"n={len(self.items)}>"
+        )
+
+
+def build_window_report(
+    db,
+    timestamp: float,
+    window_seconds: float,
+    timestamp_bits: int = DEFAULT_TIMESTAMP_BITS,
+) -> WindowReport:
+    """Construct ``IR(w)`` from the database recency index.
+
+    *window_seconds* is ``w * L``.
+    """
+    window_start = timestamp - window_seconds
+    items = {item: ts for item, ts in db.updated_since(window_start)}
+    return WindowReport(
+        timestamp=timestamp,
+        window_start=window_start,
+        items=items,
+        n_items=db.n_items,
+        timestamp_bits=timestamp_bits,
+    )
+
+
+def build_enlarged_window_report(
+    db,
+    timestamp: float,
+    back_to: float,
+    timestamp_bits: int = DEFAULT_TIMESTAMP_BITS,
+) -> EnlargedWindowReport:
+    """Construct ``IR(w')`` reaching back to *back_to* (a client's Tlb)."""
+    items = {item: ts for item, ts in db.updated_since(back_to)}
+    return EnlargedWindowReport(
+        timestamp=timestamp,
+        dummy_tlb=back_to,
+        items=items,
+        n_items=db.n_items,
+        timestamp_bits=timestamp_bits,
+    )
+
+
+def enlarged_report_size(
+    db, back_to: float, timestamp_bits: int = DEFAULT_TIMESTAMP_BITS
+) -> Tuple[int, float]:
+    """Cheaply price an ``IR(w')`` without materializing it.
+
+    Returns ``(n_items_in_report, size_bits)``; used by the AAW server to
+    compare against ``IR(BS)`` before deciding what to broadcast.
+    """
+    count = len(db.updated_since(back_to))
+    return count, enlarged_window_report_bits(count, db.n_items, timestamp_bits)

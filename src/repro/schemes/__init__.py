@@ -1,0 +1,67 @@
+"""Cache invalidation schemes: the paper's AFW/AAW and every baseline."""
+
+from .aaw import AAW_SCHEME, AAWServerPolicy
+from .afw import AFW_SCHEME, AFWServerPolicy, AdaptiveClientPolicy
+from .at import AT_SCHEME, ATClientPolicy, ATServerPolicy
+from .base import (
+    ClientOutcome,
+    ClientPolicy,
+    Scheme,
+    ServerPolicy,
+    apply_invalidation,
+    apply_window_report,
+    drop_unreconciled,
+    reconcile_with_amnesic,
+    reconcile_with_bitseq,
+)
+from .bs import BS_SCHEME, BSClientPolicy, BSServerPolicy
+from .checking import CHECKING_SCHEME, CheckingClientPolicy, CheckingServerPolicy
+from .gcore import GCORE_SCHEME, GCOREClientPolicy, GCOREServerPolicy, group_of
+from .registry import (
+    EVALUATED_SCHEMES,
+    available_schemes,
+    get_scheme,
+    register_scheme,
+)
+from .sig import SIG_SCHEME, SIGClientPolicy, SIGServerPolicy
+from .ts_nocheck import TS_SCHEME, TSClientPolicy, TSServerPolicy
+
+__all__ = [
+    "AAW_SCHEME",
+    "AAWServerPolicy",
+    "AFW_SCHEME",
+    "AFWServerPolicy",
+    "AT_SCHEME",
+    "ATClientPolicy",
+    "ATServerPolicy",
+    "AdaptiveClientPolicy",
+    "BS_SCHEME",
+    "BSClientPolicy",
+    "BSServerPolicy",
+    "CHECKING_SCHEME",
+    "CheckingClientPolicy",
+    "CheckingServerPolicy",
+    "ClientOutcome",
+    "ClientPolicy",
+    "EVALUATED_SCHEMES",
+    "GCORE_SCHEME",
+    "GCOREClientPolicy",
+    "GCOREServerPolicy",
+    "SIG_SCHEME",
+    "SIGClientPolicy",
+    "SIGServerPolicy",
+    "Scheme",
+    "ServerPolicy",
+    "TS_SCHEME",
+    "TSClientPolicy",
+    "TSServerPolicy",
+    "apply_invalidation",
+    "apply_window_report",
+    "drop_unreconciled",
+    "reconcile_with_amnesic",
+    "reconcile_with_bitseq",
+    "available_schemes",
+    "get_scheme",
+    "group_of",
+    "register_scheme",
+]

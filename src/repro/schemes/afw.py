@@ -1,0 +1,118 @@
+"""AFW — Adaptive Invalidation Report with Fixed Window (paper §3.1).
+
+Default broadcast is ``IR(w)``.  A client whose gap exceeds the window
+uploads its ``Tlb`` (one timestamp — the scheme's whole uplink budget);
+if any uploaded ``Tlb`` is salvageable (``TS(Bn) <= Tlb <= T - wL``) the
+server broadcasts the full Bit-Sequences report next period, exactly once
+per request batch.
+"""
+
+from __future__ import annotations
+
+from ..reports.bitseq import bs_salvage_threshold, build_bitseq_report
+from ..reports.window import build_window_report
+from .base import (
+    ClientOutcome,
+    ClientPolicy,
+    Scheme,
+    ServerPolicy,
+    apply_invalidation,
+    apply_window_report,
+    reconcile_with_bitseq,
+)
+from ..reports.base import ReportKind
+
+
+class AFWServerPolicy(ServerPolicy):
+    """Figure 3's server: window by default, BS on salvageable demand."""
+
+    def __init__(self, params, db):
+        self.params = params
+        self.db = db
+        self._pending_tlbs: list = []
+        self.bs_broadcasts = 0
+
+    def on_tlb(self, ctx, client_id: int, tlb: float, now: float):
+        self._pending_tlbs.append(tlb)
+
+    def _take_salvageable(self, now: float) -> list:
+        """Pop all pending Tlbs, returning the salvageable ones."""
+        if not self._pending_tlbs:
+            return []
+        window_start = now - self.params.window_seconds
+        threshold = bs_salvage_threshold(self.db, origin=0.0)
+        salvageable = [
+            t for t in self._pending_tlbs if threshold <= t <= window_start
+        ]
+        self._pending_tlbs.clear()
+        return salvageable
+
+    def build_report(self, ctx, now: float):
+        if self._take_salvageable(now):
+            self.bs_broadcasts += 1
+            return build_bitseq_report(
+                self.db, now, origin=0.0, timestamp_bits=self.params.timestamp_bits
+            )
+        return build_window_report(
+            self.db, now, self.params.window_seconds, self.params.timestamp_bits
+        )
+
+
+class AdaptiveClientPolicy(ClientPolicy):
+    """Figures 3/4's client: shared by AFW and AAW.
+
+    * BS report          -> run the BS algorithm.
+    * covering window    -> run the TS algorithm (enlarged windows cover
+      any client whose ``Tlb`` reaches the dummy record).
+    * uncovered, not yet asked -> upload ``Tlb`` and wait.
+    * uncovered, already asked -> the server could not help: drop all.
+    """
+
+    def __init__(self, params, client_id: int):
+        self.params = params
+        self.client_id = client_id
+        self._sent_tlb = False
+        self.tlb_uploads = 0
+
+    def on_report(self, ctx, report) -> ClientOutcome:
+        t = report.timestamp
+        if report.kind is ReportKind.BIT_SEQUENCES:
+            inv = report.invalidation_for(ctx.tlb)
+            if inv.covered:
+                reconcile_with_bitseq(ctx.cache, report)
+                apply_invalidation(ctx.cache, inv, t)
+            else:
+                ctx.cache.drop_all()
+                ctx.note_cache_drop()
+                ctx.cache.certify(t)
+            ctx.tlb = t
+            self._sent_tlb = False
+            return ClientOutcome.READY
+        if report.covers(ctx.tlb):
+            apply_window_report(ctx.cache, report)
+            ctx.tlb = t
+            self._sent_tlb = False
+            return ClientOutcome.READY
+        if not self._sent_tlb:
+            self._sent_tlb = True
+            self.tlb_uploads += 1
+            ctx.send_tlb(ctx.tlb)
+            return ClientOutcome.PENDING
+        # Second uncovered report after asking: unsalvageable.
+        ctx.cache.drop_all()
+        ctx.note_cache_drop()
+        ctx.cache.certify(t)
+        ctx.tlb = t
+        self._sent_tlb = False
+        return ClientOutcome.READY
+
+    def on_reconnect(self, ctx, now: float):
+        self._sent_tlb = False
+
+
+AFW_SCHEME = Scheme(
+    name="afw",
+    server_factory=AFWServerPolicy,
+    client_factory=AdaptiveClientPolicy,
+    description="Adaptive invalidation report with fixed window",
+)

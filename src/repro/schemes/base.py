@@ -1,0 +1,212 @@
+"""Scheme interfaces: the pluggable server/client invalidation policies.
+
+A *scheme* (TS, AT, SIG, BS, TS-with-checking, AFW, AAW, ...) is a pair of
+policies:
+
+* the :class:`ServerPolicy` decides what report to broadcast each period
+  and answers scheme-specific uplink traffic;
+* the :class:`ClientPolicy` decides, on each received report, what the
+  client invalidates and whether it must ask the server for help first.
+
+Policies talk to the simulation through small duck-typed context objects
+(the server and client actors in :mod:`repro.sim`), keeping the scheme
+logic free of event-loop plumbing and directly unit-testable.
+
+Client contexts expose::
+
+    cache            -> repro.cache.ClientCache
+    tlb              -> float   (last-heard report time; settable)
+    send_tlb(tlb)                        # adaptive uplink, payload = b_T bits
+    send_check_request(entries)          # checking upload
+    note_cache_drop()                    # metrics hook
+
+Server contexts expose::
+
+    db               -> repro.db.Database
+    params           -> repro.sim.SystemParams
+    now              -> float
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..cache import ClientCache
+from ..reports.base import Invalidation, Report
+
+
+class ClientOutcome(enum.Enum):
+    """State of the client's cache after handling one report."""
+
+    READY = "ready"       # invalidation applied; cache usable
+    PENDING = "pending"   # waiting on the server (Tlb sent / check sent)
+
+
+def apply_window_report(cache: ClientCache, report) -> int:
+    """Apply a covered TS/enlarged window report to *cache*.
+
+    First reconciles *suspect* entries (fetched across a report boundary,
+    so their coherence predates the client's last report): the window
+    validates them precisely when it reaches back past their coherence
+    time, and drops them otherwise.  Then invalidates each cached item
+    the report lists with an update time newer than the entry's effective
+    timestamp (Figure 1's ``t_c < t_j`` test) and certifies survivors as
+    of the report time.  Returns the number of invalidated entries.
+    """
+    dropped = 0
+    for entry in cache.unreconciled_entries():
+        if entry.ts < report.window_start:
+            # The report cannot bound updates in (entry.ts, T]: a fetch
+            # slower than the whole window.  Conservatively drop.
+            cache.invalidate(entry.item)
+            dropped += 1
+    items = report.items
+    if len(items) <= len(cache):
+        for item, ts in items.items():
+            entry = cache.peek(item)
+            if entry is not None and ts > cache.effective_ts(entry):
+                cache.invalidate(item)
+                dropped += 1
+    else:
+        for entry in cache.entries():
+            ts = items.get(entry.item)
+            if ts is not None and ts > cache.effective_ts(entry):
+                cache.invalidate(entry.item)
+                dropped += 1
+    cache.certify(report.timestamp)
+    return dropped
+
+
+def reconcile_with_bitseq(cache: ClientCache, report) -> int:
+    """Reconcile suspect entries against a Bit-Sequences report.
+
+    A suspect entry's own coherence time selects the level that bounds
+    updates since then; membership in that level's 1-bits (or an
+    unsalvageable coherence time) drops the entry.  Must run before the
+    main BS invalidation + certify.
+    """
+    dropped = 0
+    for entry in cache.unreconciled_entries():
+        if not report.salvageable(entry.ts):
+            cache.invalidate(entry.item)
+            dropped += 1
+        elif entry.ts < report.ts_b0 and entry.item in report.ones_set(
+            report.level_for(entry.ts)
+        ):
+            cache.invalidate(entry.item)
+            dropped += 1
+    return dropped
+
+
+def reconcile_with_amnesic(cache: ClientCache, report) -> int:
+    """Reconcile suspect entries against an AT report.
+
+    The report only knows the last interval: suspects coherent since the
+    previous report are covered by the report's id set; older ones drop.
+    """
+    dropped = 0
+    for entry in cache.unreconciled_entries():
+        if entry.ts < report.timestamp - report.interval:
+            cache.invalidate(entry.item)
+            dropped += 1
+    return dropped
+
+
+def drop_unreconciled(cache: ClientCache) -> int:
+    """Conservatively drop every suspect entry (schemes with no way to
+    re-validate them, e.g. signatures)."""
+    dropped = 0
+    for entry in cache.unreconciled_entries():
+        cache.invalidate(entry.item)
+        dropped += 1
+    return dropped
+
+
+def apply_invalidation(cache: ClientCache, inv: Invalidation, report_time: float) -> int:
+    """Apply a covered :class:`Invalidation` set (BS/AT style: no per-item
+    timestamps, drop every listed cached item), then certify survivors."""
+    if not inv.covered:
+        raise ValueError("cannot apply an uncovered invalidation")
+    dropped = 0
+    if len(inv.items) <= len(cache):
+        for item in inv.items:
+            if cache.invalidate(item):
+                dropped += 1
+    else:
+        for item in cache.item_ids():
+            if item in inv.items and cache.invalidate(item):
+                dropped += 1
+    cache.certify(report_time)
+    return dropped
+
+
+class ClientPolicy:
+    """Per-client scheme behaviour.  Subclasses hold per-client state."""
+
+    def on_report(self, ctx, report: Report) -> ClientOutcome:
+        """Handle one broadcast report; must update ``ctx.tlb`` when the
+        cache ends up certified as of the report."""
+        raise NotImplementedError
+
+    def on_validity_reply(self, ctx, invalid_items: Iterable[int], certified_at: float):
+        """Handle the server's answer to a checking upload (checking-style
+        schemes only)."""
+        raise NotImplementedError(f"{type(self).__name__} does not use checking")
+
+    def on_reconnect(self, ctx, now: float):
+        """Reset per-disconnection-episode latches (e.g. the sent-Tlb flag)."""
+
+    def on_disconnect(self, ctx, now: float):
+        """Hook at disconnection time (rarely needed)."""
+
+
+class ServerPolicy:
+    """Per-cell scheme behaviour on the server."""
+
+    def build_report(self, ctx, now: float) -> Report:
+        """Construct the invalidation report to broadcast at *now*."""
+        raise NotImplementedError
+
+    def on_tlb(self, ctx, client_id: int, tlb: float, now: float):
+        """Receive a client's last-heard timestamp (adaptive schemes)."""
+        raise NotImplementedError(f"{type(self).__name__} does not use Tlb uploads")
+
+    def on_check_request(
+        self, ctx, client_id: int, entries: List[Tuple[int, float]], now: float
+    ) -> Tuple[List[int], float, float]:
+        """Answer a checking upload.
+
+        Returns ``(invalid_items, certified_at, reply_size_bits)``.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not use checking")
+
+    def on_item_update(self, item: int, old_version: int, new_version: int):
+        """Observe a database update (used by signature schemes)."""
+
+
+class Scheme:
+    """A named scheme: factories for its two policies."""
+
+    def __init__(
+        self,
+        name: str,
+        server_factory: Callable[..., ServerPolicy],
+        client_factory: Callable[..., ClientPolicy],
+        description: str = "",
+    ):
+        self.name = name
+        self.description = description
+        self._server_factory = server_factory
+        self._client_factory = client_factory
+
+    def __repr__(self):
+        return f"<Scheme {self.name}>"
+
+    def make_server_policy(self, params, db) -> ServerPolicy:
+        """Instantiate the server-side policy for one simulation."""
+        return self._server_factory(params=params, db=db)
+
+    def make_client_policy(self, params, client_id: int) -> ClientPolicy:
+        """Instantiate one client's policy."""
+        return self._client_factory(params=params, client_id=client_id)

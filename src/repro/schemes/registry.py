@@ -1,0 +1,54 @@
+"""Name-based lookup of the available invalidation schemes."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .aaw import AAW_SCHEME
+from .afw import AFW_SCHEME
+from .at import AT_SCHEME
+from .base import Scheme
+from .bs import BS_SCHEME
+from .checking import CHECKING_SCHEME
+from .gcore import GCORE_SCHEME
+from .sig import SIG_SCHEME
+from .ts_nocheck import TS_SCHEME
+
+_REGISTRY: Dict[str, Scheme] = {
+    scheme.name: scheme
+    for scheme in (
+        TS_SCHEME,
+        AT_SCHEME,
+        SIG_SCHEME,
+        BS_SCHEME,
+        CHECKING_SCHEME,
+        AFW_SCHEME,
+        AAW_SCHEME,
+        GCORE_SCHEME,
+    )
+}
+
+#: The four schemes the paper's evaluation compares (Figures 5-16).
+EVALUATED_SCHEMES = ("aaw", "afw", "checking", "bs")
+
+
+def get_scheme(name: str) -> Scheme:
+    """Look up a scheme by name (case-insensitive)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; available: {sorted(_REGISTRY)}"
+        )
+
+
+def available_schemes() -> List[str]:
+    """Names of every registered scheme."""
+    return sorted(_REGISTRY)
+
+
+def register_scheme(scheme: Scheme, overwrite: bool = False):
+    """Add a user-defined scheme (see ``examples/custom_scheme.py``)."""
+    if scheme.name in _REGISTRY and not overwrite:
+        raise ValueError(f"scheme {scheme.name!r} already registered")
+    _REGISTRY[scheme.name] = scheme

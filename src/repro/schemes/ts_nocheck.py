@@ -1,0 +1,50 @@
+"""TS (Broadcasting Timestamps) without checking — paper Figure 1.
+
+The server broadcasts ``IR(w)`` every period.  A client disconnected
+longer than the window drops its whole cache; otherwise it invalidates
+the listed items newer than its entries and certifies the rest.
+"""
+
+from __future__ import annotations
+
+from ..reports.window import build_window_report
+from .base import ClientOutcome, ClientPolicy, Scheme, ServerPolicy, apply_window_report
+
+
+class TSServerPolicy(ServerPolicy):
+    """Broadcasts the fixed-window report every period."""
+
+    def __init__(self, params, db):
+        self.params = params
+        self.db = db
+
+    def build_report(self, ctx, now: float):
+        return build_window_report(
+            self.db, now, self.params.window_seconds, self.params.timestamp_bits
+        )
+
+
+class TSClientPolicy(ClientPolicy):
+    """Figure 1's client algorithm: covered -> precise drop; else drop all."""
+
+    def __init__(self, params, client_id: int):
+        self.params = params
+        self.client_id = client_id
+
+    def on_report(self, ctx, report) -> ClientOutcome:
+        if report.covers(ctx.tlb):
+            apply_window_report(ctx.cache, report)
+        else:
+            ctx.cache.drop_all()
+            ctx.note_cache_drop()
+            ctx.cache.certify(report.timestamp)
+        ctx.tlb = report.timestamp
+        return ClientOutcome.READY
+
+
+TS_SCHEME = Scheme(
+    name="ts",
+    server_factory=TSServerPolicy,
+    client_factory=TSClientPolicy,
+    description="Broadcasting timestamps, fixed window, no checking",
+)

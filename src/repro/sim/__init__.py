@@ -1,0 +1,46 @@
+"""Simulation model of the paper's Section 4: parameters, workloads,
+server/client actors, metrics, and runners."""
+
+from .client import MobileClient
+from .metrics import SimulationResult, finalize
+from .model import SimulationModel
+from .energy import EnergyModel, energy_per_query_nj
+from .params import SystemParams
+from .querylog import ClientSummary, QueryLog, QueryRecord, jain_index
+from .timeseries import TimeSeries, stationarity_ratio
+from .runner import run_replications, run_schemes, run_simulation
+from .server import Server
+from .workload import (
+    HOTCOLD,
+    UNIFORM,
+    AccessPattern,
+    Region,
+    Workload,
+    workload_by_name,
+)
+
+__all__ = [
+    "AccessPattern",
+    "HOTCOLD",
+    "MobileClient",
+    "Region",
+    "Server",
+    "SimulationModel",
+    "ClientSummary",
+    "EnergyModel",
+    "QueryLog",
+    "QueryRecord",
+    "SimulationResult",
+    "SystemParams",
+    "TimeSeries",
+    "stationarity_ratio",
+    "energy_per_query_nj",
+    "jain_index",
+    "UNIFORM",
+    "Workload",
+    "finalize",
+    "run_replications",
+    "run_schemes",
+    "run_simulation",
+    "workload_by_name",
+]

@@ -1,0 +1,323 @@
+"""The mobile client actor: queries, cache, disconnections, reports.
+
+Per Section 4 of the paper each client loops: think (exponential), issue
+a read-one-item query, listen to the next invalidation report, answer
+from cache when the report proves the copy valid, else fetch via the
+uplink.  "The arrival of a new query is separated from the completion of
+the previous query by either an exponentially distributed think time or
+an exponentially distributed disconnection time": with probability ``p``
+the inter-query gap is a disconnection (during which every report is
+missed) instead of think time.  This per-cycle reading is the one
+consistent with the paper's absolute throughput levels (see DESIGN.md).
+
+The client is also the scheme's *client context*: policies call
+``send_tlb`` / ``send_check_request`` / ``note_cache_drop`` on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..cache import CacheEntry, ClientCache
+from ..des import Environment, Event
+from ..des.monitor import MetricSet
+from ..net import Channel, Message, MessageKind, SERVER_ID
+from ..reports.sizes import checking_upload_bits, tlb_upload_bits
+from ..schemes.base import ClientOutcome
+from . import metrics as m
+from .energy import ENERGY_RX, ENERGY_TX
+
+
+class MobileClient:
+    """One mobile host in the cell."""
+
+    def __init__(
+        self,
+        env: Environment,
+        client_id: int,
+        params,
+        policy,
+        query_pattern,
+        downlink: Channel,
+        uplink: Channel,
+        metrics: MetricSet,
+        streams,
+        update_log=None,
+        ir_channel: Channel = None,
+        query_log=None,
+        timeseries=None,
+    ):
+        self.env = env
+        self.client_id = client_id
+        self.params = params
+        self.policy = policy
+        self.query_pattern = query_pattern
+        self.downlink = downlink
+        self.uplink = uplink
+        self.metrics = metrics
+        self.update_log = update_log
+        self.query_log = query_log
+        self.timeseries = timeseries
+        self.cache = ClientCache(params.cache_capacity)
+
+        #: Last-heard report timestamp (the paper's ``Tlb``).  Clients
+        #: start coherent: at t=0 the (empty) cache matches the database.
+        self.tlb: float = 0.0
+        self.connected = True
+        self._query_active = False
+        self._validation_pending = False
+
+        self._ready_waiters: Optional[Event] = None
+        self._data_waits: Dict[int, Event] = {}
+
+        self._think_stream = streams.stream(f"client-{client_id}/think")
+        self._query_stream = streams.stream(f"client-{client_id}/query")
+        self._disc_stream = streams.stream(f"client-{client_id}/disconnect")
+
+        if params.warm_start:
+            warm_stream = streams.stream(f"client-{client_id}/warm")
+            for item in query_pattern.warm_fill(warm_stream, params.cache_capacity):
+                # Version 0 at ts 0: coherent with the untouched database.
+                self.cache.insert(CacheEntry(item=item, version=0, ts=0.0))
+
+        downlink.attach(self._on_downlink)
+        if ir_channel is not None:
+            ir_channel.attach(self._on_downlink)
+        env.process(self._query_loop(), name=f"client-{client_id}-query")
+
+    def __repr__(self):
+        state = "up" if self.connected else "down"
+        return f"<MobileClient {self.client_id} {state} tlb={self.tlb}>"
+
+    # -- scheme-facing context API ----------------------------------------------
+
+    @property
+    def is_idle(self) -> bool:
+        """True when neither a query nor a validation is in flight."""
+        return not self._query_active and not self._validation_pending
+
+    def send_tlb(self, tlb: float):
+        """Upload the last-heard timestamp (adaptive schemes)."""
+        size = tlb_upload_bits(self.params.timestamp_bits)
+        self.metrics.counter(m.UPLINK_VALIDATION_BITS).add(size)
+        self.metrics.counter(m.TLB_UPLOADS).add()
+        self._charge_tx(size)
+        self.uplink.send(
+            Message(
+                kind=MessageKind.TLB_UPLOAD,
+                size_bits=size,
+                src=self.client_id,
+                dest=SERVER_ID,
+                payload=tlb,
+            )
+        )
+
+    def send_check_request(self, entries, size_bits: Optional[float] = None):
+        """Upload cached (item, timestamp) pairs for validity checking."""
+        if size_bits is None:
+            size_bits = checking_upload_bits(
+                len(entries), self.params.db_size, self.params.timestamp_bits
+            )
+        self.metrics.counter(m.UPLINK_VALIDATION_BITS).add(size_bits)
+        self.metrics.counter(m.CHECKS_SENT).add()
+        self._charge_tx(size_bits)
+        self.uplink.send(
+            Message(
+                kind=MessageKind.CHECK_REQUEST,
+                size_bits=size_bits,
+                src=self.client_id,
+                dest=SERVER_ID,
+                payload=list(entries),
+            )
+        )
+
+    def note_cache_drop(self):
+        """Metrics hook for full cache discards."""
+        self.metrics.counter(m.CACHE_DROPS).add()
+
+    def _charge_tx(self, bits: float):
+        self.metrics.counter(ENERGY_TX).add(self.params.energy.tx(bits))
+
+    def _charge_rx(self, bits: float):
+        self.metrics.counter(ENERGY_RX).add(self.params.energy.rx(bits))
+
+    # -- downlink handling -----------------------------------------------------
+
+    def _on_downlink(self, msg: Message, now: float):
+        if not self.connected:
+            return
+        if msg.kind is MessageKind.INVALIDATION_REPORT:
+            self._charge_rx(msg.size_bits)
+            outcome = self.policy.on_report(self, msg.payload)
+            if outcome is ClientOutcome.READY:
+                self._validation_pending = False
+                self._fire_ready()
+            else:
+                self._validation_pending = True
+        elif msg.kind is MessageKind.VALIDITY_REPORT and msg.dest == self.client_id:
+            if not self._validation_pending:
+                # A reply to a check from a previous connection episode
+                # (we dozed after uploading and woke before its delivery).
+                # Applying it would certify state it never validated —
+                # in particular it would clear suspect marks; drop it.
+                return
+            self._charge_rx(msg.size_bits)
+            invalid, certified_at = msg.payload
+            self.policy.on_validity_reply(self, invalid, certified_at)
+            self._validation_pending = False
+            self._fire_ready()
+        elif msg.kind is MessageKind.DATA_ITEM:
+            payload = msg.payload
+            if payload.get("pushed"):
+                self._on_pushed_item(msg, payload)
+            elif self.client_id in payload["requesters"]:
+                self._charge_rx(msg.size_bits)
+                waiter = self._data_waits.pop(payload["item"], None)
+                if waiter is not None:
+                    waiter.succeed(payload)
+
+    def _on_pushed_item(self, msg: Message, payload: dict):
+        """Publishing mode: refresh or prefetch a broadcast item.
+
+        A pushed item refreshes an existing cache entry, satisfies a
+        pending fetch for the same item, or prefetches into the cache
+        when the item lies in this client's hot query region — all
+        without uplink traffic.
+        """
+        item = payload["item"]
+        waiter = self._data_waits.pop(item, None)
+        interested = (
+            waiter is not None
+            or item in self.cache
+            or (
+                self.query_pattern.hot is not None
+                and self.query_pattern.hot.contains(item)
+            )
+        )
+        if not interested:
+            return
+        self._charge_rx(msg.size_bits)
+        coherent_ts = payload["coherent_ts"]
+        self.cache.insert(
+            CacheEntry(item=item, version=payload["version"], ts=coherent_ts),
+            suspect=coherent_ts < self.tlb,
+        )
+        self.metrics.counter(m.PUBLISH_REFRESHES).add()
+        if waiter is not None:
+            waiter.succeed(payload)
+
+    def _fire_ready(self):
+        if self._ready_waiters is not None:
+            self._ready_waiters.succeed()
+            self._ready_waiters = None
+
+    def _wait_cache_ready(self) -> Event:
+        """Event firing at the next report/reply that certifies the cache."""
+        if self._ready_waiters is None:
+            self._ready_waiters = self.env.event()
+        return self._ready_waiters
+
+    # -- query processing ----------------------------------------------------------
+
+    def _inter_query_gap(self):
+        """Think or disconnect between queries (the paper's alternation)."""
+        env = self.env
+        params = self.params
+        if self._disc_stream.bernoulli(params.disconnect_prob):
+            self.connected = False
+            self.metrics.counter(m.DISCONNECTIONS).add()
+            self.policy.on_disconnect(self, env.now)
+            yield env.timeout(
+                self._disc_stream.exponential(params.disconnect_time_mean)
+            )
+            self.connected = True
+            self._validation_pending = False
+            self.policy.on_reconnect(self, env.now)
+        else:
+            yield env.timeout(self._think_stream.exponential(params.think_time_mean))
+
+    def _query_loop(self):
+        env = self.env
+        params = self.params
+        while True:
+            yield from self._inter_query_gap()
+            self._query_active = True
+            started = env.now
+            self.metrics.counter(m.QUERIES_GENERATED).add()
+            # Listen to the next invalidation report before answering
+            # (Section 2), waiting out any pending validation.
+            yield self._wait_cache_ready()
+            hits = 0
+            for _ in range(params.items_per_query):
+                item = self.query_pattern.pick(self._query_stream)
+                hits += yield from self._access_item(item)
+                self.metrics.counter(m.ITEMS_SERVED).add()
+            self.metrics.counter(m.QUERIES_ANSWERED).add()
+            if self.timeseries is not None:
+                self.timeseries["answered"].record(env.now)
+            latency = env.now - started
+            self.metrics.tally(m.QUERY_LATENCY).observe(latency)
+            self.metrics.histogram(m.QUERY_LATENCY, base=0.1).observe(latency)
+            if self.query_log is not None:
+                from .querylog import QueryRecord
+
+                self.query_log.record(
+                    QueryRecord(
+                        client_id=self.client_id,
+                        started=started,
+                        answered=env.now,
+                        items=params.items_per_query,
+                        hits=hits,
+                        misses=params.items_per_query - hits,
+                    )
+                )
+            self._query_active = False
+
+    def _access_item(self, item: int):
+        """Serve one item access; returns 1 for a cache hit, 0 for a miss."""
+        entry = self.cache.lookup(item)
+        if entry is not None:
+            self.metrics.counter(m.CACHE_HITS).add()
+            if self.timeseries is not None:
+                self.timeseries["hits"].record(self.env.now)
+            if (
+                self.params.track_staleness
+                and self.update_log is not None
+                and self.update_log.updated_in(item, after=entry.ts, up_to=self.tlb)
+            ):
+                self.metrics.counter(m.STALE_HITS).add()
+            return 1
+        self.metrics.counter(m.CACHE_MISSES).add()
+        if self.timeseries is not None:
+            self.timeseries["misses"].record(self.env.now)
+        payload = yield from self._fetch(item)
+        coherent_ts = payload["coherent_ts"]
+        # A fetch whose response crossed a report boundary carries a value
+        # older than the client's knowledge horizon; mark it suspect so
+        # the scheme reconciles it at the next report.
+        self.cache.insert(
+            CacheEntry(item=item, version=payload["version"], ts=coherent_ts),
+            suspect=coherent_ts < self.tlb,
+        )
+        return 0
+
+    def _fetch(self, item: int):
+        """Request *item* over the uplink; wait for the broadcast response."""
+        waiter = self._data_waits.get(item)
+        if waiter is None:
+            waiter = self.env.event()
+            self._data_waits[item] = waiter
+            size = self.params.control_message_bits
+            self.metrics.counter(m.UPLINK_REQUEST_BITS).add(size)
+            self._charge_tx(size)
+            self.uplink.send(
+                Message(
+                    kind=MessageKind.DATA_REQUEST,
+                    size_bits=size,
+                    src=self.client_id,
+                    dest=SERVER_ID,
+                    payload=item,
+                )
+            )
+        payload = yield waiter
+        return payload

@@ -1,0 +1,123 @@
+"""Metric names and the result object a simulation run produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..des.monitor import MetricSet
+
+# Counter names (kept in one place so tests and analysis agree).
+QUERIES_GENERATED = "queries.generated"
+QUERIES_ANSWERED = "queries.answered"
+ITEMS_SERVED = "queries.items_served"
+CACHE_HITS = "cache.hits"
+CACHE_MISSES = "cache.misses"
+STALE_HITS = "cache.stale_hits"
+CACHE_DROPS = "cache.full_drops"
+UPLINK_VALIDATION_BITS = "uplink.validation_bits"
+UPLINK_REQUEST_BITS = "uplink.request_bits"
+DOWNLINK_IR_BITS = "downlink.ir_bits"
+DOWNLINK_DATA_BITS = "downlink.data_bits"
+DOWNLINK_VALIDITY_BITS = "downlink.validity_bits"
+DATA_COALESCED = "data.coalesced"
+TLB_UPLOADS = "adaptive.tlb_uploads"
+CHECKS_SENT = "checking.requests"
+DISCONNECTIONS = "client.disconnections"
+PUBLISH_ITEMS = "publish.items_pushed"
+PUBLISH_BITS = "publish.bits"
+PUBLISH_REFRESHES = "publish.client_refreshes"
+
+REPORT_COUNT_PREFIX = "reports."   # + ReportKind.value
+
+QUERY_LATENCY = "query.latency"    # tally
+REPORT_SIZE = "report.size_bits"   # tally
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished run reports.
+
+    ``raw`` holds the flattened collector snapshot; the named properties
+    expose the metrics the paper's figures plot.
+    """
+
+    scheme: str
+    workload: str
+    sim_time: float
+    raw: Dict[str, float] = field(default_factory=dict)
+
+    def counter(self, name: str) -> float:
+        """A raw counter value (0.0 when never touched)."""
+        return self.raw.get(name, 0.0)
+
+    @property
+    def queries_answered(self) -> float:
+        """The paper's throughput metric: queries answered in the run."""
+        return self.counter(QUERIES_ANSWERED)
+
+    @property
+    def throughput_per_second(self) -> float:
+        """Queries answered per simulated second."""
+        return self.queries_answered / self.sim_time if self.sim_time else 0.0
+
+    @property
+    def uplink_cost_per_query(self) -> float:
+        """Validation uplink bits per answered query (Figures 6/8/10/...)."""
+        answered = self.queries_answered
+        if answered == 0:
+            return 0.0
+        return self.counter(UPLINK_VALIDATION_BITS) / answered
+
+    @property
+    def hit_ratio(self) -> float:
+        """Cache hits over all item accesses."""
+        hits = self.counter(CACHE_HITS)
+        total = hits + self.counter(CACHE_MISSES)
+        return hits / total if total else 0.0
+
+    @property
+    def stale_hits(self) -> float:
+        """Consistency violations (must be zero for the exact schemes)."""
+        return self.counter(STALE_HITS)
+
+    @property
+    def mean_query_latency(self) -> float:
+        """Mean seconds from query arrival to answer."""
+        return self.raw.get(f"{QUERY_LATENCY}.mean", 0.0)
+
+    @property
+    def downlink_ir_share(self) -> float:
+        """Fraction of delivered downlink bits spent on reports."""
+        ir = self.counter(DOWNLINK_IR_BITS)
+        total = (
+            ir
+            + self.counter(DOWNLINK_DATA_BITS)
+            + self.counter(DOWNLINK_VALIDITY_BITS)
+        )
+        return ir / total if total else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """The headline numbers as a plain dict (for printing/benches)."""
+        return {
+            "queries_answered": self.queries_answered,
+            "throughput_per_s": self.throughput_per_second,
+            "uplink_bits_per_query": self.uplink_cost_per_query,
+            "hit_ratio": self.hit_ratio,
+            "mean_latency_s": self.mean_query_latency,
+            "stale_hits": self.stale_hits,
+            "cache_drops": self.counter(CACHE_DROPS),
+            "downlink_ir_share": self.downlink_ir_share,
+        }
+
+
+def finalize(
+    metrics: MetricSet, scheme: str, workload: str, sim_time: float, now: float
+) -> SimulationResult:
+    """Snapshot a :class:`MetricSet` into a :class:`SimulationResult`."""
+    return SimulationResult(
+        scheme=scheme,
+        workload=workload,
+        sim_time=sim_time,
+        raw=metrics.snapshot(now),
+    )

@@ -1,0 +1,147 @@
+"""Assembly of the full cell simulation (paper Section 4)."""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from ..db import Database, UpdateGenerator, UpdateLog
+from ..des import Environment, RandomStreams
+from ..des.monitor import MetricSet
+from ..net import Channel, PRIORITY_CHECK, PRIORITY_IR
+from ..schemes import Scheme, get_scheme
+from .client import MobileClient
+from .metrics import SimulationResult, finalize
+from .params import SystemParams
+from .querylog import QueryLog
+from .timeseries import TimeSeries
+from .server import Server
+from .workload import Workload
+
+
+class SimulationModel:
+    """One fully wired cell: database, channels, server, clients.
+
+    Construct, then :meth:`run`.  All state is per-instance, so models can
+    be built and run independently (e.g. one per parameter-sweep point).
+    """
+
+    def __init__(
+        self,
+        params: SystemParams,
+        workload: Workload,
+        scheme: Union[str, Scheme],
+    ):
+        if isinstance(scheme, str):
+            scheme = get_scheme(scheme)
+        self.params = params
+        self.workload = workload
+        self.scheme = scheme
+
+        self.env = Environment()
+        self.streams = RandomStreams(params.seed)
+        self.metrics = MetricSet()
+        self.db = Database(params.db_size)
+        self.update_log = UpdateLog() if params.track_staleness else None
+        self.query_log = QueryLog() if params.collect_query_log else None
+        self.timeseries = (
+            {
+                name: TimeSeries(params.broadcast_interval, name=name)
+                for name in ("answered", "hits", "misses")
+            }
+            if params.collect_timeseries
+            else None
+        )
+
+        self.downlink = Channel(
+            self.env,
+            params.downlink_bps,
+            name="downlink",
+            preempt_threshold=PRIORITY_IR,
+        )
+        # Tiny control payloads (Tlb, checking) must not starve behind
+        # multi-second data requests on a narrow uplink; the paper gives
+        # the checking class priority over data traffic.
+        self.uplink = Channel(
+            self.env,
+            params.effective_uplink_bps,
+            name="uplink",
+            preempt_threshold=PRIORITY_CHECK,
+        )
+
+        # Optional dedicated report channel (the paper's multiple-channel
+        # future work): reports stop competing with data transfers.
+        self.ir_channel = (
+            Channel(
+                self.env,
+                params.ir_channel_bps,
+                name="ir-channel",
+                preempt_threshold=PRIORITY_IR,
+            )
+            if params.ir_channel_bps is not None
+            else None
+        )
+
+        self.server_policy = scheme.make_server_policy(params, self.db)
+        self.server = Server(
+            self.env,
+            params,
+            self.db,
+            self.server_policy,
+            downlink=self.downlink,
+            uplink=self.uplink,
+            metrics=self.metrics,
+            ir_channel=self.ir_channel,
+        )
+
+        self.updates = UpdateGenerator(
+            self.env,
+            self.db,
+            workload.update_pattern(params.db_size),
+            interarrival_mean=params.update_interarrival_mean,
+            items_per_update_mean=params.items_per_update_mean,
+            stream=self.streams.stream("server/updates"),
+            log=self.update_log,
+            on_update=self._on_item_update,
+        )
+
+        self.clients: List[MobileClient] = [
+            MobileClient(
+                self.env,
+                client_id=cid,
+                params=params,
+                policy=scheme.make_client_policy(params, cid),
+                query_pattern=workload.query_pattern(params.db_size, cid),
+                downlink=self.downlink,
+                uplink=self.uplink,
+                metrics=self.metrics,
+                streams=self.streams,
+                update_log=self.update_log,
+                ir_channel=self.ir_channel,
+                query_log=self.query_log,
+                timeseries=self.timeseries,
+            )
+            for cid in range(params.n_clients)
+        ]
+
+    def _on_item_update(self, item: int, now: float):
+        new_version = int(self.db.version[item])
+        self.server_policy.on_item_update(item, new_version - 1, new_version)
+
+    def run(self) -> SimulationResult:
+        """Run to ``params.simulation_time`` and snapshot the metrics."""
+        self.env.run(until=self.params.simulation_time)
+        result = finalize(
+            self.metrics,
+            scheme=self.scheme.name,
+            workload=self.workload.name,
+            sim_time=self.params.simulation_time,
+            now=self.env.now,
+        )
+        # Channel telemetry joins the raw snapshot.
+        result.raw["downlink.utilization"] = self.downlink.stats.utilization(
+            self.env.now
+        )
+        result.raw["uplink.utilization"] = self.uplink.stats.utilization(self.env.now)
+        result.raw["downlink.bits_delivered"] = self.downlink.stats.bits_delivered
+        result.raw["uplink.bits_delivered"] = self.uplink.stats.bits_delivered
+        return result

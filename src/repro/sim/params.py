@@ -1,0 +1,138 @@
+"""System parameters (paper Table 1) and derived quantities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..reports.sizes import DEFAULT_TIMESTAMP_BITS
+from .energy import EnergyModel
+
+
+@dataclass(frozen=True)
+class SystemParams:
+    """Tunable knobs of the simulated cell; defaults follow Table 1.
+
+    Notes
+    -----
+    * ``items_per_query`` defaults to 1 (Section 2: "simple requests to
+      read the most recent copy of a data item"); Table 1's "mean data
+      items ref. by a query = 10" is exposed through this knob for
+      sensitivity studies (see DESIGN.md).
+    * ``uplink_bps`` defaults to the downlink rate; the asymmetric
+      experiments (Figures 15-16) lower it to 1-10 % of downlink.
+    """
+
+    simulation_time: float = 100_000.0          # seconds
+    n_clients: int = 100
+    db_size: int = 10_000                       # data items
+    item_size_bytes: int = 8192
+    buffer_fraction: float = 0.02               # client cache / db size
+    broadcast_interval: float = 20.0            # L, seconds
+    downlink_bps: float = 10_000.0
+    uplink_bps: Optional[float] = None          # None -> same as downlink
+    control_message_bytes: int = 512
+    think_time_mean: float = 100.0              # seconds (exponential)
+    items_per_query: int = 1
+    update_interarrival_mean: float = 100.0     # seconds (exponential)
+    items_per_update_mean: float = 5.0
+    disconnect_time_mean: float = 4000.0        # seconds (exponential)
+    disconnect_prob: float = 0.1                # per broadcast interval
+    window_intervals: int = 10                  # w
+    timestamp_bits: int = DEFAULT_TIMESTAMP_BITS
+    seed: int = 0
+    #: Serve concurrent requests for the same item with one broadcast.
+    coalesce_data_responses: bool = True
+    #: Record per-query staleness ground truth (cheap; keep on).
+    track_staleness: bool = True
+    #: Start clients with stationary-LRU cache contents, coherent with the
+    #: untouched t=0 database.  Removes cold-start bias so short runs
+    #: measure the steady state the paper's 100 000 s runs reach.
+    warm_start: bool = True
+    #: Per-bit radio energy model (see :mod:`repro.sim.energy`).
+    energy: EnergyModel = EnergyModel()
+    #: Record one QueryRecord per answered query (repro.sim.querylog).
+    collect_query_log: bool = False
+    #: Record per-interval activity series (repro.sim.timeseries).
+    collect_timeseries: bool = False
+    #: Broadcast invalidation reports on their own channel instead of
+    #: sharing the data downlink — the paper's "multiple-channel
+    #: environment" future work.  ``ir_channel_bps`` sizes that channel
+    #: (None keeps reports on the shared downlink).
+    ir_channel_bps: Optional[float] = None
+    #: Publishing mode (paper Section 1): push this many items per
+    #: broadcast interval, round-robin over ``publish_region``, so
+    #: listening clients refresh hot data without uplink requests.
+    #: 0 disables pushing.
+    publish_per_interval: int = 0
+    #: Inclusive id range ``(lo, hi)`` the server publishes from
+    #: (required when ``publish_per_interval`` > 0).
+    publish_region: Optional[tuple] = None
+
+    def __post_init__(self):
+        if self.simulation_time <= 0:
+            raise ValueError("simulation_time must be positive")
+        if self.n_clients < 1:
+            raise ValueError("need at least one client")
+        if self.db_size < 1:
+            raise ValueError("db_size must be positive")
+        if not 0 < self.buffer_fraction <= 1:
+            raise ValueError("buffer_fraction must be in (0, 1]")
+        if self.broadcast_interval <= 0:
+            raise ValueError("broadcast_interval must be positive")
+        if self.downlink_bps <= 0:
+            raise ValueError("downlink_bps must be positive")
+        if self.uplink_bps is not None and self.uplink_bps <= 0:
+            raise ValueError("uplink_bps must be positive")
+        if not 0 <= self.disconnect_prob <= 1:
+            raise ValueError("disconnect_prob must be in [0, 1]")
+        if self.window_intervals < 1:
+            raise ValueError("window_intervals must be >= 1")
+        if self.items_per_query < 1:
+            raise ValueError("items_per_query must be >= 1")
+        if self.ir_channel_bps is not None and self.ir_channel_bps <= 0:
+            raise ValueError("ir_channel_bps must be positive")
+        if self.publish_per_interval < 0:
+            raise ValueError("publish_per_interval must be >= 0")
+        if self.publish_per_interval > 0:
+            if self.publish_region is None:
+                raise ValueError("publishing requires publish_region")
+            lo, hi = self.publish_region
+            if not (0 <= lo <= hi < self.db_size):
+                raise ValueError("publish_region outside the database")
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def effective_uplink_bps(self) -> float:
+        """Uplink bandwidth, defaulting to the downlink's."""
+        return self.uplink_bps if self.uplink_bps is not None else self.downlink_bps
+
+    @property
+    def cache_capacity(self) -> int:
+        """Client cache size in items (at least 1)."""
+        return max(1, int(self.buffer_fraction * self.db_size))
+
+    @property
+    def window_seconds(self) -> float:
+        """``w * L``: span of the default broadcast window."""
+        return self.window_intervals * self.broadcast_interval
+
+    @property
+    def item_size_bits(self) -> float:
+        """Wire size of one data item."""
+        return self.item_size_bytes * 8.0
+
+    @property
+    def control_message_bits(self) -> float:
+        """Wire size of a data request."""
+        return self.control_message_bytes * 8.0
+
+    @property
+    def n_intervals(self) -> int:
+        """Broadcast ticks within the simulation."""
+        return int(self.simulation_time / self.broadcast_interval)
+
+    def with_(self, **changes) -> "SystemParams":
+        """A copy with the given fields replaced (sweep helper)."""
+        return replace(self, **changes)

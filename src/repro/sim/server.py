@@ -1,0 +1,175 @@
+"""The Mobile Support Station: broadcasts reports, answers uplink traffic.
+
+One server covers the cell (paper Section 2).  Responsibilities:
+
+* broadcast the scheme's invalidation report at exactly ``i * L`` —
+  the downlink's preemptive IR priority guarantees the start time;
+* answer data requests, *coalescing* concurrent requests for the same
+  item into one broadcast transmission (broadcast medium);
+* answer checking uploads with validity reports and forward ``Tlb``
+  uploads to the scheme policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..des import Environment, LOW
+from ..des.monitor import MetricSet
+from ..net import BROADCAST, Channel, Message, MessageKind, SERVER_ID
+from . import metrics as m
+
+
+class Server:
+    """The cell's server actor."""
+
+    def __init__(
+        self,
+        env: Environment,
+        params,
+        db,
+        policy,
+        downlink: Channel,
+        uplink: Channel,
+        metrics: MetricSet,
+        ir_channel: Channel = None,
+    ):
+        self.env = env
+        self.params = params
+        self.db = db
+        self.policy = policy
+        self.downlink = downlink
+        self.uplink = uplink
+        #: Channel carrying invalidation reports (the shared downlink by
+        #: default; a dedicated channel in the multiple-channel extension).
+        self.ir_channel = ir_channel if ir_channel is not None else downlink
+        self.metrics = metrics
+        #: item -> queued DATA_ITEM message (coalescing window).
+        self._pending_data: Dict[int, Message] = {}
+        #: Publishing-mode round-robin cursor over the publish region.
+        self._publish_cursor = 0
+        # The server watches its own downlink to close coalescing windows
+        # synchronously at delivery time.
+        downlink.attach(self._on_downlink_delivered)
+        uplink.attach(self._on_uplink)
+        self.process = env.process(self._broadcast_loop(), name="server-broadcast")
+
+    # -- broadcast loop --------------------------------------------------------
+
+    def _broadcast_loop(self):
+        env = self.env
+        interval = self.params.broadcast_interval
+        tick = 0
+        while True:
+            tick += 1
+            # LOW priority: same-instant database updates commit first, so
+            # the report reflects every update with ts <= Ti.
+            yield env.timeout(tick * interval - env.now, priority=LOW)
+            report = self.policy.build_report(self, env.now)
+            self.metrics.counter(
+                f"{m.REPORT_COUNT_PREFIX}{report.kind.value}"
+            ).add()
+            self.metrics.tally(m.REPORT_SIZE).observe(report.size_bits)
+            self.metrics.counter(m.DOWNLINK_IR_BITS).add(report.size_bits)
+            self.ir_channel.send(
+                Message(
+                    kind=MessageKind.INVALIDATION_REPORT,
+                    size_bits=report.size_bits,
+                    src=SERVER_ID,
+                    dest=BROADCAST,
+                    payload=report,
+                )
+            )
+            if self.params.publish_per_interval > 0:
+                self._publish_round()
+
+    def _publish_round(self):
+        """Publishing mode: push the next k region items after the report.
+
+        Pushed items ride the data priority class, so publishing trades
+        on-demand fetch bandwidth for listen-only refreshes.
+        """
+        lo, hi = self.params.publish_region
+        span = hi - lo + 1
+        for _ in range(self.params.publish_per_interval):
+            item = lo + self._publish_cursor % span
+            self._publish_cursor += 1
+            version, _ts = self.db.read(item)
+            msg = Message(
+                kind=MessageKind.DATA_ITEM,
+                size_bits=self.params.item_size_bits,
+                src=SERVER_ID,
+                dest=BROADCAST,
+                payload={
+                    "item": item,
+                    "version": version,
+                    "coherent_ts": self.env.now,
+                    "requesters": frozenset(),
+                    "pushed": True,
+                },
+            )
+            self.metrics.counter(m.PUBLISH_ITEMS).add()
+            self.metrics.counter(m.PUBLISH_BITS).add(msg.size_bits)
+            self.downlink.send(msg)
+
+    # -- uplink handling ---------------------------------------------------------
+
+    def _on_uplink(self, msg: Message, now: float):
+        if msg.kind is MessageKind.TLB_UPLOAD:
+            self.policy.on_tlb(self, msg.src, msg.payload, now)
+        elif msg.kind is MessageKind.CHECK_REQUEST:
+            self._answer_check(msg, now)
+        elif msg.kind is MessageKind.DATA_REQUEST:
+            self._serve_data(msg, now)
+
+    def _answer_check(self, msg: Message, now: float):
+        invalid, certified_at, reply_bits = self.policy.on_check_request(
+            self, msg.src, msg.payload, now
+        )
+        self.metrics.counter(m.DOWNLINK_VALIDITY_BITS).add(reply_bits)
+        self.downlink.send(
+            Message(
+                kind=MessageKind.VALIDITY_REPORT,
+                size_bits=reply_bits,
+                src=SERVER_ID,
+                dest=msg.src,
+                payload=(invalid, certified_at),
+            )
+        )
+
+    def _serve_data(self, msg: Message, now: float):
+        item = msg.payload
+        pending = self._pending_data.get(item)
+        if pending is not None and self.params.coalesce_data_responses:
+            # A transmission of this item is already queued or on the air:
+            # the broadcast serves this requester for free.
+            pending.payload["requesters"].add(msg.src)
+            self.metrics.counter(m.DATA_COALESCED).add()
+            return
+        version, _ts = self.db.read(item)
+        data = Message(
+            kind=MessageKind.DATA_ITEM,
+            size_bits=self.params.item_size_bits,
+            src=SERVER_ID,
+            dest=BROADCAST,
+            payload={
+                "item": item,
+                "version": version,
+                # The value reflects all updates up to this instant; any
+                # later update will appear in a subsequent report.
+                "coherent_ts": now,
+                "requesters": {msg.src},
+            },
+        )
+        self._pending_data[item] = data
+        self.metrics.counter(m.DOWNLINK_DATA_BITS).add(data.size_bits)
+        self.downlink.send(data)
+
+    def _on_downlink_delivered(self, msg: Message, now: float):
+        if msg.kind is MessageKind.DATA_ITEM:
+            # Close the coalescing window the moment the bits are out.
+            # (Guard against pushed copies of the same item: only the
+            # pending on-demand message closes its own window.)
+            item = msg.payload["item"]
+            if self._pending_data.get(item) is msg:
+                del self._pending_data[item]

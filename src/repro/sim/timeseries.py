@@ -1,0 +1,70 @@
+"""Bucketed time series of simulation activity.
+
+Aggregate totals can hide transients; a :class:`TimeSeries` counts events
+into fixed-width time buckets so a run's trajectory is visible — e.g.
+whether throughput has reached steady state (the regime the paper
+measures) or is still warming up.  Enabled with
+``SystemParams(collect_timeseries=True)``; the model then records
+queries answered, cache hits and misses per broadcast interval.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+class TimeSeries:
+    """Counts of a single event type in fixed-width time buckets."""
+
+    def __init__(self, bucket_width: float, name: str = "series"):
+        if bucket_width <= 0:
+            raise ValueError("bucket width must be positive")
+        self.name = name
+        self.bucket_width = float(bucket_width)
+        self._buckets: Dict[int, float] = {}
+
+    def record(self, now: float, amount: float = 1.0):
+        """Add *amount* to the bucket containing time *now*."""
+        if now < 0:
+            raise ValueError("negative time")
+        bucket = int(math.floor(now / self.bucket_width))
+        self._buckets[bucket] = self._buckets.get(bucket, 0.0) + amount
+
+    @property
+    def total(self) -> float:
+        """Sum over all buckets."""
+        return sum(self._buckets.values())
+
+    def values(self, up_to: float) -> List[float]:
+        """Dense per-bucket values covering ``[0, up_to)``."""
+        n = int(math.ceil(up_to / self.bucket_width))
+        return [self._buckets.get(i, 0.0) for i in range(n)]
+
+    def rate_series(self, up_to: float) -> List[float]:
+        """Per-second rates per bucket over ``[0, up_to)``."""
+        return [v / self.bucket_width for v in self.values(up_to)]
+
+    def halves_ratio(self, up_to: float) -> float:
+        """second-half total / first-half total (1.0 ≈ stationary).
+
+        Returns ``inf`` when the first half is empty but the second is
+        not, and 1.0 when both are empty.
+        """
+        values = self.values(up_to)
+        mid = len(values) // 2
+        first = sum(values[:mid])
+        second = sum(values[mid : 2 * mid])
+        if first == 0:
+            return float("inf") if second > 0 else 1.0
+        return second / first
+
+
+def stationarity_ratio(values: Sequence[float]) -> float:
+    """Generic second-half/first-half ratio of any dense series."""
+    mid = len(values) // 2
+    first = sum(values[:mid])
+    second = sum(values[mid : 2 * mid])
+    if first == 0:
+        return float("inf") if second > 0 else 1.0
+    return second / first

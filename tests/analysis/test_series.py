@@ -1,0 +1,78 @@
+"""Tests for series-shape helpers."""
+
+import pytest
+
+from repro.analysis import (
+    crossover_x,
+    dominates,
+    mostly_decreasing,
+    mostly_increasing,
+    ratio_of_means,
+    relative_spread,
+    roughly_flat,
+    trend_slope,
+)
+
+
+class TestTrendSlope:
+    def test_exact_line(self):
+        assert trend_slope([0, 1, 2], [5, 7, 9]) == pytest.approx(2.0)
+
+    def test_flat(self):
+        assert trend_slope([0, 1, 2], [4, 4, 4]) == pytest.approx(0.0)
+
+    def test_degenerate(self):
+        assert trend_slope([1], [2]) == 0.0
+        assert trend_slope([3, 3], [1, 9]) == 0.0  # zero x-variance
+
+
+class TestFlatAndMonotone:
+    def test_roughly_flat(self):
+        assert roughly_flat([100, 105, 98, 102])
+        assert not roughly_flat([100, 10, 190])
+        assert roughly_flat([])
+        assert roughly_flat([0, 0, 0])
+        assert not roughly_flat([0, 1, 0])
+
+    def test_mostly_decreasing(self):
+        assert mostly_decreasing([10, 8, 6, 1])
+        assert mostly_decreasing([10, 10.2, 6, 1])  # small uptick tolerated
+        assert not mostly_decreasing([10, 14, 6, 1])
+        assert not mostly_decreasing([1, 2, 3])
+        assert mostly_decreasing([5])
+
+    def test_mostly_increasing(self):
+        assert mostly_increasing([1, 2, 3])
+        assert mostly_increasing([1, 0.98, 3])
+        assert not mostly_increasing([3, 2, 1])
+
+
+class TestComparisons:
+    def test_dominates(self):
+        assert dominates([10, 10], [5, 9])
+        assert not dominates([10, 8], [5, 9])
+        assert dominates([10, 10], [6, 6], margin=1.5)
+        assert not dominates([10, 10], [8, 8], margin=1.5)
+
+    def test_ratio_of_means(self):
+        assert ratio_of_means([4, 6], [1, 1]) == pytest.approx(5.0)
+        assert ratio_of_means([1], [0]) == float("inf")
+        assert ratio_of_means([0], [0]) == 1.0
+
+    def test_relative_spread(self):
+        assert relative_spread([5, 5, 5]) == 0.0
+        assert relative_spread([0, 10]) == pytest.approx(2.0)
+
+
+class TestCrossover:
+    def test_crossover_found(self):
+        xs = [100, 200, 300, 400]
+        a = [10, 9, 5, 2]   # leads early
+        b = [5, 6, 7, 8]
+        assert crossover_x(xs, a, b) == pytest.approx(250.0)
+
+    def test_a_never_leads(self):
+        assert crossover_x([1, 2], [0, 0], [5, 5]) == 1
+
+    def test_a_always_leads(self):
+        assert crossover_x([1, 2], [9, 9], [5, 5]) is None

@@ -1,0 +1,90 @@
+"""Tests for replication statistics."""
+
+import pytest
+
+from repro.analysis import (
+    ReplicationSummary,
+    significantly_better,
+    summarize,
+    summarize_metric,
+    welch_p_value,
+)
+
+
+class TestSummarize:
+    def test_mean_and_interval_contain_truth(self):
+        values = [10.0, 12.0, 11.0, 9.0, 13.0]
+        s = summarize(values)
+        assert s.n == 5
+        assert s.mean == pytest.approx(11.0)
+        assert s.ci_low < 11.0 < s.ci_high
+        assert s.half_width > 0
+
+    def test_interval_matches_t_table(self):
+        # n=5, stdev=1: half width = t(0.975, 4) * 1/sqrt(5) = 2.776*0.4472
+        values = [10.0, 11.0, 12.0, 13.0, 14.0]
+        s = summarize(values)
+        import math
+
+        stdev = math.sqrt(2.5)  # variance of 10..14
+        assert s.stdev == pytest.approx(stdev)
+        assert s.half_width == pytest.approx(2.7764 * stdev / math.sqrt(5), rel=1e-3)
+
+    def test_single_replication_degenerates(self):
+        s = summarize([7.0])
+        assert s.mean == s.ci_low == s.ci_high == 7.0
+        assert s.stdev == 0.0
+
+    def test_wider_confidence_wider_interval(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert summarize(values, 0.99).half_width > summarize(values, 0.9).half_width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=1.5)
+
+    def test_str(self):
+        text = str(summarize([1.0, 2.0, 3.0]))
+        assert "95 % CI" in text and "n=3" in text
+
+
+class TestComparisons:
+    def test_welch_detects_separated_groups(self):
+        a = [10.0, 10.5, 9.8, 10.2, 10.1]
+        b = [20.0, 19.5, 20.3, 20.1, 19.9]
+        assert welch_p_value(a, b) < 0.001
+
+    def test_welch_same_distribution_high_p(self):
+        a = [10.0, 10.5, 9.8, 10.2]
+        b = [10.1, 10.4, 9.9, 10.0]
+        assert welch_p_value(a, b) > 0.1
+
+    def test_requires_two_per_group(self):
+        with pytest.raises(ValueError):
+            welch_p_value([1.0], [2.0, 3.0])
+
+    def test_significantly_better(self):
+        winner = [20.0, 19.5, 20.3, 20.1]
+        loser = [10.0, 10.5, 9.8, 10.2]
+        assert significantly_better(winner, loser)
+        assert not significantly_better(loser, winner)
+        # Overlapping groups: not significant.
+        assert not significantly_better([10.2, 10.3, 9.9], [10.0, 10.4, 10.1])
+
+
+class TestWithSimulations:
+    def test_summarize_metric_over_replications(self):
+        from repro.sim import SystemParams, run_replications
+
+        params = SystemParams(
+            simulation_time=1500.0, n_clients=6, db_size=100,
+            disconnect_prob=0.1, disconnect_time_mean=200.0,
+        )
+        results = run_replications(params, "uniform", "ts", seeds=[1, 2, 3, 4])
+        summary = summarize_metric(results, "queries_answered")
+        assert isinstance(summary, ReplicationSummary)
+        assert summary.n == 4
+        assert summary.mean > 0
+        assert summary.ci_low <= summary.mean <= summary.ci_high

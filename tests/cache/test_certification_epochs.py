@@ -1,0 +1,182 @@
+"""Tests for epoch-aware certification and suspect-entry tracking.
+
+These pin down the fetch-across-report race: an entry inserted after a
+certification must not inherit that certification's floor, and suspect
+entries must stay visible until a scheme reconciles them.
+"""
+
+from repro.cache import CacheEntry, ClientCache
+
+
+def entry(item, ts=0.0, version=1):
+    return CacheEntry(item=item, version=version, ts=ts)
+
+
+class TestEpochSemantics:
+    def test_floor_covers_entries_present_at_certification(self):
+        cc = ClientCache(capacity=8)
+        e = entry(1, ts=5.0)
+        cc.insert(e)
+        cc.certify(20.0)
+        assert cc.is_certified(e)
+        assert cc.effective_ts(e) == 20.0
+
+    def test_floor_does_not_cover_later_insertions(self):
+        """The core of the fetch-across-report bug."""
+        cc = ClientCache(capacity=8)
+        cc.certify(20.0)
+        late = entry(2, ts=15.0)  # coherence predates the certification
+        cc.insert(late)
+        assert not cc.is_certified(late)
+        assert cc.effective_ts(late) == 15.0  # NOT 20.0
+
+    def test_next_certification_covers_previous_insertions(self):
+        cc = ClientCache(capacity=8)
+        cc.certify(20.0)
+        e = entry(2, ts=15.0)
+        cc.insert(e)
+        cc.certify(40.0)
+        assert cc.is_certified(e)
+        assert cc.effective_ts(e) == 40.0
+
+    def test_effective_ts_never_below_own_ts(self):
+        cc = ClientCache(capacity=8)
+        e = entry(1, ts=50.0)
+        cc.insert(e)
+        cc.certify(20.0)  # floor below the entry's own coherence
+        assert cc.effective_ts(e) == 50.0
+
+    def test_epoch_monotone(self):
+        cc = ClientCache(capacity=4)
+        e0 = cc.epoch
+        cc.certify(1.0)
+        cc.certify(2.0)
+        assert cc.epoch == e0 + 2
+
+
+class TestUnreconciled:
+    def test_suspect_insert_tracked(self):
+        cc = ClientCache(capacity=8)
+        cc.insert(entry(3, ts=10.0), suspect=True)
+        assert [e.item for e in cc.unreconciled_entries()] == [3]
+
+    def test_normal_insert_not_tracked(self):
+        cc = ClientCache(capacity=8)
+        cc.insert(entry(3, ts=10.0))
+        assert cc.unreconciled_entries() == []
+
+    def test_reinsert_clears_suspicion(self):
+        cc = ClientCache(capacity=8)
+        cc.insert(entry(3, ts=10.0), suspect=True)
+        cc.insert(entry(3, ts=30.0), suspect=False)
+        assert cc.unreconciled_entries() == []
+
+    def test_certify_clears_suspects(self):
+        cc = ClientCache(capacity=8)
+        cc.insert(entry(3, ts=10.0), suspect=True)
+        cc.certify(20.0)
+        assert cc.unreconciled_entries() == []
+
+    def test_invalidate_clears_mark(self):
+        cc = ClientCache(capacity=8)
+        cc.insert(entry(3, ts=10.0), suspect=True)
+        cc.invalidate(3)
+        assert cc.unreconciled_entries() == []
+
+    def test_evicted_suspects_pruned(self):
+        cc = ClientCache(capacity=1)
+        cc.insert(entry(3, ts=10.0), suspect=True)
+        cc.insert(entry(4, ts=11.0))  # evicts 3
+        assert cc.unreconciled_entries() == []
+        assert cc.unreconciled == set()
+
+    def test_drop_all_clears_suspects(self):
+        cc = ClientCache(capacity=8)
+        cc.insert(entry(3, ts=10.0), suspect=True)
+        cc.drop_all()
+        assert cc.unreconciled_entries() == []
+
+
+class TestSchemeReconciliation:
+    def test_window_report_drops_suspect_older_than_window(self):
+        from repro.reports import WindowReport
+        from repro.schemes import apply_window_report
+
+        cc = ClientCache(capacity=8)
+        cc.insert(entry(1, ts=5.0), suspect=True)    # older than window
+        cc.insert(entry(2, ts=150.0), suspect=True)  # inside window
+        report = WindowReport(
+            timestamp=300.0, window_start=100.0, items={}, n_items=64
+        )
+        apply_window_report(cc, report)
+        assert 1 not in cc
+        assert 2 in cc
+
+    def test_window_report_validates_suspect_precisely(self):
+        """A suspect entry listed with an update after its coherence must
+        drop even when the certification floor is newer (the bug)."""
+        from repro.reports import WindowReport
+        from repro.schemes import apply_window_report
+
+        cc = ClientCache(capacity=8)
+        cc.certify(200.0)  # an earlier report certified the (other) cache
+        cc.insert(entry(5, ts=194.0), suspect=True)  # fetched across it
+        report = WindowReport(
+            timestamp=220.0,
+            window_start=20.0,
+            items={5: 198.0},  # update between coherence and certification
+            n_items=64,
+        )
+        apply_window_report(cc, report)
+        assert 5 not in cc
+
+    def test_bitseq_reconciliation_checks_own_coherence_level(self):
+        from repro.db import Database
+        from repro.reports import build_bitseq_report
+        from repro.schemes import reconcile_with_bitseq
+
+        db = Database(64)
+        db.apply_update(5, 198.0)
+        report = build_bitseq_report(db, timestamp=220.0, origin=0.0)
+        cc = ClientCache(capacity=8)
+        cc.insert(entry(5, ts=194.0), suspect=True)   # updated after coherence
+        cc.insert(entry(9, ts=194.0), suspect=True)   # untouched item
+        dropped = reconcile_with_bitseq(cc, report)
+        assert dropped == 1
+        assert 5 not in cc and 9 in cc
+
+    def test_bitseq_reconciliation_drops_unsalvageable_suspects(self):
+        from repro.db import Database
+        from repro.reports import build_bitseq_report
+        from repro.schemes import reconcile_with_bitseq
+
+        db = Database(8)
+        for i in range(6):
+            db.apply_update(i, 100.0 + i)
+        report = build_bitseq_report(db, timestamp=220.0, origin=0.0)
+        cc = ClientCache(capacity=8)
+        cc.insert(entry(7, ts=50.0), suspect=True)  # older than TS(Bn)
+        reconcile_with_bitseq(cc, report)
+        assert 7 not in cc
+
+    def test_amnesic_reconciliation(self):
+        from repro.db import Database
+        from repro.reports import build_amnesic_report
+        from repro.schemes import reconcile_with_amnesic
+
+        db = Database(16)
+        report = build_amnesic_report(db, timestamp=100.0, interval=20.0)
+        cc = ClientCache(capacity=8)
+        cc.insert(entry(1, ts=70.0), suspect=True)  # before last interval
+        cc.insert(entry(2, ts=85.0), suspect=True)  # within last interval
+        reconcile_with_amnesic(cc, report)
+        assert 1 not in cc and 2 in cc
+
+    def test_drop_unreconciled(self):
+        from repro.schemes import drop_unreconciled
+
+        cc = ClientCache(capacity=8)
+        cc.insert(entry(1, ts=70.0), suspect=True)
+        cc.insert(entry(2, ts=85.0))
+        assert drop_unreconciled(cc) == 1
+        assert 1 not in cc and 2 in cc

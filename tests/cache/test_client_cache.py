@@ -1,0 +1,84 @@
+"""Tests for the client cache's certification-floor semantics."""
+
+from repro.cache import CacheEntry, ClientCache
+
+
+def entry(item, ts=0.0, version=1):
+    return CacheEntry(item=item, version=version, ts=ts)
+
+
+class TestClientCache:
+    def test_insert_and_lookup(self):
+        cc = ClientCache(capacity=4)
+        cc.insert(entry(1, ts=5.0))
+        found = cc.lookup(1)
+        assert found is not None and found.ts == 5.0
+        assert cc.lookup(2) is None
+        assert cc.insertions == 1
+
+    def test_effective_ts_uses_floor(self):
+        cc = ClientCache(capacity=4)
+        e = entry(1, ts=5.0)
+        cc.insert(e)
+        assert cc.effective_ts(e) == 5.0
+        cc.certify(20.0)
+        assert cc.effective_ts(e) == 20.0
+
+    def test_fresh_fetch_after_certification_keeps_own_ts(self):
+        cc = ClientCache(capacity=4)
+        cc.certify(20.0)
+        e = entry(2, ts=25.0)  # fetched between reports
+        cc.insert(e)
+        assert cc.effective_ts(e) == 25.0
+
+    def test_certify_never_lowers_floor(self):
+        cc = ClientCache(capacity=4)
+        cc.certify(20.0)
+        cc.certify(10.0)
+        assert cc.certified_floor == 20.0
+
+    def test_invalidate_counts(self):
+        cc = ClientCache(capacity=4)
+        cc.insert(entry(1))
+        assert cc.invalidate(1)
+        assert not cc.invalidate(1)
+        assert cc.invalidations == 1
+        assert 1 not in cc
+
+    def test_drop_all(self):
+        cc = ClientCache(capacity=4)
+        for i in range(3):
+            cc.insert(entry(i))
+        cc.drop_all()
+        assert len(cc) == 0
+        assert cc.full_drops == 1
+        assert cc.invalidations == 3
+
+    def test_drop_all_empty_cache_not_counted(self):
+        cc = ClientCache(capacity=4)
+        cc.drop_all()
+        assert cc.full_drops == 0
+
+    def test_lru_eviction_via_capacity(self):
+        cc = ClientCache(capacity=2)
+        cc.insert(entry(1))
+        cc.insert(entry(2))
+        cc.lookup(1)
+        cc.insert(entry(3))
+        assert 2 not in cc and 1 in cc and 3 in cc
+        assert cc.evictions == 1
+
+    def test_snapshots(self):
+        cc = ClientCache(capacity=3)
+        for i in (5, 7, 9):
+            cc.insert(entry(i))
+        assert cc.item_ids() == [5, 7, 9]
+        assert [e.item for e in cc.entries()] == [5, 7, 9]
+
+    def test_peek_does_not_touch(self):
+        cc = ClientCache(capacity=2)
+        cc.insert(entry(1))
+        cc.insert(entry(2))
+        cc.peek(1)
+        cc.insert(entry(3))
+        assert 1 not in cc

@@ -1,0 +1,127 @@
+"""Tests for the LRU cache, including a hypothesis model check."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache import LRUCache
+
+
+class TestLRUBasics:
+    def test_put_get(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        assert c.get("a") == 1
+        assert c.get("missing") is None
+
+    def test_capacity_enforced_with_lru_eviction(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("c", 3)
+        assert "a" not in c
+        assert c.keys() == ["b", "c"]
+        assert c.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")
+        c.put("c", 3)
+        assert "b" not in c
+        assert "a" in c
+
+    def test_peek_does_not_refresh(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.peek("a")
+        c.put("c", 3)
+        assert "a" not in c
+
+    def test_replace_updates_value_and_recency(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("a", 10)
+        c.put("c", 3)
+        assert c.get("a") == 10
+        assert "b" not in c
+
+    def test_remove(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        assert c.remove("a")
+        assert not c.remove("a")
+        assert len(c) == 0
+
+    def test_clear(self):
+        c = LRUCache(3)
+        for k in "abc":
+            c.put(k, k)
+        c.clear()
+        assert len(c) == 0
+
+    def test_eviction_callback(self):
+        evicted = []
+        c = LRUCache(1, on_evict=lambda k, v: evicted.append((k, v)))
+        c.put("a", 1)
+        c.put("b", 2)
+        assert evicted == [("a", 1)]
+
+    def test_lru_key(self):
+        c = LRUCache(3)
+        assert c.lru_key is None
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.lru_key == "a"
+        c.get("a")
+        assert c.lru_key == "b"
+
+    def test_min_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    ops=st.lists(
+        st.tuples(st.sampled_from(["put", "get", "remove"]), st.integers(0, 12)),
+        max_size=200,
+    ),
+)
+def test_lru_matches_reference_model(capacity, ops):
+    """Model check against a straightforward list-based reference."""
+    cache = LRUCache(capacity)
+    ref_order = []  # LRU .. MRU
+    ref_map = {}
+
+    for op, key in ops:
+        if op == "put":
+            cache.put(key, key * 10)
+            if key in ref_map:
+                ref_order.remove(key)
+            ref_map[key] = key * 10
+            ref_order.append(key)
+            if len(ref_order) > capacity:
+                victim = ref_order.pop(0)
+                del ref_map[victim]
+        elif op == "get":
+            got = cache.get(key)
+            if key in ref_map:
+                assert got == ref_map[key]
+                ref_order.remove(key)
+                ref_order.append(key)
+            else:
+                assert got is None
+        else:
+            removed = cache.remove(key)
+            if key in ref_map:
+                assert removed
+                del ref_map[key]
+                ref_order.remove(key)
+            else:
+                assert not removed
+        assert len(cache) == len(ref_order) <= capacity
+        assert cache.keys() == ref_order

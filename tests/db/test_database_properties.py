@@ -1,0 +1,69 @@
+"""Property-based tests for the database recency index (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database
+
+scenario = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 100_000),
+        "n_items": st.integers(1, 50),
+        "n_updates": st.integers(0, 150),
+    }
+)
+
+
+def apply_random_updates(cfg):
+    rnd = random.Random(cfg["seed"])
+    db = Database(cfg["n_items"])
+    t = 0.0
+    latest = {}
+    for _ in range(cfg["n_updates"]):
+        t += rnd.uniform(0.0, 2.0)  # ties possible (amount 0)
+        item = rnd.randrange(cfg["n_items"])
+        db.apply_update(item, t)
+        latest[item] = t
+    return db, latest, t
+
+
+@settings(max_examples=100, deadline=None)
+@given(scenario)
+def test_recency_order_matches_latest_update_sort(cfg):
+    db, latest, _t = apply_random_updates(cfg)
+    order = db.recency_order()
+    assert {item for item, _ in order} == set(latest)
+    times = [ts for _item, ts in order]
+    assert times == sorted(times, reverse=True)
+    for item, ts in order:
+        assert ts == latest[item]
+
+
+@settings(max_examples=100, deadline=None)
+@given(cfg=scenario, cutoff_frac=st.floats(0.0, 1.2))
+def test_updated_since_agrees_with_ground_truth(cfg, cutoff_frac):
+    db, latest, t_end = apply_random_updates(cfg)
+    cutoff = cutoff_frac * max(t_end, 1.0)
+    reported = dict(db.updated_since(cutoff))
+    expected = {item: ts for item, ts in latest.items() if ts > cutoff}
+    assert reported == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(scenario)
+def test_version_counts_updates_per_item(cfg):
+    rnd = random.Random(cfg["seed"])
+    db = Database(cfg["n_items"])
+    counts = {i: 0 for i in range(cfg["n_items"])}
+    t = 0.0
+    for _ in range(cfg["n_updates"]):
+        t += rnd.uniform(0.01, 2.0)
+        item = rnd.randrange(cfg["n_items"])
+        db.apply_update(item, t)
+        counts[item] += 1
+    for item, expected in counts.items():
+        version, _ts = db.read(item)
+        assert version == expected
+    assert db.total_updates == sum(counts.values())

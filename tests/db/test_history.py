@@ -1,0 +1,41 @@
+"""Tests for the ground-truth update log."""
+
+import pytest
+
+from repro.db import UpdateLog
+
+
+class TestUpdateLog:
+    def test_updated_in_half_open_interval(self):
+        log = UpdateLog()
+        log.record(1, 5.0)
+        assert log.updated_in(1, after=4.0, up_to=5.0)      # (4, 5] contains 5
+        assert not log.updated_in(1, after=5.0, up_to=9.0)  # (5, 9] excludes 5
+        assert not log.updated_in(1, after=0.0, up_to=4.9)
+
+    def test_unknown_item(self):
+        assert not UpdateLog().updated_in(99, 0.0, 100.0)
+
+    def test_multiple_updates(self):
+        log = UpdateLog()
+        for t in (1.0, 5.0, 9.0):
+            log.record(2, t)
+        assert log.updated_in(2, after=1.0, up_to=4.0) is False
+        assert log.updated_in(2, after=1.0, up_to=5.0) is True
+        assert log.updates_of(2) == [1.0, 5.0, 9.0]
+        assert log.total == 3
+
+    def test_non_monotone_rejected(self):
+        log = UpdateLog()
+        log.record(1, 5.0)
+        with pytest.raises(ValueError):
+            log.record(1, 4.0)
+
+    def test_last_update_before(self):
+        log = UpdateLog()
+        for t in (1.0, 5.0, 9.0):
+            log.record(7, t)
+        assert log.last_update_before(7, up_to=6.0) == 5.0
+        assert log.last_update_before(7, up_to=9.0) == 9.0
+        assert log.last_update_before(7, up_to=0.5) == float("-inf")
+        assert log.last_update_before(8, up_to=10.0) == float("-inf")

@@ -1,0 +1,149 @@
+"""Tests for the Environment run loop, clock and scheduling order."""
+
+import pytest
+
+from repro.des import EmptySchedule, Environment, Event, HIGH, LOW, NORMAL, URGENT
+
+
+def test_initial_time_defaults_to_zero():
+    assert Environment().now == 0.0
+
+
+def test_initial_time_override():
+    assert Environment(initial_time=42.5).now == 42.5
+
+
+def test_run_until_time_advances_clock():
+    env = Environment()
+    env.run(until=10)
+    assert env.now == 10
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(initial_time=5)
+    with pytest.raises(ValueError):
+        env.run(until=1)
+
+
+def test_step_empty_schedule_raises():
+    with pytest.raises(EmptySchedule):
+        Environment().step()
+
+
+def test_peek_empty_is_infinity():
+    assert Environment().peek() == float("inf")
+
+
+def test_events_processed_in_time_order():
+    env = Environment()
+    seen = []
+    for delay in (5, 1, 3):
+        env.timeout(delay, value=delay).callbacks.append(
+            lambda ev: seen.append(ev.value)
+        )
+    env.run()
+    assert seen == [1, 3, 5]
+
+
+def test_same_time_ties_broken_by_priority():
+    env = Environment()
+    seen = []
+    env.timeout(1, value="low", priority=LOW).callbacks.append(
+        lambda ev: seen.append(ev.value)
+    )
+    env.timeout(1, value="urgent", priority=URGENT).callbacks.append(
+        lambda ev: seen.append(ev.value)
+    )
+    env.timeout(1, value="high", priority=HIGH).callbacks.append(
+        lambda ev: seen.append(ev.value)
+    )
+    env.timeout(1, value="normal", priority=NORMAL).callbacks.append(
+        lambda ev: seen.append(ev.value)
+    )
+    env.run()
+    assert seen == ["urgent", "high", "normal", "low"]
+
+
+def test_same_time_same_priority_is_fifo():
+    env = Environment()
+    seen = []
+    for i in range(10):
+        env.timeout(2, value=i).callbacks.append(lambda ev: seen.append(ev.value))
+    env.run()
+    assert seen == list(range(10))
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3)
+        return "done"
+
+    result = env.run(until=env.process(proc(env)))
+    assert result == "done"
+    assert env.now == 3
+
+
+def test_run_until_already_processed_event():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("early")
+    env.run(until=5)
+    assert env.run(until=ev) == "early"
+
+
+def test_run_until_event_never_fires_raises():
+    env = Environment()
+    ev = env.event()  # never triggered
+    env.timeout(1)
+    with pytest.raises(RuntimeError):
+        env.run(until=ev)
+
+
+def test_run_until_failed_event_raises_its_exception():
+    env = Environment()
+
+    def boom(env):
+        yield env.timeout(1)
+        raise ValueError("kaboom")
+
+    with pytest.raises(ValueError, match="kaboom"):
+        env.run(until=env.process(boom(env)))
+
+
+def test_clock_does_not_go_past_until():
+    env = Environment()
+    env.timeout(100)
+    env.run(until=10)
+    assert env.now == 10
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+    with pytest.raises(ValueError):
+        env.schedule(env.event(), delay=-0.5)
+
+
+def test_unhandled_process_exception_propagates_from_run():
+    env = Environment()
+
+    def boom(env):
+        yield env.timeout(1)
+        raise RuntimeError("unhandled")
+
+    env.process(boom(env))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_event_callbacks_receive_the_event():
+    env = Environment()
+    box = []
+    ev = env.timeout(1, value=7)
+    ev.callbacks.append(box.append)
+    env.run()
+    assert box == [ev]
+    assert box[0].value == 7

@@ -1,0 +1,142 @@
+"""Tests for the preemptive resource."""
+
+import pytest
+
+from repro.des import Environment, Interrupt, Preempted, PreemptiveResource
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestPreemption:
+    def test_high_priority_evicts_holder(self, env):
+        res = PreemptiveResource(env, capacity=1)
+        trace = []
+
+        def low(env):
+            with res.request(priority=5) as req:
+                yield req
+                trace.append(("low-in", env.now))
+                try:
+                    yield env.timeout(100)
+                    trace.append(("low-done", env.now))
+                except Interrupt as exc:
+                    assert isinstance(exc.cause, Preempted)
+                    trace.append(("low-evicted", env.now))
+
+        def high(env):
+            yield env.timeout(3)
+            with res.request(priority=0) as req:
+                yield req
+                trace.append(("high-in", env.now))
+                yield env.timeout(2)
+
+        env.process(low(env))
+        env.process(high(env))
+        env.run()
+        assert trace == [
+            ("low-in", 0),
+            ("low-evicted", 3),
+            ("high-in", 3),
+        ]
+
+    def test_equal_priority_does_not_preempt(self, env):
+        res = PreemptiveResource(env, capacity=1)
+        order = []
+
+        def user(env, name, delay, prio):
+            yield env.timeout(delay)
+            with res.request(priority=prio) as req:
+                yield req
+                order.append((name, env.now))
+                yield env.timeout(10)
+
+        env.process(user(env, "first", 0, 3))
+        env.process(user(env, "second", 2, 3))
+        env.run()
+        assert order == [("first", 0), ("second", 10)]
+
+    def test_lower_priority_waits(self, env):
+        res = PreemptiveResource(env, capacity=1)
+        order = []
+
+        def user(env, name, delay, prio):
+            yield env.timeout(delay)
+            with res.request(priority=prio) as req:
+                yield req
+                order.append((name, env.now))
+                yield env.timeout(10)
+
+        env.process(user(env, "high", 0, 0))
+        env.process(user(env, "low", 2, 9))
+        env.run()
+        assert order == [("high", 0), ("low", 10)]
+
+    def test_victim_is_worst_priority_holder(self, env):
+        res = PreemptiveResource(env, capacity=2)
+        evicted = []
+
+        def holder(env, name, prio):
+            with res.request(priority=prio) as req:
+                yield req
+                try:
+                    yield env.timeout(100)
+                except Interrupt:
+                    evicted.append(name)
+
+        def vip(env):
+            yield env.timeout(5)
+            with res.request(priority=0) as req:
+                yield req
+                yield env.timeout(1)
+
+        env.process(holder(env, "mid", 3))
+        env.process(holder(env, "worst", 7))
+        env.process(vip(env))
+        env.run()
+        assert evicted == ["worst"]
+
+    def test_preempted_cause_carries_context(self, env):
+        res = PreemptiveResource(env, capacity=1)
+        causes = []
+
+        def low(env):
+            with res.request(priority=5) as req:
+                yield req
+                try:
+                    yield env.timeout(100)
+                except Interrupt as exc:
+                    causes.append(exc.cause)
+
+        def high(env):
+            yield env.timeout(1)
+            with res.request(priority=0) as req:
+                yield req
+
+        env.process(low(env))
+        env.process(high(env))
+        env.run()
+        (cause,) = causes
+        assert cause.resource is res
+        assert cause.by.priority == 0
+        assert "Preempted" in repr(cause)
+
+    def test_nonpreemptive_base_class_never_evicts(self, env):
+        from repro.des import Resource
+
+        res = Resource(env, capacity=1)
+        order = []
+
+        def user(env, name, delay, prio):
+            yield env.timeout(delay)
+            with res.request(priority=prio) as req:
+                yield req
+                order.append((name, env.now))
+                yield env.timeout(10)
+
+        env.process(user(env, "low", 0, 9))
+        env.process(user(env, "high", 1, 0))
+        env.run()
+        assert order == [("low", 0), ("high", 10)]

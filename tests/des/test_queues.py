@@ -1,0 +1,205 @@
+"""Tests for Store, PriorityStore and FilterStore."""
+
+import pytest
+
+from repro.des import Environment, FilterStore, PriorityItem, PriorityStore, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            yield store.put("x")
+            yield store.put("y")
+
+        def consumer(env):
+            got.append((yield store.get()))
+            got.append((yield store.get()))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == ["x", "y"]
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        times = []
+
+        def consumer(env):
+            item = yield store.get()
+            times.append((item, env.now))
+
+        def producer(env):
+            yield env.timeout(9)
+            yield store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert times == [("late", 9)]
+
+    def test_fifo_ordering_of_items(self, env):
+        store = Store(env)
+        got = []
+
+        def run(env):
+            for i in range(5):
+                yield store.put(i)
+            for _ in range(5):
+                got.append((yield store.get()))
+
+        env.run(until=env.process(run(env)))
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_fifo_ordering_of_waiting_consumers(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer(env, name):
+            item = yield store.get()
+            got.append((name, item))
+
+        for name in ("first", "second"):
+            env.process(consumer(env, name))
+
+        def producer(env):
+            yield env.timeout(1)
+            yield store.put("a")
+            yield store.put("b")
+
+        env.process(producer(env))
+        env.run()
+        assert got == [("first", "a"), ("second", "b")]
+
+    def test_capacity_blocks_put(self, env):
+        store = Store(env, capacity=1)
+        trace = []
+
+        def producer(env):
+            yield store.put(1)
+            trace.append(("put1", env.now))
+            yield store.put(2)
+            trace.append(("put2", env.now))
+
+        def consumer(env):
+            yield env.timeout(5)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert trace == [("put1", 0), ("put2", 5)]
+
+    def test_zero_capacity_rejected(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_len(self, env):
+        store = Store(env)
+        store.put("a")
+        store.put("b")
+        env.run(until=0)
+        assert len(store) == 2
+
+
+class TestPriorityStore:
+    def test_smallest_first(self, env):
+        store = PriorityStore(env)
+        got = []
+
+        def run(env):
+            for v in (5, 1, 3):
+                yield store.put(v)
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.run(until=env.process(run(env)))
+        assert got == [1, 3, 5]
+
+    def test_priority_item_fifo_within_priority(self, env):
+        store = PriorityStore(env)
+        got = []
+
+        def run(env):
+            yield store.put(PriorityItem(priority=2, seq=0, item="first-p2"))
+            yield store.put(PriorityItem(priority=1, seq=1, item="p1"))
+            yield store.put(PriorityItem(priority=2, seq=2, item="second-p2"))
+            for _ in range(3):
+                got.append((yield store.get()).item)
+
+        env.run(until=env.process(run(env)))
+        assert got == ["p1", "first-p2", "second-p2"]
+
+    def test_peek(self, env):
+        store = PriorityStore(env)
+        store.put(7)
+        store.put(3)
+        env.run(until=0)
+        assert store.peek() == 3
+        assert len(store) == 2
+
+
+class TestFilterStore:
+    def test_filter_matches_non_head_item(self, env):
+        store = FilterStore(env)
+        got = []
+
+        def run(env):
+            yield store.put({"kind": "a", "n": 1})
+            yield store.put({"kind": "b", "n": 2})
+            item = yield store.get(lambda it: it["kind"] == "b")
+            got.append(item["n"])
+            item = yield store.get()
+            got.append(item["n"])
+
+        env.run(until=env.process(run(env)))
+        assert got == [2, 1]
+
+    def test_nonmatching_getter_does_not_block_others(self, env):
+        store = FilterStore(env)
+        got = []
+
+        def picky(env):
+            item = yield store.get(lambda it: it == "never")
+            got.append(("picky", item))
+
+        def easy(env):
+            item = yield store.get(lambda it: True)
+            got.append(("easy", item))
+
+        env.process(picky(env))
+        env.process(easy(env))
+
+        def producer(env):
+            yield env.timeout(1)
+            yield store.put("plain")
+
+        env.process(producer(env))
+        env.run()
+        assert got == [("easy", "plain")]
+
+    def test_waiting_filter_satisfied_later(self, env):
+        store = FilterStore(env)
+        got = []
+
+        def picky(env):
+            item = yield store.get(lambda it: it == "special")
+            got.append((item, env.now))
+
+        env.process(picky(env))
+
+        def producer(env):
+            yield store.put("plain")
+            yield env.timeout(3)
+            yield store.put("special")
+
+        env.process(producer(env))
+        env.run()
+        assert got == [("special", 3)]

@@ -1,0 +1,153 @@
+"""Tests for Resource and Container."""
+
+import pytest
+
+from repro.des import Container, Environment, Resource
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestResource:
+    def test_capacity_one_serializes_users(self, env):
+        res = Resource(env, capacity=1)
+        trace = []
+
+        def user(env, name, hold):
+            with res.request() as req:
+                yield req
+                trace.append((name, "in", env.now))
+                yield env.timeout(hold)
+                trace.append((name, "out", env.now))
+
+        env.process(user(env, "a", 3))
+        env.process(user(env, "b", 2))
+        env.run()
+        assert trace == [
+            ("a", "in", 0),
+            ("a", "out", 3),
+            ("b", "in", 3),
+            ("b", "out", 5),
+        ]
+
+    def test_capacity_two_allows_concurrency(self, env):
+        res = Resource(env, capacity=2)
+        entered = []
+
+        def user(env, name):
+            with res.request() as req:
+                yield req
+                entered.append((name, env.now))
+                yield env.timeout(10)
+
+        for name in "abc":
+            env.process(user(env, name))
+        env.run()
+        assert entered == [("a", 0), ("b", 0), ("c", 10)]
+
+    def test_priority_order(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def user(env, name, prio, delay):
+            yield env.timeout(delay)
+            with res.request(priority=prio) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1)
+
+        env.process(holder(env))
+        env.process(user(env, "low", 5, 1))
+        env.process(user(env, "high", 0, 2))
+        env.run()
+        assert order == ["high", "low"]
+
+    def test_release_of_queued_request_cancels_it(self, env):
+        res = Resource(env, capacity=1)
+        first = res.request()
+        second = res.request()
+        env.run(until=0)
+        assert first.triggered and not second.triggered
+        res.release(second)
+        assert res.queue == []
+        res.release(first)
+        assert res.count == 0
+
+    def test_count_and_queue(self, env):
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        assert res.count == 1
+        assert res.queue == [r2]
+        res.release(r1)
+        assert res.count == 1  # r2 granted
+        assert res.queue == []
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+
+class TestContainer:
+    def test_put_and_get_levels(self, env):
+        tank = Container(env, capacity=100, init=10)
+
+        def run(env):
+            yield tank.put(40)
+            assert tank.level == 50
+            yield tank.get(25)
+            assert tank.level == 25
+
+        env.run(until=env.process(run(env)))
+
+    def test_get_blocks_until_available(self, env):
+        tank = Container(env, capacity=100)
+        times = []
+
+        def consumer(env):
+            yield tank.get(30)
+            times.append(env.now)
+
+        def producer(env):
+            yield env.timeout(2)
+            yield tank.put(10)
+            yield env.timeout(2)
+            yield tank.put(25)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert times == [4]
+
+    def test_put_blocks_at_capacity(self, env):
+        tank = Container(env, capacity=10, init=8)
+        times = []
+
+        def producer(env):
+            yield tank.put(5)
+            times.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(3)
+            yield tank.get(4)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert times == [3]
+
+    def test_invalid_amounts(self, env):
+        tank = Container(env, capacity=10)
+        with pytest.raises(ValueError):
+            tank.put(0)
+        with pytest.raises(ValueError):
+            tank.get(-1)
+        with pytest.raises(ValueError):
+            Container(env, capacity=5, init=6)

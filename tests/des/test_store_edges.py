@@ -1,0 +1,103 @@
+"""Edge cases for stores: capacity backpressure chains, mixed waiters."""
+
+import pytest
+
+from repro.des import Environment, FilterStore, PriorityStore, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestBackpressure:
+    def test_producer_chain_through_bounded_store(self, env):
+        """A bounded store throttles a fast producer to the consumer."""
+        store = Store(env, capacity=2)
+        put_times = []
+        got = []
+
+        def producer(env):
+            for i in range(5):
+                yield store.put(i)
+                put_times.append(env.now)
+
+        def consumer(env):
+            while len(got) < 5:
+                yield env.timeout(10)
+                got.append((yield store.get()))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == [0, 1, 2, 3, 4]
+        # First two puts immediate; the rest gated by consumption ticks.
+        assert put_times[0] == put_times[1] == 0
+        assert put_times[2] == 10 and put_times[3] == 20
+
+    def test_multiple_blocked_producers_fifo(self, env):
+        store = Store(env, capacity=1)
+        order = []
+
+        def producer(env, tag, delay):
+            yield env.timeout(delay)
+            yield store.put(tag)
+            order.append((tag, env.now))
+
+        def consumer(env):
+            for _ in range(3):
+                yield env.timeout(10)
+                yield store.get()
+
+        for tag, delay in (("a", 0), ("b", 1), ("c", 2)):
+            env.process(producer(env, tag, delay))
+        env.process(consumer(env))
+        env.run()
+        assert [tag for tag, _t in order] == ["a", "b", "c"]
+
+    def test_priority_store_respects_capacity(self, env):
+        store = PriorityStore(env, capacity=2)
+
+        def run(env):
+            yield store.put(5)
+            yield store.put(1)
+            assert len(store) == 2
+            assert (yield store.get()) == 1
+            yield store.put(3)
+            assert (yield store.get()) == 3
+            assert (yield store.get()) == 5
+
+        env.run(until=env.process(run(env)))
+
+
+class TestFilterStoreEdges:
+    def test_many_waiters_distinct_filters(self, env):
+        store = FilterStore(env)
+        got = {}
+
+        def waiter(env, want):
+            got[want] = yield store.get(lambda it: it == want)
+
+        for want in ("x", "y", "z"):
+            env.process(waiter(env, want))
+
+        def producer(env):
+            yield env.timeout(1)
+            for item in ("z", "x", "y"):
+                yield store.put(item)
+
+        env.process(producer(env))
+        env.run()
+        assert got == {"x": "x", "y": "y", "z": "z"}
+
+    def test_unmatched_items_accumulate(self, env):
+        store = FilterStore(env)
+
+        def run(env):
+            yield store.put("a")
+            yield store.put("b")
+            item = yield store.get(lambda it: it == "b")
+            assert item == "b"
+            assert store.items == ["a"]
+
+        env.run(until=env.process(run(env)))

@@ -1,0 +1,106 @@
+"""Tests for the event tracer."""
+
+import pytest
+
+from repro.des import Environment, TraceRecorder
+from repro.des.trace import TraceRecord
+
+
+def run_traced(tracer, n=5):
+    env = Environment()
+    env.set_tracer(tracer)
+
+    def proc(env):
+        for _ in range(n):
+            yield env.timeout(1.0)
+
+    env.process(proc(env), name="ticker")
+    env.run()
+    return env
+
+
+class TestTraceRecorder:
+    def test_records_processed_events(self):
+        trace = TraceRecorder()
+        run_traced(trace, n=3)
+        # 1 init event + 3 timeouts + 1 process-completion event.
+        assert trace.seen == 5
+        assert len(trace.of_kind("Timeout")) == 3
+
+    def test_times_are_nondecreasing(self):
+        trace = TraceRecorder()
+        run_traced(trace, n=5)
+        times = [r.time for r in trace.records]
+        assert times == sorted(times)
+
+    def test_process_completion_carries_name(self):
+        trace = TraceRecorder()
+        run_traced(trace)
+        procs = trace.of_kind("Process")
+        assert procs and procs[0].name == "ticker"
+
+    def test_limit_drops_oldest(self):
+        trace = TraceRecorder(limit=3)
+        run_traced(trace, n=10)
+        assert len(trace.records) == 3
+        assert trace.dropped > 0
+        assert trace.records[-1].time == pytest.approx(10.0)
+
+    def test_predicate_filters(self):
+        from repro.des.event import Timeout
+
+        trace = TraceRecorder(predicate=lambda ev: isinstance(ev, Timeout))
+        run_traced(trace, n=4)
+        assert all(r.kind == "Timeout" for r in trace.records)
+        assert len(trace.records) == 4
+
+    def test_between(self):
+        trace = TraceRecorder()
+        run_traced(trace, n=5)
+        window = trace.between(2.0, 3.0)
+        assert all(2.0 <= r.time <= 3.0 for r in window)
+        assert len(window) == 2
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        run_traced(trace)
+        trace.clear()
+        assert trace.records == [] and trace.seen == 0
+
+    def test_format_and_str(self):
+        trace = TraceRecorder()
+        run_traced(trace, n=2)
+        text = trace.format(last=2)
+        assert len(text.splitlines()) == 2
+        assert "Timeout" in text or "Process" in text
+        assert str(TraceRecord(1.0, "Timeout", "", True, None)).startswith("[")
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(limit=0)
+
+    def test_tracer_removal(self):
+        trace = TraceRecorder()
+        env = Environment()
+        env.set_tracer(trace)
+        env.timeout(1.0)
+        env.run()
+        seen_before = trace.seen
+        env.set_tracer(None)
+        env.timeout(1.0)
+        env.run(until=5.0)
+        assert trace.seen == seen_before
+
+    def test_tracing_full_simulation_is_side_effect_free(self):
+        """Attaching a tracer must not perturb results."""
+        from repro.sim import SimulationModel, SystemParams, UNIFORM
+
+        params = SystemParams(
+            simulation_time=500.0, n_clients=4, db_size=50, seed=2
+        )
+        plain = SimulationModel(params, UNIFORM, "ts")
+        plain_result = plain.run()
+        traced = SimulationModel(params, UNIFORM, "ts")
+        traced.env.set_tracer(TraceRecorder(limit=100))
+        traced_result = traced.run()
+        assert plain_result.raw == traced_result.raw

@@ -1,0 +1,119 @@
+"""Tests for figure specs and the sweep machinery."""
+
+import pytest
+
+from repro.experiments import (
+    BENCH_SCALE,
+    FIGURES,
+    FULL_SCALE,
+    THROUGHPUT,
+    UPLINK_COST,
+    figure_ids,
+    format_figure,
+    format_legend,
+    get_figure,
+    run_figure,
+    scale_from_env,
+)
+from repro.schemes.registry import EVALUATED_SCHEMES
+
+
+class TestSpecs:
+    def test_all_twelve_figures_defined(self):
+        assert figure_ids() == [f"fig{i:02d}" for i in range(5, 17)]
+
+    def test_every_figure_uses_the_evaluated_schemes(self):
+        for spec in FIGURES.values():
+            assert spec.schemes == EVALUATED_SCHEMES
+
+    def test_throughput_and_uplink_pairs(self):
+        assert get_figure("fig05").metric == THROUGHPUT
+        assert get_figure("fig06").metric == UPLINK_COST
+        assert get_figure("fig13").metric == THROUGHPUT
+        assert get_figure("fig14").metric == UPLINK_COST
+
+    def test_workloads_match_paper(self):
+        for fid in ("fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig15"):
+            assert get_figure(fid).workload == "uniform"
+        for fid in ("fig11", "fig12", "fig13", "fig14", "fig16"):
+            assert get_figure(fid).workload == "hotcold"
+
+    def test_fig09_uses_one_percent_buffer(self):
+        assert get_figure("fig09").fixed["buffer_fraction"] == 0.01
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            get_figure("fig99")
+
+    def test_params_for_applies_sweep_and_scale(self):
+        spec = get_figure("fig05")
+        params = spec.params_for(40_000, FULL_SCALE, seed=3)
+        assert params.db_size == 40_000
+        assert params.simulation_time == 100_000
+        assert params.n_clients == 100
+        assert params.seed == 3
+        assert params.disconnect_time_mean == 4000.0
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert scale_from_env() is FULL_SCALE
+        monkeypatch.setenv("REPRO_SCALE", "bench")
+        assert scale_from_env() is BENCH_SCALE
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            scale_from_env()
+
+
+class TestRunFigure:
+    @pytest.fixture(scope="class")
+    def mini_result(self):
+        # One tiny smoke sweep shared by the assertions below.
+        from repro.experiments.figures import Scale
+
+        tiny = Scale(name="tiny", simulation_time=2000.0, n_clients=10)
+        return run_figure(
+            get_figure("fig05"),
+            scale=tiny,
+            points=[1000, 10_000],
+            schemes=["aaw", "bs"],
+        )
+
+    def test_series_shapes(self, mini_result):
+        assert mini_result.xs == [1000, 10_000]
+        assert set(mini_result.series) == {"aaw", "bs"}
+        assert all(len(v) == 2 for v in mini_result.series.values())
+
+    def test_results_retained(self, mini_result):
+        assert mini_result.results["aaw"][0].scheme == "aaw"
+        assert mini_result.results["bs"][1].workload == "UNIFORM"
+
+    def test_metric_accessors(self, mini_result):
+        assert mini_result.metric_of("aaw", 1000) == mini_result.series["aaw"][0]
+        assert mini_result.mean_of("bs") == pytest.approx(
+            sum(mini_result.series["bs"]) / 2
+        )
+
+    def test_format_figure_contains_series(self, mini_result):
+        text = format_figure(mini_result)
+        assert "fig05" in text
+        assert "aaw" in text and "bs" in text
+        assert "10000" in text
+
+    def test_format_legend(self):
+        text = format_legend()
+        assert "adaptive with adjusting window" in text
+        assert "bit sequences" in text
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05" in out and "fig16" in out
+
+    def test_requires_target(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main([]) == 2

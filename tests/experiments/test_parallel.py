@@ -1,0 +1,45 @@
+"""Tests for process-parallel figure sweeps."""
+
+import pytest
+
+from repro.experiments import get_figure, run_figure, run_figure_parallel
+from repro.experiments.figures import Scale
+
+TINY = Scale(name="tiny", simulation_time=1500.0, n_clients=8)
+
+
+class TestParallelSweep:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        kwargs = dict(
+            scale=TINY, points=[1000, 10_000], schemes=["aaw", "bs"], seed=3
+        )
+        serial = run_figure(get_figure("fig05"), **kwargs)
+        parallel = run_figure_parallel("fig05", workers=2, **kwargs)
+        return serial, parallel
+
+    def test_results_bit_identical_to_serial(self, pair):
+        serial, parallel = pair
+        assert parallel.series == serial.series
+        assert parallel.xs == serial.xs
+
+    def test_full_results_preserved(self, pair):
+        _serial, parallel = pair
+        assert parallel.results["aaw"][0].scheme == "aaw"
+        assert parallel.results["bs"][1].raw  # raw metrics survived pickling
+
+    def test_single_worker_runs_inline(self):
+        result = run_figure_parallel(
+            "fig06", scale=TINY, points=[1000], schemes=["bs"], workers=1
+        )
+        assert result.series["bs"] == [0.0]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            run_figure_parallel("fig05", scale=TINY, workers=0)
+
+    def test_cli_accepts_workers_flag(self):
+        from repro.experiments.cli import build_parser
+
+        args = build_parser().parse_args(["--figure", "fig05", "--workers", "3"])
+        assert args.workers == 3

@@ -1,0 +1,74 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments import ascii_chart, chart_figure, get_figure, run_figure
+from repro.experiments.figures import Scale
+
+
+class TestAsciiChart:
+    def test_dimensions(self):
+        text = ascii_chart([1, 2, 3], {"aaw": [1, 2, 3]}, width=40, height=8)
+        lines = text.splitlines()
+        plot_rows = [l for l in lines if "|" in l]
+        assert len(plot_rows) == 8
+        assert all(len(l) <= 9 + 2 + 40 for l in plot_rows)
+
+    def test_markers_present(self):
+        text = ascii_chart(
+            [1, 2], {"aaw": [1, 2], "bs": [2, 1]}, width=30, height=6
+        )
+        assert "a" in text and "b" in text
+        assert "a = aaw" in text and "b = bs" in text
+
+    def test_overlap_shows_star(self):
+        text = ascii_chart(
+            [1, 2], {"aaw": [5, 5], "bs": [5, 5]}, width=20, height=5
+        )
+        assert "*" in text
+
+    def test_unknown_scheme_gets_digit_marker(self):
+        text = ascii_chart([1, 2], {"my-scheme": [1, 2]}, width=20, height=5)
+        assert "0 = my-scheme" in text
+
+    def test_extremes_on_correct_rows(self):
+        text = ascii_chart([1, 2], {"sig": [0, 10]}, width=20, height=5)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert "s" in lines[0]       # max on the top row
+        assert "s" in lines[-1]      # zero on the bottom row
+
+    def test_axis_labels(self):
+        text = ascii_chart(
+            [100, 900], {"sig": [1, 2]}, width=30, height=5,
+            y_label="throughput", x_label="uplink bps",
+        )
+        assert "throughput" in text
+        assert "uplink bps" in text
+        assert "100" in text and "900" in text
+
+    def test_all_zero_series(self):
+        text = ascii_chart([1, 2], {"bs": [0, 0]}, width=20, height=5)
+        assert "b" in text  # drawn on the zero row, no crash
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"sig": [1]}, width=4, height=5)
+        with pytest.raises(ValueError):
+            ascii_chart([], {}, width=30, height=6)
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"sig": [1]}, width=30, height=6)
+
+    def test_single_point(self):
+        text = ascii_chart([5], {"sig": [3]}, width=20, height=5)
+        assert "s = sig" in text
+
+
+class TestChartFigure:
+    def test_labels_from_spec(self):
+        tiny = Scale(name="tiny", simulation_time=1200.0, n_clients=5)
+        result = run_figure(
+            get_figure("fig05"), scale=tiny, points=[1000], schemes=["bs"]
+        )
+        text = chart_figure(result, width=30, height=6)
+        assert "queries_answered" in text
+        assert "db_size" in text

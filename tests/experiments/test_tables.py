@@ -1,0 +1,61 @@
+"""Tests for text table rendering of figure results."""
+
+from repro.experiments import DISPLAY_NAMES, format_figure, format_legend, get_figure
+from repro.experiments.figures import Scale
+from repro.experiments.sweep import FigureResult
+
+
+def fake_result():
+    spec = get_figure("fig05")
+    result = FigureResult(
+        spec=spec,
+        scale=Scale(name="tiny", simulation_time=100.0, n_clients=2),
+        xs=[1000, 80_000],
+    )
+    result.series = {"aaw": [1500.0, 1480.0], "bs": [1500.0, 300.0]}
+    return result
+
+
+class TestFormatFigure:
+    def test_header_carries_context(self):
+        text = format_figure(fake_result())
+        assert "fig05" in text
+        assert "workload=uniform" in text
+        assert "scale=tiny" in text
+        assert "expected shape" in text
+
+    def test_rows_align_with_sweep(self):
+        text = format_figure(fake_result())
+        lines = text.splitlines()
+        data_rows = [l for l in lines if l.strip().startswith(("1000", "80000"))]
+        assert len(data_rows) == 2
+        assert "300.00" in data_rows[1]
+
+    def test_column_order_follows_series_dict(self):
+        text = format_figure(fake_result())
+        header = next(l for l in text.splitlines() if "aaw" in l and "bs" in l)
+        assert header.index("aaw") < header.index("bs")
+
+    def test_custom_width(self):
+        wide = format_figure(fake_result(), width=20)
+        narrow = format_figure(fake_result(), width=10)
+        assert len(wide.splitlines()[-1]) > len(narrow.splitlines()[-1])
+
+
+class TestLegend:
+    def test_all_registered_schemes_have_display_names(self):
+        from repro.schemes import available_schemes
+
+        for scheme in available_schemes():
+            assert scheme in DISPLAY_NAMES
+
+    def test_paper_curve_labels(self):
+        assert DISPLAY_NAMES["aaw"] == "adaptive with adjusting window"
+        assert DISPLAY_NAMES["afw"] == "adaptive with fixed window"
+        assert DISPLAY_NAMES["checking"] == "simple checking"
+        assert DISPLAY_NAMES["bs"] == "bit sequences"
+
+    def test_legend_lists_every_name(self):
+        text = format_legend()
+        for name in DISPLAY_NAMES.values():
+            assert name in text

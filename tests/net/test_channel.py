@@ -1,0 +1,218 @@
+"""Tests for the shared priority channel: timing, ordering, preemption."""
+
+import pytest
+
+from repro.des import Environment
+from repro.net import BROADCAST, Channel, Message, MessageKind, SERVER_ID
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def msg(kind, size, dest=BROADCAST, payload=None):
+    return Message(kind=kind, size_bits=size, src=SERVER_ID, dest=dest, payload=payload)
+
+
+class TestTransmissionTiming:
+    def test_single_message_takes_size_over_bandwidth(self, env):
+        ch = Channel(env, bandwidth_bps=1000)
+        done = ch.send(msg(MessageKind.DATA_ITEM, 500))
+        env.run(until=done)
+        assert env.now == pytest.approx(0.5)
+
+    def test_back_to_back_messages_serialize(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        delivered = []
+        ch.attach(lambda m, now: delivered.append((m.payload, now)))
+        ch.send(msg(MessageKind.DATA_ITEM, 100, payload="a"))
+        ch.send(msg(MessageKind.DATA_ITEM, 200, payload="b"))
+        env.run()
+        assert delivered == [("a", 1.0), ("b", 3.0)]
+
+    def test_zero_size_message_delivers_instantly(self, env):
+        ch = Channel(env, bandwidth_bps=10)
+        done = ch.send(msg(MessageKind.TLB_UPLOAD, 0))
+        env.run(until=done)
+        assert env.now == 0.0
+
+    def test_transmission_time_helper(self, env):
+        ch = Channel(env, bandwidth_bps=10000)
+        assert ch.transmission_time(20000) == pytest.approx(2.0)
+
+    def test_invalid_bandwidth(self, env):
+        with pytest.raises(ValueError):
+            Channel(env, bandwidth_bps=0)
+
+
+class TestPriorityOrdering:
+    def test_higher_class_jumps_queue(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        order = []
+        ch.attach(lambda m, now: order.append(m.payload))
+
+        def sender(env):
+            yield env.timeout(0)
+            ch.send(msg(MessageKind.DATA_ITEM, 100, payload="data1"))
+            ch.send(msg(MessageKind.DATA_ITEM, 100, payload="data2"))
+            ch.send(msg(MessageKind.VALIDITY_REPORT, 100, payload="check"))
+
+        env.process(sender(env))
+        env.run()
+        # data1 is already on the air; check outranks the queued data2.
+        assert order == ["data1", "check", "data2"]
+
+    def test_fifo_within_class(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        order = []
+        ch.attach(lambda m, now: order.append(m.payload))
+        for i in range(4):
+            ch.send(msg(MessageKind.DATA_ITEM, 50, payload=i))
+        env.run()
+        assert order == [0, 1, 2, 3]
+
+
+class TestPreemption:
+    def test_ir_preempts_data_and_data_resumes(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        delivered = []
+        ch.attach(lambda m, now: delivered.append((m.payload, now)))
+
+        def sender(env):
+            ch.send(msg(MessageKind.DATA_ITEM, 1000, payload="big"))  # 10 s alone
+            yield env.timeout(2)
+            ch.send(msg(MessageKind.INVALIDATION_REPORT, 100, payload="ir"))  # 1 s
+
+        env.process(sender(env))
+        env.run()
+        # IR starts at t=2 (preempting), done at 3; data resumes with 800
+        # bits remaining, done at 3 + 8 = 11.
+        assert delivered == [("ir", 3.0), ("big", 11.0)]
+        assert ch.stats.preemptions == 1
+
+    def test_checking_class_does_not_preempt(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        delivered = []
+        ch.attach(lambda m, now: delivered.append((m.payload, now)))
+
+        def sender(env):
+            ch.send(msg(MessageKind.DATA_ITEM, 1000, payload="big"))
+            yield env.timeout(2)
+            ch.send(msg(MessageKind.VALIDITY_REPORT, 100, payload="check"))
+
+        env.process(sender(env))
+        env.run()
+        assert delivered == [("big", 10.0), ("check", 11.0)]
+        assert ch.stats.preemptions == 0
+
+    def test_preemption_disabled(self, env):
+        ch = Channel(env, bandwidth_bps=100, preempt_threshold=-1)
+        delivered = []
+        ch.attach(lambda m, now: delivered.append((m.payload, now)))
+
+        def sender(env):
+            ch.send(msg(MessageKind.DATA_ITEM, 1000, payload="big"))
+            yield env.timeout(2)
+            ch.send(msg(MessageKind.INVALIDATION_REPORT, 100, payload="ir"))
+
+        env.process(sender(env))
+        env.run()
+        assert delivered == [("big", 10.0), ("ir", 11.0)]
+
+    def test_ir_does_not_preempt_ir(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        delivered = []
+        ch.attach(lambda m, now: delivered.append((m.payload, now)))
+
+        def sender(env):
+            ch.send(msg(MessageKind.INVALIDATION_REPORT, 1000, payload="ir1"))
+            yield env.timeout(2)
+            ch.send(msg(MessageKind.INVALIDATION_REPORT, 100, payload="ir2"))
+
+        env.process(sender(env))
+        env.run()
+        assert delivered == [("ir1", 10.0), ("ir2", 11.0)]
+
+    def test_preempted_message_resumes_before_later_same_class(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        delivered = []
+        ch.attach(lambda m, now: delivered.append(m.payload))
+
+        def sender(env):
+            ch.send(msg(MessageKind.DATA_ITEM, 1000, payload="first"))
+            yield env.timeout(2)
+            ch.send(msg(MessageKind.INVALIDATION_REPORT, 100, payload="ir"))
+            ch.send(msg(MessageKind.DATA_ITEM, 100, payload="second"))
+
+        env.process(sender(env))
+        env.run()
+        assert delivered == ["ir", "first", "second"]
+
+
+class TestDelivery:
+    def test_all_receivers_see_broadcast(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        seen = {1: [], 2: []}
+        ch.attach(lambda m, now: seen[1].append(m.payload))
+        ch.attach(lambda m, now: seen[2].append(m.payload))
+        ch.send(msg(MessageKind.INVALIDATION_REPORT, 100, payload="ir"))
+        env.run()
+        assert seen == {1: ["ir"], 2: ["ir"]}
+
+    def test_detach_stops_delivery(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        seen = []
+        recv = lambda m, now: seen.append(m.payload)
+        ch.attach(recv)
+        ch.detach(recv)
+        ch.send(msg(MessageKind.DATA_ITEM, 10))
+        env.run()
+        assert seen == []
+
+    def test_done_event_carries_message(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        m = msg(MessageKind.DATA_ITEM, 100, payload="x")
+        done = ch.send(m)
+        result = env.run(until=done)
+        assert result is m
+        assert m.delivered_at == pytest.approx(1.0)
+
+
+class TestStats:
+    def test_bit_conservation(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        for size in (100, 250, 50):
+            ch.send(msg(MessageKind.DATA_ITEM, size))
+        env.run()
+        assert ch.stats.bits_enqueued == 400
+        assert ch.stats.bits_delivered == 400
+        assert ch.stats.messages_delivered == 3
+
+    def test_busy_time_matches_bits_over_bandwidth(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        ch.send(msg(MessageKind.DATA_ITEM, 300))  # 3 s busy
+        env.run(until=10)
+        assert ch.stats.utilization(10.0) == pytest.approx(0.3)
+
+    def test_bits_by_kind(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        ch.send(msg(MessageKind.INVALIDATION_REPORT, 70))
+        ch.send(msg(MessageKind.DATA_ITEM, 30))
+        env.run()
+        assert ch.stats.bits_by_kind[MessageKind.INVALIDATION_REPORT] == 70
+        assert ch.stats.bits_by_kind[MessageKind.DATA_ITEM] == 30
+
+    def test_utilization_under_preemption_still_conserves(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+
+        def sender(env):
+            ch.send(msg(MessageKind.DATA_ITEM, 1000, payload="big"))
+            yield env.timeout(2)
+            ch.send(msg(MessageKind.INVALIDATION_REPORT, 100, payload="ir"))
+
+        env.process(sender(env))
+        env.run()
+        # 1100 bits at 100 bps = 11 s busy total, no gaps here.
+        assert ch.stats.bits_delivered == 1100
+        assert ch.stats.utilization(env.now) == pytest.approx(1.0)

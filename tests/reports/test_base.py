@@ -1,0 +1,50 @@
+"""Tests for the Invalidation value object and the Report interface."""
+
+import pytest
+
+from repro.reports import Invalidation, Report, ReportKind
+
+
+class TestInvalidation:
+    def test_drop_all(self):
+        inv = Invalidation.drop_all()
+        assert not inv.covered
+        assert inv.items == frozenset()
+
+    def test_nothing(self):
+        inv = Invalidation.nothing()
+        assert inv.covered
+        assert inv.items == frozenset()
+
+    def test_drop_items(self):
+        inv = Invalidation.drop({1, 2, 3})
+        assert inv.covered
+        assert inv.items == frozenset({1, 2, 3})
+
+    def test_frozen(self):
+        inv = Invalidation.nothing()
+        with pytest.raises(Exception):
+            inv.covered = False
+
+    def test_equality(self):
+        assert Invalidation.drop({1}) == Invalidation.drop({1})
+        assert Invalidation.drop({1}) != Invalidation.drop({2})
+        assert Invalidation.nothing() != Invalidation.drop_all()
+
+
+class TestReportInterface:
+    def test_abstract_methods_raise(self):
+        report = Report()
+        with pytest.raises(NotImplementedError):
+            report.covers(0.0)
+        with pytest.raises(NotImplementedError):
+            report.invalidation_for(0.0)
+
+    def test_kind_values_are_stable_wire_tags(self):
+        """Report kind strings appear in metric names; renaming them
+        silently breaks recorded data."""
+        assert ReportKind.WINDOW.value == "window"
+        assert ReportKind.ENLARGED_WINDOW.value == "window+"
+        assert ReportKind.BIT_SEQUENCES.value == "bs"
+        assert ReportKind.AMNESIC.value == "amnesic"
+        assert ReportKind.SIGNATURES.value == "sig"

@@ -1,0 +1,145 @@
+"""Tests for the signature (SIG) report scheme."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database
+from repro.reports import (
+    IncrementalCombiner,
+    SignatureScheme,
+    build_signature_report,
+    item_signature,
+    subsets_of_item,
+)
+
+
+def scheme(n_items=64, **kw):
+    defaults = dict(n_subsets=32, signature_bits=32, membership=0.5, seed=7)
+    defaults.update(kw)
+    return SignatureScheme(n_items, **defaults)
+
+
+class TestPrimitives:
+    def test_item_signature_deterministic(self):
+        assert item_signature(3, 1, 32, 0) == item_signature(3, 1, 32, 0)
+
+    def test_item_signature_changes_with_version(self):
+        assert item_signature(3, 1, 32, 0) != item_signature(3, 2, 32, 0)
+
+    def test_item_signature_width(self):
+        for item in range(50):
+            assert 0 <= item_signature(item, 0, 8, 1) < 256
+
+    def test_subset_membership_rate(self):
+        total = sum(
+            len(subsets_of_item(item, 64, 0.5, seed=3)) for item in range(200)
+        )
+        assert total / (200 * 64) == pytest.approx(0.5, abs=0.05)
+
+    def test_subsets_deterministic(self):
+        assert subsets_of_item(9, 32, 0.5, 1) == subsets_of_item(9, 32, 0.5, 1)
+
+
+class TestDiagnosis:
+    def test_no_change_no_invalidation(self):
+        sch = scheme()
+        db = Database(64)
+        saved = build_signature_report(db, 0.0, sch).combined
+        fresh = build_signature_report(db, 10.0, sch)
+        inv = fresh.diagnose(cached_items=range(10), saved=saved)
+        assert inv.items == frozenset()
+
+    def test_updated_cached_item_is_diagnosed(self):
+        sch = scheme()
+        db = Database(64)
+        saved = build_signature_report(db, 0.0, sch).combined
+        db.apply_update(5, 5.0)
+        fresh = build_signature_report(db, 10.0, sch)
+        inv = fresh.diagnose(cached_items=[5, 6, 7], saved=saved)
+        assert 5 in inv.items
+
+    def test_false_positives_are_possible_but_bounded(self):
+        """Valid items sharing subsets with an updated one may be dropped;
+        with a high threshold most valid items survive."""
+        sch = scheme(n_items=256, n_subsets=64, diagnose_threshold=0.9)
+        db = Database(256)
+        saved = build_signature_report(db, 0.0, sch).combined
+        db.apply_update(0, 1.0)
+        fresh = build_signature_report(db, 10.0, sch)
+        inv = fresh.diagnose(cached_items=range(1, 101), saved=saved)
+        assert len(inv.items) < 30  # most valid items survive one update
+
+    def test_saved_length_mismatch_rejected(self):
+        sch = scheme()
+        db = Database(64)
+        report = build_signature_report(db, 0.0, sch)
+        with pytest.raises(ValueError):
+            report.diagnose([1], saved=[0] * 3)
+
+    def test_invalidation_for_unsupported(self):
+        sch = scheme()
+        report = build_signature_report(Database(64), 0.0, sch)
+        with pytest.raises(NotImplementedError):
+            report.invalidation_for(0.0)
+
+
+class TestIncrementalCombiner:
+    def test_matches_full_recompute(self):
+        sch = scheme()
+        db = Database(64)
+        inc = IncrementalCombiner(sch)
+        for item, ts in [(3, 1.0), (9, 2.0), (3, 3.0), (60, 4.0)]:
+            old = int(db.version[item])
+            db.apply_update(item, ts)
+            inc.on_update(item, old, old + 1)
+        assert inc.snapshot() == sch.combine(db.version)
+
+    def test_snapshot_is_a_copy(self):
+        inc = IncrementalCombiner(scheme())
+        snap = inc.snapshot()
+        snap[0] ^= 0xFF
+        assert inc.snapshot()[0] != snap[0] or snap[0] == inc.snapshot()[0] ^ 0xFF
+
+
+class TestParameters:
+    def test_invalid_membership(self):
+        with pytest.raises(ValueError):
+            SignatureScheme(10, membership=0.0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SignatureScheme(10, diagnose_threshold=1.5)
+
+    def test_wrong_combined_count_rejected(self):
+        from repro.reports import SignatureReport
+
+        with pytest.raises(ValueError):
+            SignatureReport(0.0, scheme(), combined=[1, 2, 3])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    updates=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_every_updated_cached_item_diagnosed(updates, seed):
+    """With conservative threshold 0, an updated cached item survives only
+    via a signature collision (~2^-32 per subset) — never in practice."""
+    sch = SignatureScheme(
+        64, n_subsets=32, signature_bits=32, membership=0.5,
+        diagnose_threshold=0.0, seed=seed,
+    )
+    db = Database(64)
+    saved = build_signature_report(db, 0.0, sch).combined
+    t = 1.0
+    for item in updates:
+        db.apply_update(item, t)
+        t += 1.0
+    fresh = build_signature_report(db, t, sch)
+    inv = fresh.diagnose(cached_items=range(64), saved=saved)
+    for item in set(updates):
+        if sch.subsets_of(item):  # items in no subset are always dropped too
+            assert item in inv.items
+        else:
+            assert item in inv.items

@@ -1,0 +1,105 @@
+"""Tests for report/payload bit-size formulas (paper Section 3.1)."""
+
+import math
+
+import pytest
+
+from repro.reports import (
+    REPORT_TAG_BITS,
+    amnesic_report_bits,
+    bitseq_report_bits,
+    checking_upload_bits,
+    enlarged_window_report_bits,
+    id_bits,
+    signature_report_bits,
+    tlb_upload_bits,
+    validity_report_bits,
+    window_report_bits,
+)
+
+
+class TestIdBits:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, 1), (2, 1), (3, 2), (1000, 10), (1024, 10), (10000, 14), (80000, 17)],
+    )
+    def test_values(self, n, expected):
+        assert id_bits(n) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            id_bits(0)
+
+
+class TestWindowReport:
+    def test_formula_nw_times_id_plus_ts(self):
+        # Paper: n_w * (log2 N + b_T), plus current-T and tag overhead.
+        n, nw, bt = 10000, 25, 32
+        expected = nw * (14 + bt) + bt + REPORT_TAG_BITS
+        assert window_report_bits(nw, n, bt) == expected
+
+    def test_empty_report_only_overhead(self):
+        assert window_report_bits(0, 1000, 32) == 32 + REPORT_TAG_BITS
+
+    def test_enlarged_adds_one_record(self):
+        n, nw, bt = 10000, 25, 32
+        assert enlarged_window_report_bits(nw, n, bt) == window_report_bits(
+            nw + 1, n, bt
+        )
+
+
+class TestBitseqReport:
+    def test_formula_2n_plus_level_timestamps(self):
+        # Paper: 2N + b_T * log2 N (we count the dummy B0 level too).
+        n, bt = 10000, 32
+        expected = 2 * n + (14 + 1) * bt + bt + REPORT_TAG_BITS
+        assert bitseq_report_bits(n, bt) == expected
+
+    def test_grows_linearly_with_database(self):
+        assert bitseq_report_bits(80000) > 8 * bitseq_report_bits(10000) * 0.9
+
+    def test_size_independent_of_update_count(self):
+        # BS size is a function of N only.
+        assert bitseq_report_bits(4096) == bitseq_report_bits(4096)
+
+
+class TestPayloads:
+    def test_tlb_upload_is_one_timestamp(self):
+        assert tlb_upload_bits(32) == 32
+        assert tlb_upload_bits(48) == 48
+
+    def test_checking_upload_scales_with_cache_and_db(self):
+        assert checking_upload_bits(200, 10000, 32) == 200 * (14 + 32)
+        # Bigger database -> wider ids -> bigger upload (paper Fig. 6).
+        assert checking_upload_bits(200, 80000, 32) > checking_upload_bits(
+            200, 10000, 32
+        )
+
+    def test_validity_report_one_bit_per_item(self):
+        assert validity_report_bits(123) == 123
+
+    def test_adaptive_uplink_much_smaller_than_checking(self):
+        """The paper's core claim about uplink costs, at the size level."""
+        assert tlb_upload_bits() * 50 < checking_upload_bits(200, 10000)
+
+    def test_amnesic_has_no_per_item_timestamps(self):
+        assert amnesic_report_bits(10, 1024, 32) == 10 * 10 + 32 + REPORT_TAG_BITS
+
+    def test_signature_report(self):
+        assert signature_report_bits(64, 32, 32) == 64 * 32 + 32 + REPORT_TAG_BITS
+
+
+class TestRelativeSizes:
+    def test_bs_dwarfs_window_for_light_update_load(self):
+        """Fig 5's mechanism: IR(BS) ~ 2N while IR(w) ~ n_w * 46 bits."""
+        n = 80000
+        light_window = window_report_bits(10, n)
+        assert bitseq_report_bits(n) > 100 * light_window
+
+    def test_window_beats_bs_until_many_updates(self):
+        n = 10000
+        bs = bitseq_report_bits(n)
+        # Crossover count where IR(w') stops being worthwhile (AAW logic).
+        crossover = math.floor(bs / (id_bits(n) + 32))
+        assert window_report_bits(crossover - 2, n) < bs
+        assert window_report_bits(crossover + 2, n) > bs

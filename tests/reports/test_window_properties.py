@@ -1,0 +1,103 @@
+"""Property-based tests for window-report construction and semantics."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database
+from repro.reports import (
+    build_enlarged_window_report,
+    build_window_report,
+    window_report_bits,
+)
+
+scenario = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 100_000),
+        "n_items": st.integers(2, 80),
+        "n_updates": st.integers(0, 120),
+        "window": st.floats(min_value=1.0, max_value=150.0),
+    }
+)
+
+
+def make_db(cfg):
+    rnd = random.Random(cfg["seed"])
+    db = Database(cfg["n_items"])
+    t = 0.0
+    history = []
+    for _ in range(cfg["n_updates"]):
+        t += rnd.uniform(0.1, 4.0)
+        item = rnd.randrange(cfg["n_items"])
+        db.apply_update(item, t)
+        history.append((item, t))
+    return rnd, db, history, t + 1.0
+
+
+@settings(max_examples=80, deadline=None)
+@given(scenario)
+def test_window_contains_exactly_the_window_updates(cfg):
+    _rnd, db, history, now = make_db(cfg)
+    report = build_window_report(db, now, cfg["window"])
+    start = now - cfg["window"]
+    latest = {}
+    for item, t in history:
+        latest[item] = t
+    expected = {item: t for item, t in latest.items() if t > start}
+    assert report.items == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(scenario)
+def test_window_size_formula_matches_contents(cfg):
+    _rnd, db, _history, now = make_db(cfg)
+    report = build_window_report(db, now, cfg["window"])
+    assert report.size_bits == window_report_bits(
+        len(report.items), cfg["n_items"]
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(cfg=scenario, tlb_frac=st.floats(0.0, 1.0))
+def test_covered_invalidation_is_exact(cfg, tlb_frac):
+    """For a covered client, the window invalidates exactly the items
+    updated after its Tlb — no more, no less."""
+    _rnd, db, history, now = make_db(cfg)
+    report = build_window_report(db, now, cfg["window"])
+    start = now - cfg["window"]
+    tlb = start + tlb_frac * (now - start)  # always covered
+    inv = report.invalidation_for(tlb)
+    assert inv.covered
+    latest = {}
+    for item, t in history:
+        latest[item] = t
+    exact = {item for item, t in latest.items() if t > tlb}
+    assert inv.items == frozenset(exact)
+
+
+@settings(max_examples=60, deadline=None)
+@given(cfg=scenario, back_frac=st.floats(0.0, 1.0))
+def test_enlarged_window_covers_requested_tlb_exactly(cfg, back_frac):
+    _rnd, db, history, now = make_db(cfg)
+    back_to = back_frac * now
+    report = build_enlarged_window_report(db, now, back_to)
+    assert report.covers(back_to)
+    inv = report.invalidation_for(back_to)
+    latest = {}
+    for item, t in history:
+        latest[item] = t
+    exact = {item for item, t in latest.items() if t > back_to}
+    assert inv.items == frozenset(exact)
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario)
+def test_enlarged_report_never_smaller_than_needed_window(cfg):
+    """IR(w') over the same horizon always carries >= the items of the
+    plain window report plus the dummy record."""
+    _rnd, db, _history, now = make_db(cfg)
+    plain = build_window_report(db, now, cfg["window"])
+    enlarged = build_enlarged_window_report(db, now, now - cfg["window"])
+    assert set(plain.items) == set(enlarged.items)
+    assert enlarged.size_bits > plain.size_bits

@@ -1,0 +1,125 @@
+"""Property-based tests of report application against a brute-force
+reference (hypothesis).
+
+The reference tracks, for every cached entry, the full update history
+of its item; an entry is *truly stale* relative to a report at ``T`` iff
+its item was updated in ``(coherence, T]``.  Scheme application must
+
+* never keep a truly stale entry (soundness), and
+* for window reports inside coverage, never drop a fresh one
+  (precision).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheEntry, ClientCache
+from repro.db import Database
+from repro.reports import build_bitseq_report, build_window_report
+from repro.schemes import (
+    apply_invalidation,
+    apply_window_report,
+    reconcile_with_bitseq,
+)
+
+scenario = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 10_000),
+        "n_items": st.integers(4, 40),
+        "n_updates": st.integers(0, 60),
+        "n_cached": st.integers(0, 15),
+        "tlb": st.floats(0.0, 120.0),
+    }
+)
+
+
+def build(db_state):
+    rnd = random.Random(db_state["seed"])
+    db = Database(db_state["n_items"])
+    t = 0.0
+    for _ in range(db_state["n_updates"]):
+        t += rnd.uniform(0.1, 3.0)
+        db.apply_update(rnd.randrange(db_state["n_items"]), t)
+    report_time = t + 1.0
+    cache = ClientCache(capacity=max(1, db_state["n_cached"]))
+    truth = {}
+    for _ in range(db_state["n_cached"]):
+        item = rnd.randrange(db_state["n_items"])
+        coherence = rnd.uniform(0.0, report_time)
+        cache.insert(
+            CacheEntry(item=item, version=0, ts=coherence),
+            suspect=coherence < db_state["tlb"],
+        )
+        truth[item] = coherence
+    return rnd, db, cache, truth, report_time
+
+
+def truly_stale(db, item, coherence, up_to):
+    last = float(db.last_update[item])
+    return coherence < last <= up_to
+
+
+@settings(max_examples=80, deadline=None)
+@given(scenario)
+def test_window_application_precision(db_state):
+    """Precision: an entry whose coherence the window can see and whose
+    item was never updated afterwards must survive application (the
+    window algorithm drops nothing unnecessarily)."""
+    rnd, db, cache, truth, report_time = build(db_state)
+    tlb = min(db_state["tlb"], report_time)
+    report = build_window_report(db, report_time, rnd.uniform(5.0, 200.0))
+    if not report.covers(tlb):
+        return  # scheme code would drop the cache; nothing to check
+    keep = {
+        item
+        for item, coherence in truth.items()
+        if item in cache
+        and coherence >= report.window_start
+        and not truly_stale(db, item, coherence, report_time)
+    }
+    apply_window_report(cache, report)
+    for item in keep:
+        assert item in cache
+
+
+@settings(max_examples=80, deadline=None)
+@given(scenario)
+def test_window_application_soundness_strict(db_state):
+    """Sharper soundness statement: after application, no surviving entry
+    whose coherence the report can see is truly stale."""
+    rnd, db, cache, truth, report_time = build(db_state)
+    report = build_window_report(db, report_time, rnd.uniform(5.0, 200.0))
+    tlb = min(db_state["tlb"], report_time)
+    if not report.covers(tlb):
+        return
+    apply_window_report(cache, report)
+    for entry in cache.entries():
+        coherence = truth[entry.item]
+        if coherence >= report.window_start:
+            assert not truly_stale(db, entry.item, coherence, report_time)
+
+
+@settings(max_examples=80, deadline=None)
+@given(scenario)
+def test_bs_application_soundness(db_state):
+    """After BS reconciliation + application, no surviving entry is truly
+    stale (for covered clients)."""
+    rnd, db, cache, truth, report_time = build(db_state)
+    tlb = min(db_state["tlb"], report_time)
+    report = build_bitseq_report(db, report_time, origin=0.0)
+    inv = report.invalidation_for(tlb)
+    if not inv.covered:
+        return
+    reconcile_with_bitseq(cache, report)
+    apply_invalidation(cache, inv, report_time)
+    for entry in cache.entries():
+        coherence = truth[entry.item]
+        if coherence >= tlb:
+            # Non-suspect path: BS covers updates after tlb <= coherence.
+            assert not truly_stale(db, entry.item, coherence, report_time)
+        else:
+            # Suspect path: reconciliation used the entry's own level.
+            if report.salvageable(coherence):
+                assert not truly_stale(db, entry.item, coherence, report_time)

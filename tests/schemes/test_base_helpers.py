@@ -1,0 +1,111 @@
+"""Tests for scheme base helpers not covered elsewhere."""
+
+import pytest
+
+from repro.cache import CacheEntry, ClientCache
+from repro.reports import Invalidation, WindowReport
+from repro.schemes import ClientOutcome, apply_invalidation, apply_window_report
+from repro.schemes.base import ClientPolicy, Scheme, ServerPolicy
+
+
+def entry(item, ts=0.0):
+    return CacheEntry(item=item, version=1, ts=ts)
+
+
+class TestApplyInvalidation:
+    def test_uncovered_rejected(self):
+        cache = ClientCache(4)
+        with pytest.raises(ValueError):
+            apply_invalidation(cache, Invalidation.drop_all(), 10.0)
+
+    def test_small_set_path(self):
+        cache = ClientCache(8)
+        for i in range(5):
+            cache.insert(entry(i))
+        dropped = apply_invalidation(cache, Invalidation.drop({1, 3, 99}), 10.0)
+        assert dropped == 2
+        assert 1 not in cache and 3 not in cache and 0 in cache
+
+    def test_large_set_path(self):
+        """When the drop set dwarfs the cache, iteration flips sides."""
+        cache = ClientCache(4)
+        cache.insert(entry(2))
+        cache.insert(entry(7))
+        big = Invalidation.drop(frozenset(range(100)))
+        dropped = apply_invalidation(cache, big, 10.0)
+        assert dropped == 2
+        assert len(cache) == 0
+
+    def test_certifies_even_when_nothing_dropped(self):
+        cache = ClientCache(4)
+        cache.insert(entry(1))
+        apply_invalidation(cache, Invalidation.nothing(), 42.0)
+        assert cache.certified_floor == 42.0
+
+
+class TestApplyWindowReport:
+    def test_large_report_iterates_cache_side(self):
+        cache = ClientCache(2)
+        cache.insert(entry(0, ts=5.0))
+        cache.insert(entry(1, ts=5.0))
+        items = {i: 50.0 for i in range(100)}  # report >> cache
+        report = WindowReport(
+            timestamp=60.0, window_start=0.0, items=items, n_items=200
+        )
+        dropped = apply_window_report(cache, report)
+        assert dropped == 2
+        assert len(cache) == 0
+
+    def test_returns_drop_count(self):
+        cache = ClientCache(4)
+        cache.insert(entry(1, ts=5.0))
+        cache.insert(entry(2, ts=55.0))
+        report = WindowReport(
+            timestamp=60.0, window_start=0.0,
+            items={1: 50.0, 2: 50.0}, n_items=100,
+        )
+        # item 1: 50 > 5 -> drop; item 2: 50 < 55 -> keep
+        assert apply_window_report(cache, report) == 1
+
+
+class TestPolicyInterfaces:
+    def test_client_policy_defaults(self):
+        policy = ClientPolicy()
+        with pytest.raises(NotImplementedError):
+            policy.on_report(None, None)
+        with pytest.raises(NotImplementedError):
+            policy.on_validity_reply(None, [], 0.0)
+        # Reconnect hooks are optional no-ops.
+        policy.on_reconnect(None, 0.0)
+        policy.on_disconnect(None, 0.0)
+
+    def test_server_policy_defaults(self):
+        policy = ServerPolicy()
+        with pytest.raises(NotImplementedError):
+            policy.build_report(None, 0.0)
+        with pytest.raises(NotImplementedError):
+            policy.on_tlb(None, 0, 0.0, 0.0)
+        with pytest.raises(NotImplementedError):
+            policy.on_check_request(None, 0, [], 0.0)
+        policy.on_item_update(0, 0, 1)  # optional no-op
+
+    def test_scheme_factories(self):
+        made = []
+
+        def server_factory(params, db):
+            made.append(("server", params, db))
+            return ServerPolicy()
+
+        def client_factory(params, client_id):
+            made.append(("client", params, client_id))
+            return ClientPolicy()
+
+        scheme = Scheme("demo", server_factory, client_factory, "desc")
+        scheme.make_server_policy("P", "DB")
+        scheme.make_client_policy("P", 7)
+        assert made == [("server", "P", "DB"), ("client", "P", 7)]
+        assert "demo" in repr(scheme)
+
+    def test_client_outcome_values(self):
+        assert ClientOutcome.READY.value == "ready"
+        assert ClientOutcome.PENDING.value == "pending"

@@ -1,0 +1,54 @@
+"""Unit tests for the SIG scheme policies."""
+
+from repro.schemes import ClientOutcome, SIGClientPolicy, SIGServerPolicy
+
+
+def make_server(params, db, **kw):
+    return SIGServerPolicy(params=params, db=db, **kw)
+
+
+class TestSIGServer:
+    def test_report_reflects_incremental_updates(self, params, db):
+        server = make_server(params, db)
+        before = server.build_report(None, 20.0).combined
+        db.apply_update(5, 25.0)
+        server.on_item_update(5, 0, 1)
+        after = server.build_report(None, 40.0).combined
+        assert before != after
+
+    def test_report_size_independent_of_update_volume(self, params, db):
+        server = make_server(params, db)
+        a = server.build_report(None, 20.0).size_bits
+        for i in range(20):
+            db.apply_update(i, 25.0)
+            server.on_item_update(i, 0, 1)
+        b = server.build_report(None, 40.0).size_bits
+        assert a == b
+
+
+class TestSIGClient:
+    def test_first_report_establishes_baseline(self, params, db, ctx):
+        server = make_server(params, db)
+        policy = SIGClientPolicy(params=params, client_id=0)
+        outcome = policy.on_report(ctx, server.build_report(None, 20.0))
+        assert outcome is ClientOutcome.READY
+        assert ctx.tlb == 20.0
+
+    def test_updated_item_diagnosed_across_long_gap(self, params, db, ctx):
+        server = make_server(params, db)
+        policy = SIGClientPolicy(params=params, client_id=0)
+        policy.on_report(ctx, server.build_report(None, 20.0))
+        ctx.cache_items((5, 20.0), (9, 20.0))
+        db.apply_update(5, 500.0)
+        server.on_item_update(5, 0, 1)
+        # Client slept from t=20 to t=1000: SIG still diagnoses.
+        policy.on_report(ctx, server.build_report(None, 1000.0))
+        assert 5 not in ctx.cache
+
+    def test_quiet_database_keeps_cache(self, params, db, ctx):
+        server = make_server(params, db)
+        policy = SIGClientPolicy(params=params, client_id=0)
+        policy.on_report(ctx, server.build_report(None, 20.0))
+        ctx.cache_items((5, 20.0), (9, 20.0))
+        policy.on_report(ctx, server.build_report(None, 1000.0))
+        assert 5 in ctx.cache and 9 in ctx.cache

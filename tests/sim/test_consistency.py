@@ -1,0 +1,110 @@
+"""The library's central invariant: **no stale hits, ever**.
+
+A query answered from cache must never return an item the client should
+have known was updated (as of the last report it processed).  The
+simulator checks every cache hit against the independent ground-truth
+update log; here we drive every scheme through randomized regimes —
+aggressive updates, long disconnections, tiny caches, narrow uplinks —
+and assert the violation counter stays at zero.
+
+SIG is included: its only unsoundness channel is a 2^-32 signature
+collision, which these seeds do not hit.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.schemes import available_schemes
+from repro.sim import HOTCOLD, UNIFORM, SimulationModel, SystemParams
+from repro.sim.metrics import CACHE_HITS, STALE_HITS
+
+ALL_SCHEMES = sorted(available_schemes())
+
+
+def run(scheme, workload, **kw):
+    defaults = dict(
+        simulation_time=3000.0,
+        n_clients=6,
+        db_size=40,
+        buffer_fraction=0.5,
+        update_interarrival_mean=60.0,
+        think_time_mean=40.0,
+        disconnect_prob=0.3,
+        disconnect_time_mean=300.0,
+        seed=11,
+    )
+    defaults.update(kw)
+    return SimulationModel(SystemParams(**defaults), workload, scheme).run()
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_no_stale_hits_with_churn_and_disconnections(scheme):
+    result = run(scheme, UNIFORM)
+    assert result.counter(STALE_HITS) == 0
+    assert result.counter(CACHE_HITS) > 0, "config too cold to test anything"
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_no_stale_hits_hotcold(scheme):
+    result = run(
+        scheme,
+        HOTCOLD,
+        db_size=400,
+        buffer_fraction=0.3,
+        update_interarrival_mean=30.0,
+    )
+    assert result.counter(STALE_HITS) == 0
+    if scheme != "sig":
+        # SIG's false-positive collateral can legitimately empty the cache
+        # under this violent update rate; the exact schemes must still hit.
+        assert result.counter(CACHE_HITS) > 0
+
+
+@pytest.mark.parametrize("scheme", ["aaw", "afw", "checking", "bs"])
+def test_no_stale_hits_with_narrow_uplink(scheme):
+    result = run(scheme, UNIFORM, uplink_bps=300.0)
+    assert result.counter(STALE_HITS) == 0
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_no_stale_hits_with_violent_update_rate(scheme):
+    result = run(
+        scheme,
+        UNIFORM,
+        update_interarrival_mean=10.0,
+        items_per_update_mean=8.0,
+        disconnect_prob=0.5,
+        disconnect_time_mean=150.0,
+    )
+    assert result.counter(STALE_HITS) == 0
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    scheme=st.sampled_from(ALL_SCHEMES),
+    seed=st.integers(min_value=0, max_value=10_000),
+    update_mean=st.floats(min_value=15.0, max_value=400.0),
+    disc_prob=st.floats(min_value=0.0, max_value=0.8),
+    disc_mean=st.floats(min_value=50.0, max_value=1500.0),
+    db_size=st.integers(min_value=8, max_value=120),
+)
+def test_property_no_scheme_ever_serves_stale_data(
+    scheme, seed, update_mean, disc_prob, disc_mean, db_size
+):
+    result = run(
+        scheme,
+        UNIFORM,
+        simulation_time=1500.0,
+        n_clients=4,
+        db_size=db_size,
+        seed=seed,
+        update_interarrival_mean=update_mean,
+        disconnect_prob=disc_prob,
+        disconnect_time_mean=disc_mean,
+    )
+    assert result.counter(STALE_HITS) == 0

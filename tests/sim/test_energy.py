@@ -1,0 +1,95 @@
+"""Tests for client radio energy accounting."""
+
+import pytest
+
+from repro.sim import SimulationModel, SystemParams, UNIFORM
+from repro.sim.energy import ENERGY_RX, ENERGY_TX, EnergyModel, energy_per_query_nj
+
+
+def params(**kw):
+    defaults = dict(
+        simulation_time=3000.0,
+        n_clients=8,
+        db_size=400,
+        buffer_fraction=0.1,
+        disconnect_prob=0.2,
+        disconnect_time_mean=400.0,
+        seed=6,
+    )
+    defaults.update(kw)
+    return SystemParams(**defaults)
+
+
+class TestEnergyModel:
+    def test_defaults_make_tx_expensive(self):
+        e = EnergyModel()
+        assert e.tx(1) > 10 * e.rx(1)
+
+    def test_cost_helpers(self):
+        e = EnergyModel(tx_nj_per_bit=2.0, rx_nj_per_bit=0.5)
+        assert e.tx(100) == 200.0
+        assert e.rx(100) == 50.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(tx_nj_per_bit=-1.0)
+
+
+class TestEnergyAccounting:
+    def test_tx_energy_matches_uplink_bits(self):
+        result = SimulationModel(params(), UNIFORM, "checking").run()
+        uplink_bits = result.counter("uplink.validation_bits") + result.counter(
+            "uplink.request_bits"
+        )
+        assert result.counter(ENERGY_TX) == pytest.approx(
+            uplink_bits * EnergyModel().tx_nj_per_bit
+        )
+
+    def test_rx_energy_positive_from_report_listening(self):
+        result = SimulationModel(params(), UNIFORM, "ts").run()
+        assert result.counter(ENERGY_RX) > 0
+
+    def test_bs_shifts_energy_from_tx_to_rx(self):
+        """The paper's packet/power trade, in joules: BS never transmits
+        validation traffic but makes every client receive ~2N-bit reports;
+        checking does the opposite."""
+        bs = SimulationModel(params(db_size=20_000), UNIFORM, "bs").run()
+        chk = SimulationModel(params(db_size=20_000), UNIFORM, "checking").run()
+        assert bs.counter(ENERGY_RX) > chk.counter(ENERGY_RX)
+        assert bs.counter(ENERGY_TX) < chk.counter(ENERGY_TX)
+
+    def test_adaptive_validation_energy_below_checking(self):
+        """Isolate validation energy (fetch requests cost all schemes the
+        same per miss): AAW's Tlb uploads are ~100x lighter than checking's
+        cache uploads."""
+        aaw = SimulationModel(params(), UNIFORM, "aaw").run()
+        chk = SimulationModel(params(), UNIFORM, "checking").run()
+        e = EnergyModel().tx_nj_per_bit
+        aaw_validation = aaw.counter("uplink.validation_bits") * e
+        chk_validation = chk.counter("uplink.validation_bits") * e
+        assert aaw_validation < chk_validation / 10
+
+    def test_energy_per_query_helper(self):
+        result = SimulationModel(params(), UNIFORM, "aaw").run()
+        expected = (
+            result.counter(ENERGY_TX) + result.counter(ENERGY_RX)
+        ) / result.queries_answered
+        assert energy_per_query_nj(result) == pytest.approx(expected)
+
+    def test_custom_energy_model_scales_linearly(self):
+        cheap = SimulationModel(
+            params(energy=EnergyModel(tx_nj_per_bit=1.0, rx_nj_per_bit=1.0)),
+            UNIFORM,
+            "aaw",
+        ).run()
+        costly = SimulationModel(
+            params(energy=EnergyModel(tx_nj_per_bit=10.0, rx_nj_per_bit=10.0)),
+            UNIFORM,
+            "aaw",
+        ).run()
+        assert costly.counter(ENERGY_TX) == pytest.approx(
+            10 * cheap.counter(ENERGY_TX)
+        )
+        assert costly.counter(ENERGY_RX) == pytest.approx(
+            10 * cheap.counter(ENERGY_RX)
+        )

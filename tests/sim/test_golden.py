@@ -1,0 +1,75 @@
+"""Golden change-detector: fixed-seed metrics per scheme.
+
+These pin the end-to-end behaviour of every scheme on one small, fully
+deterministic configuration.  They are *change detectors*, not
+correctness oracles: an intentional behaviour change should update the
+constants here (and the reviewer sees exactly which schemes moved and
+how); an accidental one fails loudly.
+
+Regenerate after an intentional change with:
+
+    python -m tests.sim.test_golden
+"""
+
+import pytest
+
+from repro.sim import SystemParams, UNIFORM, run_simulation
+
+PARAMS = SystemParams(
+    simulation_time=2000.0,
+    n_clients=5,
+    db_size=200,
+    buffer_fraction=0.1,
+    think_time_mean=50.0,
+    update_interarrival_mean=60.0,
+    disconnect_prob=0.25,
+    disconnect_time_mean=250.0,
+    seed=1234,
+)
+
+PINNED = ("queries.answered", "cache.hits", "cache.misses",
+          "cache.full_drops", "uplink.validation_bits")
+
+# scheme -> pinned counter values for PARAMS (regenerate via __main__).
+GOLDEN = {
+    "aaw": (78.0, 9.0, 69.0, 0.0, 384.0),
+    "afw": (78.0, 9.0, 69.0, 0.0, 384.0),
+    "at": (80.0, 1.0, 79.0, 22.0, 0.0),
+    "bs": (80.0, 10.0, 70.0, 0.0, 0.0),
+    "checking": (79.0, 9.0, 70.0, 0.0, 9920.0),
+    "gcore": (79.0, 9.0, 70.0, 0.0, 5568.0),
+    "sig": (80.0, 2.0, 78.0, 0.0, 0.0),
+    "ts": (80.0, 5.0, 75.0, 14.0, 0.0),
+}
+
+
+def observe(scheme):
+    result = run_simulation(PARAMS, UNIFORM, scheme)
+    return tuple(result.counter(name) for name in PINNED)
+
+
+@pytest.mark.parametrize("scheme", sorted(GOLDEN))
+def test_golden_metrics(scheme):
+    assert observe(scheme) == GOLDEN[scheme]
+
+
+def test_golden_table_is_self_consistent():
+    """The pins encode the schemes' qualitative relationships."""
+    answered = {s: g[0] for s, g in GOLDEN.items()}
+    drops = {s: g[3] for s, g in GOLDEN.items()}
+    uplink = {s: g[4] for s, g in GOLDEN.items()}
+    # Salvage schemes never drop caches here; TS/AT do.
+    assert drops["ts"] > 0 and drops["at"] > 0
+    assert drops["aaw"] == drops["bs"] == drops["checking"] == 0
+    # BS/SIG/AT/TS are uplink-silent; checking pays the most.
+    for silent in ("bs", "sig", "at", "ts"):
+        assert uplink[silent] == 0
+    assert uplink["checking"] > uplink["gcore"] > uplink["aaw"]
+    # Everyone answers (nearly) the same offered stream at this tiny
+    # load; latency differences shift at most a couple of query cycles.
+    assert max(answered.values()) - min(answered.values()) <= 3
+
+
+if __name__ == "__main__":
+    for scheme in sorted(GOLDEN):
+        print(f'    "{scheme}": {observe(scheme)},')

@@ -1,0 +1,78 @@
+"""Tests for SystemParams (Table 1) validation and derived values."""
+
+import pytest
+
+from repro.sim import SystemParams
+
+
+class TestDefaults:
+    def test_table1_defaults(self):
+        p = SystemParams()
+        assert p.simulation_time == 100_000
+        assert p.n_clients == 100
+        assert p.db_size == 10_000
+        assert p.item_size_bytes == 8192
+        assert p.broadcast_interval == 20.0
+        assert p.downlink_bps == 10_000
+        assert p.control_message_bytes == 512
+        assert p.think_time_mean == 100.0
+        assert p.update_interarrival_mean == 100.0
+        assert p.items_per_update_mean == 5.0
+        assert p.window_intervals == 10
+
+    def test_derived_quantities(self):
+        p = SystemParams()
+        assert p.cache_capacity == 200        # 2 % of 10000
+        assert p.window_seconds == 200.0      # 10 * 20
+        assert p.item_size_bits == 65536.0
+        assert p.control_message_bits == 4096.0
+        assert p.n_intervals == 5000
+        assert p.effective_uplink_bps == 10_000  # defaults to downlink
+
+    def test_uplink_override(self):
+        p = SystemParams(uplink_bps=200.0)
+        assert p.effective_uplink_bps == 200.0
+
+    def test_cache_capacity_floor(self):
+        p = SystemParams(db_size=10, buffer_fraction=0.01)
+        assert p.cache_capacity == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"simulation_time": 0},
+            {"n_clients": 0},
+            {"db_size": 0},
+            {"buffer_fraction": 0.0},
+            {"buffer_fraction": 1.5},
+            {"broadcast_interval": 0},
+            {"downlink_bps": 0},
+            {"uplink_bps": 0.0},
+            {"disconnect_prob": -0.1},
+            {"disconnect_prob": 1.1},
+            {"window_intervals": 0},
+            {"items_per_query": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kw):
+        with pytest.raises(ValueError):
+            SystemParams(**kw)
+
+
+class TestWith:
+    def test_with_replaces_fields(self):
+        p = SystemParams().with_(db_size=500, seed=9)
+        assert p.db_size == 500
+        assert p.seed == 9
+        assert p.n_clients == 100  # untouched
+
+    def test_with_revalidates(self):
+        with pytest.raises(ValueError):
+            SystemParams().with_(db_size=-1)
+
+    def test_frozen(self):
+        p = SystemParams()
+        with pytest.raises(Exception):
+            p.db_size = 7

@@ -1,0 +1,131 @@
+"""Tests for publishing mode (Section 1's listen-only dissemination)."""
+
+import pytest
+
+from repro.sim import HOTCOLD, UNIFORM, SimulationModel, SystemParams
+from repro.sim.metrics import (
+    PUBLISH_BITS,
+    PUBLISH_ITEMS,
+    PUBLISH_REFRESHES,
+    UPLINK_REQUEST_BITS,
+)
+
+
+def params(**kw):
+    defaults = dict(
+        simulation_time=4000.0,
+        n_clients=20,
+        db_size=2000,
+        buffer_fraction=0.06,     # 120 items: hot region fits
+        disconnect_prob=0.1,
+        disconnect_time_mean=300.0,
+        update_interarrival_mean=40.0,
+        seed=12,
+    )
+    defaults.update(kw)
+    return SystemParams(**defaults)
+
+
+class TestValidation:
+    def test_publishing_requires_region(self):
+        with pytest.raises(ValueError):
+            SystemParams(publish_per_interval=2)
+
+    def test_region_must_fit_database(self):
+        with pytest.raises(ValueError):
+            SystemParams(db_size=50, publish_per_interval=1, publish_region=(0, 50))
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SystemParams(publish_per_interval=-1)
+
+
+class TestPushing:
+    def test_items_pushed_at_configured_rate(self):
+        result = SimulationModel(
+            params(publish_per_interval=2, publish_region=(0, 99)),
+            HOTCOLD,
+            "ts",
+        ).run()
+        intervals = 4000.0 / 20.0
+        assert result.counter(PUBLISH_ITEMS) == 2 * intervals
+        assert result.counter(PUBLISH_BITS) == 2 * intervals * 65536.0
+
+    def test_disabled_by_default(self):
+        result = SimulationModel(params(), HOTCOLD, "ts").run()
+        assert result.counter(PUBLISH_ITEMS) == 0
+
+    def test_clients_refresh_from_pushes(self):
+        result = SimulationModel(
+            params(publish_per_interval=2, publish_region=(0, 99)),
+            HOTCOLD,
+            "ts",
+        ).run()
+        assert result.counter(PUBLISH_REFRESHES) > 0
+
+    def test_uniform_clients_ignore_uninteresting_pushes(self):
+        """Uniform clients have no hot region: pushes only refresh items
+        they happen to cache."""
+        result = SimulationModel(
+            params(publish_per_interval=1, publish_region=(0, 99), warm_start=False),
+            UNIFORM,
+            "ts",
+        ).run()
+        # With cold caches over a 2000-item db, nearly every push is
+        # irrelevant to every client.
+        assert result.counter(PUBLISH_REFRESHES) < result.counter(PUBLISH_ITEMS) * 20
+
+
+class TestEffectOnTraffic:
+    def test_publishing_cuts_hot_fetch_traffic(self):
+        """The mode's purpose: when updates hit the hot region, published
+        copies replace on-demand re-fetches of invalidated hot items."""
+        from repro.sim.workload import Workload
+
+        churny = Workload(
+            name="hot-churn",
+            query_hot=(0, 99),
+            query_hot_prob=0.8,
+            update_hot=(0, 99),   # updates concentrate on the hot region
+            update_hot_prob=0.8,
+        )
+        off = SimulationModel(params(), churny, "aaw").run()
+        on = SimulationModel(
+            params(publish_per_interval=2, publish_region=(0, 99)),
+            churny,
+            "aaw",
+        ).run()
+        assert on.counter(UPLINK_REQUEST_BITS) < off.counter(UPLINK_REQUEST_BITS)
+        assert on.hit_ratio > off.hit_ratio
+
+    def test_no_stale_hits_with_publishing(self):
+        """Pushed entries ride the same suspect-reconciliation machinery."""
+        for scheme in ("ts", "bs", "aaw", "checking"):
+            result = SimulationModel(
+                params(
+                    publish_per_interval=3,
+                    publish_region=(0, 99),
+                    update_interarrival_mean=15.0,
+                ),
+                HOTCOLD,
+                scheme,
+            ).run()
+            assert result.stale_hits == 0, scheme
+
+    def test_pushed_item_satisfies_waiting_fetch(self):
+        """A client mid-fetch for item X accepts a pushed X (no deadlock,
+        no double answer)."""
+        result = SimulationModel(
+            params(
+                publish_per_interval=5,
+                publish_region=(0, 20),
+                db_size=300,
+                buffer_fraction=0.5,
+                think_time_mean=30.0,
+            ),
+            HOTCOLD,
+            "ts",
+        ).run()
+        generated = result.counter("queries.generated")
+        answered = result.counter("queries.answered")
+        assert generated - answered <= 20  # nothing wedged

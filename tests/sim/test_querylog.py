@@ -1,0 +1,127 @@
+"""Tests for the per-query event log and fairness analysis."""
+
+import pytest
+
+from repro.sim import (
+    QueryLog,
+    QueryRecord,
+    SimulationModel,
+    SystemParams,
+    UNIFORM,
+    jain_index,
+)
+
+
+def rec(cid, started, answered, hits=1, misses=0):
+    return QueryRecord(
+        client_id=cid, started=started, answered=answered,
+        items=hits + misses, hits=hits, misses=misses,
+    )
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_maximally_unfair(self):
+        assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0, 0]) == 1.0
+
+
+class TestQueryLog:
+    def test_record_and_latency(self):
+        log = QueryLog()
+        log.record(rec(0, 10.0, 14.5))
+        assert len(log) == 1
+        assert log.records[0].latency == pytest.approx(4.5)
+
+    def test_per_client_summaries(self):
+        log = QueryLog()
+        log.record(rec(0, 0.0, 2.0, hits=1, misses=0))
+        log.record(rec(0, 5.0, 9.0, hits=0, misses=1))
+        log.record(rec(1, 0.0, 1.0, hits=1, misses=0))
+        per = log.per_client()
+        assert per[0].queries == 2
+        assert per[0].mean_latency == pytest.approx(3.0)
+        assert per[0].hit_ratio == pytest.approx(0.5)
+        assert per[1].hit_ratio == 1.0
+
+    def test_for_client(self):
+        log = QueryLog()
+        log.record(rec(0, 0.0, 1.0))
+        log.record(rec(1, 0.0, 1.0))
+        assert [r.client_id for r in log.for_client(1)] == [1]
+
+    def test_fairness_from_counts(self):
+        log = QueryLog()
+        for _ in range(9):
+            log.record(rec(0, 0.0, 1.0))
+        log.record(rec(1, 0.0, 1.0))
+        assert log.fairness() < 0.7
+
+    def test_csv_export(self, tmp_path):
+        log = QueryLog()
+        log.record(rec(3, 1.0, 2.5, hits=1, misses=2))
+        path = log.to_csv(tmp_path / "queries.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("client_id,")
+        assert lines[1].startswith("3,1.000000,2.500000,1.500000,3,1,2")
+
+
+class TestInSimulation:
+    def params(self, **kw):
+        defaults = dict(
+            simulation_time=2000.0,
+            n_clients=6,
+            db_size=100,
+            disconnect_prob=0.1,
+            disconnect_time_mean=200.0,
+            collect_query_log=True,
+            seed=3,
+        )
+        defaults.update(kw)
+        return SystemParams(**defaults)
+
+    def test_log_matches_counters(self):
+        model = SimulationModel(self.params(), UNIFORM, "ts")
+        result = model.run()
+        assert len(model.query_log) == result.queries_answered
+        hits = sum(r.hits for r in model.query_log.records)
+        # Counter includes hits of the (single) in-flight query, if any.
+        assert abs(hits - result.counter("cache.hits")) <= 1
+
+    def test_latencies_positive_and_ordered(self):
+        model = SimulationModel(self.params(), UNIFORM, "ts")
+        model.run()
+        for r in model.query_log.records:
+            assert r.answered >= r.started
+        times = [r.answered for r in model.query_log.records]
+        assert times == sorted(times)
+
+    def test_disabled_by_default(self):
+        params = self.params(collect_query_log=False)
+        model = SimulationModel(params, UNIFORM, "ts")
+        model.run()
+        assert model.query_log is None
+
+    def test_connected_clients_fairer_than_sleepers(self):
+        """Fairness degrades when some clients sleep long (per-client
+        service diverges)."""
+        stable = SimulationModel(
+            self.params(disconnect_prob=0.0), UNIFORM, "ts"
+        )
+        stable.run()
+        sleepy = SimulationModel(
+            self.params(disconnect_prob=0.5, disconnect_time_mean=800.0),
+            UNIFORM,
+            "ts",
+        )
+        sleepy.run()
+        assert stable.query_log.fairness() > sleepy.query_log.fairness()
+
+    def test_latency_percentiles_in_snapshot(self):
+        result = SimulationModel(self.params(), UNIFORM, "ts").run()
+        assert result.raw["query.latency.p95"] >= result.raw["query.latency.p50"] > 0

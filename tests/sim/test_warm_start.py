@@ -1,0 +1,103 @@
+"""Tests for the stationary warm-start of client caches."""
+
+import pytest
+
+from repro.des import RandomStreams
+from repro.sim import HOTCOLD, UNIFORM, SimulationModel, SystemParams
+from repro.sim.workload import AccessPattern, Region
+
+
+@pytest.fixture
+def stream():
+    return RandomStreams(9).stream("warm")
+
+
+class TestWarmFill:
+    def test_uniform_fill_distinct_and_sized(self, stream):
+        pat = AccessPattern(100)
+        items = pat.warm_fill(stream, 30)
+        assert len(items) == 30
+        assert len(set(items)) == 30
+        assert all(0 <= i < 100 for i in items)
+
+    def test_capacity_capped_at_database(self, stream):
+        pat = AccessPattern(10)
+        assert len(pat.warm_fill(stream, 50)) == 10
+
+    def test_hot_items_fill_first(self, stream):
+        pat = AccessPattern(1000, hot=Region(0, 99), hot_prob=0.8)
+        items = pat.warm_fill(stream, 150)
+        hot = [i for i in items if i < 100]
+        cold = [i for i in items if i >= 100]
+        assert len(hot) == 100   # entire hot region present
+        assert len(cold) == 50
+        assert len(set(items)) == 150
+
+    def test_small_cache_takes_hot_subset(self, stream):
+        pat = AccessPattern(1000, hot=Region(0, 99), hot_prob=0.8)
+        items = pat.warm_fill(stream, 20)
+        assert len(items) == 20
+        assert all(i < 100 for i in items)
+
+    def test_cold_fill_avoids_hot_region(self, stream):
+        pat = AccessPattern(200, hot=Region(50, 59), hot_prob=0.8)
+        items = pat.warm_fill(stream, 60)
+        cold = [i for i in items if not 50 <= i <= 59]
+        assert len(cold) == 50
+        assert len(set(items)) == 60
+
+
+class TestWarmStartInModel:
+    def params(self, **kw):
+        defaults = dict(
+            simulation_time=1000.0,
+            n_clients=5,
+            db_size=500,
+            buffer_fraction=0.1,
+            disconnect_prob=0.0,
+            seed=4,
+        )
+        defaults.update(kw)
+        return SystemParams(**defaults)
+
+    def test_caches_full_at_start(self):
+        model = SimulationModel(self.params(), UNIFORM, "ts")
+        for client in model.clients:
+            assert len(client.cache) == model.params.cache_capacity
+
+    def test_warm_entries_coherent_at_origin(self):
+        model = SimulationModel(self.params(), UNIFORM, "ts")
+        entry = model.clients[0].cache.entries()[0]
+        assert entry.version == 0
+        assert entry.ts == 0.0
+
+    def test_disabled_warm_start_is_cold(self):
+        model = SimulationModel(self.params(warm_start=False), UNIFORM, "ts")
+        assert all(len(c.cache) == 0 for c in model.clients)
+
+    def test_hotcold_clients_hold_the_hot_set(self):
+        model = SimulationModel(
+            self.params(db_size=5000, buffer_fraction=0.04), HOTCOLD, "ts"
+        )
+        for client in model.clients:
+            hot_cached = sum(1 for i in client.cache.item_ids() if i < 100)
+            assert hot_cached == 100
+
+    def test_warm_start_raises_initial_hit_ratio(self):
+        warm = SimulationModel(
+            self.params(db_size=2000, simulation_time=3000.0), HOTCOLD, "ts"
+        ).run()
+        cold = SimulationModel(
+            self.params(db_size=2000, simulation_time=3000.0, warm_start=False),
+            HOTCOLD,
+            "ts",
+        ).run()
+        assert warm.hit_ratio > cold.hit_ratio
+
+    def test_warm_start_never_creates_stale_hits(self):
+        result = SimulationModel(
+            self.params(update_interarrival_mean=20.0, simulation_time=4000.0),
+            HOTCOLD,
+            "ts",
+        ).run()
+        assert result.stale_hits == 0

@@ -1,0 +1,94 @@
+"""Tests for Table 2 workload patterns."""
+
+import pytest
+
+from repro.des import RandomStreams
+from repro.sim import HOTCOLD, UNIFORM, AccessPattern, Region, workload_by_name
+from repro.sim.workload import Workload
+
+
+@pytest.fixture
+def stream():
+    return RandomStreams(5).stream("pattern")
+
+
+class TestRegion:
+    def test_size_and_contains(self):
+        r = Region(10, 19)
+        assert r.size == 10
+        assert r.contains(10) and r.contains(19)
+        assert not r.contains(9) and not r.contains(20)
+
+    def test_pick_within(self, stream):
+        r = Region(5, 7)
+        assert all(5 <= r.pick(stream) <= 7 for _ in range(100))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Region(5, 4)
+        with pytest.raises(ValueError):
+            Region(-1, 4)
+
+
+class TestAccessPattern:
+    def test_uniform_covers_whole_db(self, stream):
+        pat = AccessPattern(50)
+        seen = {pat.pick(stream) for _ in range(3000)}
+        assert seen == set(range(50))
+
+    def test_hot_probability(self, stream):
+        pat = AccessPattern(1000, hot=Region(0, 99), hot_prob=0.8)
+        hot = sum(1 for _ in range(20000) if pat.pick(stream) < 100)
+        assert hot / 20000 == pytest.approx(0.8, abs=0.02)
+
+    def test_cold_picks_avoid_hot_region(self, stream):
+        pat = AccessPattern(200, hot=Region(50, 99), hot_prob=0.5)
+        for _ in range(2000):
+            item = pat.pick(stream)
+            assert 0 <= item < 200
+
+    def test_cold_excluding_hot_is_uniform_over_complement(self, stream):
+        pat = AccessPattern(100, hot=Region(10, 19), hot_prob=0.0)
+        seen = {pat.pick(stream) for _ in range(5000)}
+        assert seen == set(range(100)) - set(range(10, 20))
+
+    def test_cold_may_include_hot_when_configured(self, stream):
+        pat = AccessPattern(
+            100, hot=Region(10, 19), hot_prob=0.0, cold_excludes_hot=False
+        )
+        seen = {pat.pick(stream) for _ in range(5000)}
+        assert seen == set(range(100))
+
+    def test_hot_region_must_fit(self):
+        with pytest.raises(ValueError):
+            AccessPattern(50, hot=Region(0, 50), hot_prob=0.5)
+
+    def test_hot_region_cannot_swallow_db(self):
+        with pytest.raises(ValueError):
+            AccessPattern(10, hot=Region(0, 9), hot_prob=0.5)
+
+
+class TestPresets:
+    def test_uniform_preset(self):
+        pat = UNIFORM.query_pattern(1000)
+        assert pat.hot is None
+        assert UNIFORM.update_pattern(1000).hot is None
+
+    def test_hotcold_preset_matches_paper(self):
+        """Items 1..100 hot with 0.8 probability; updates uniform."""
+        pat = HOTCOLD.query_pattern(1000)
+        assert pat.hot == Region(0, 99)
+        assert pat.hot_prob == 0.8
+        assert HOTCOLD.update_pattern(1000).hot is None
+
+    def test_lookup_by_name(self):
+        assert workload_by_name("UNIFORM") is UNIFORM
+        assert workload_by_name("hotcold") is HOTCOLD
+        with pytest.raises(KeyError):
+            workload_by_name("nope")
+
+    def test_custom_workload_update_locality(self):
+        wl = Workload(name="hotupdate", update_hot=(0, 9), update_hot_prob=0.9)
+        pat = wl.update_pattern(100)
+        assert pat.hot == Region(0, 9)
+        assert pat.hot_prob == 0.9
