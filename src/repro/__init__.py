@@ -19,6 +19,7 @@ Quickstart::
     print(result.summary())
 """
 
+from .net import FaultConfig
 from .sim import (
     HOTCOLD,
     UNIFORM,
@@ -43,6 +44,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "EVALUATED_SCHEMES",
+    "FaultConfig",
     "HOTCOLD",
     "Scheme",
     "SimulationModel",

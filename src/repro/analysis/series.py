@@ -7,7 +7,7 @@ helpers express those assertions readably.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 
 def trend_slope(xs: Sequence[float], ys: Sequence[float]) -> float:

@@ -14,7 +14,9 @@ from typing import Any, Callable, Iterator, Optional, Tuple
 class LRUCache:
     """Bounded mapping evicting the least-recently-used entry on overflow."""
 
-    def __init__(self, capacity: int, on_evict: Optional[Callable[[Any, Any], None]] = None):
+    def __init__(
+        self, capacity: int, on_evict: Optional[Callable[[Any, Any], None]] = None
+    ):
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self.capacity = int(capacity)

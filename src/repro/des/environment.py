@@ -58,7 +58,9 @@ class Environment:
         """Create a new, untriggered :class:`Event`."""
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None, priority: int = NORMAL) -> Timeout:
+    def timeout(
+        self, delay: float, value: Any = None, priority: int = NORMAL
+    ) -> Timeout:
         """Create an event that fires after *delay* simulated seconds."""
         return Timeout(self, delay, value, priority)
 

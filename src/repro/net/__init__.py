@@ -1,6 +1,8 @@
-"""Wireless cell network substrate: messages and shared priority channels."""
+"""Wireless cell network substrate: messages, shared priority channels,
+and deterministic fault injection."""
 
 from .channel import Channel, ChannelStats
+from .faults import Fate, FaultConfig, FaultModel, FaultStats
 from .messages import (
     BROADCAST,
     KIND_PRIORITY,
@@ -16,6 +18,10 @@ __all__ = [
     "BROADCAST",
     "Channel",
     "ChannelStats",
+    "Fate",
+    "FaultConfig",
+    "FaultModel",
+    "FaultStats",
     "KIND_PRIORITY",
     "Message",
     "MessageKind",

@@ -17,10 +17,12 @@ uplink (clients share it toward the server).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from dataclasses import replace
+from typing import Callable, List, Optional, Tuple
 
 from ..des import Environment, Event, Interrupt, PriorityItem, PriorityStore
 from ..des.monitor import TimeWeighted
+from .faults import Fate, FaultModel
 from .messages import Message, PRIORITY_IR
 
 Receiver = Callable[[Message, float], None]
@@ -58,6 +60,10 @@ class Channel:
         ongoing lower-class transmission (which resumes afterwards).
         Default: only the IR class preempts.  Set to -1 to disable
         preemption entirely.
+    faults:
+        Optional :class:`~repro.net.faults.FaultModel` judging each
+        delivery to each non-wired receiver (drop / corrupt / deliver).
+        ``None`` (the default) keeps the channel lossless.
     """
 
     def __init__(
@@ -66,6 +72,7 @@ class Channel:
         bandwidth_bps: float,
         name: str = "channel",
         preempt_threshold: int = PRIORITY_IR,
+        faults: Optional[FaultModel] = None,
     ):
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")
@@ -73,39 +80,56 @@ class Channel:
         self.bandwidth_bps = float(bandwidth_bps)
         self.name = name
         self.preempt_threshold = preempt_threshold
+        self.faults = faults
         self.stats = ChannelStats(env.now)
         self._queue = PriorityStore(env)
-        self._receivers: List[Receiver] = []
+        #: (receiver, wired, key) triples; wired receivers bypass faults.
+        self._receivers: List[Tuple[Receiver, bool, int]] = []
+        self._next_receiver_key = 0
         self._seq = 0
         self._current: Optional[PriorityItem] = None
         self._done_events: dict = {}
         self._proc = env.process(self._transmit(), name=f"{name}-tx")
 
     def __repr__(self):
-        return f"<Channel {self.name} {self.bandwidth_bps} bps queued={len(self._queue)}>"
+        return (
+            f"<Channel {self.name} {self.bandwidth_bps} bps "
+            f"queued={len(self._queue)}>"
+        )
 
     # -- public API ----------------------------------------------------------
 
-    def attach(self, receiver: Receiver):
+    def attach(self, receiver: Receiver, wired: bool = False):
         """Register a delivery callback ``receiver(message, now)``.
 
         Every completed message is offered to every receiver; receivers
         filter by destination/connectivity themselves (it is a broadcast
-        medium).
+        medium).  A *wired* receiver is bookkeeping on the sender's side
+        of the air interface (e.g. the server watching its own downlink)
+        and is never subjected to fault injection.
         """
-        self._receivers.append(receiver)
+        self._receivers.append((receiver, wired, self._next_receiver_key))
+        self._next_receiver_key += 1
 
     def detach(self, receiver: Receiver):
         """Remove a previously attached receiver."""
-        self._receivers.remove(receiver)
+        for i, (cb, _wired, _key) in enumerate(self._receivers):
+            if cb == receiver:
+                del self._receivers[i]
+                return
+        raise ValueError(f"{receiver!r} is not attached")
 
     def send(self, message: Message) -> Event:
         """Enqueue *message*; returns an event that fires on delivery.
 
         Transmission starts when the message reaches the head of its
         priority class; a message in the preemptive class interrupts an
-        ongoing lower-class transmission.
+        ongoing lower-class transmission.  Re-sending a message that is
+        still in flight is an error: it would corrupt the channel's
+        bookkeeping (send a fresh :class:`Message` per transmission).
         """
+        if id(message) in self._done_events:
+            raise ValueError(f"{message!r} is already in flight on {self.name}")
         message.enqueued_at = self.env.now
         message.remaining_bits = float(message.size_bits)
         self.stats.bits_enqueued += message.size_bits
@@ -184,7 +208,24 @@ class Channel:
         kind_bits = self.stats.bits_by_kind
         kind_bits[message.kind] = kind_bits.get(message.kind, 0.0) + message.size_bits
         done = self._done_events.pop(id(message), None)
-        for receiver in self._receivers:
+        faults = self.faults
+        if faults is not None and faults.is_null:
+            faults = None
+        corrupted_copy: Optional[Message] = None
+        # Snapshot: a receiver may attach()/detach() during delivery
+        # (e.g. a client detaching on cell hand-off) without skipping or
+        # double-delivering to its neighbours in the list.
+        for receiver, wired, key in tuple(self._receivers):
+            if faults is not None and not wired:
+                fate = faults.fate(message, key)
+                if fate is Fate.DROP:
+                    continue
+                if fate is Fate.CORRUPT:
+                    if corrupted_copy is None:
+                        corrupted_copy = replace(message, corrupted=True)
+                        corrupted_copy.delivered_at = now
+                    receiver(corrupted_copy, now)
+                    continue
             receiver(message, now)
         if done is not None:
             done.succeed(message)

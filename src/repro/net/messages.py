@@ -69,6 +69,10 @@ class Message:
     enqueued_at: Optional[float] = None
     #: Simulation time the transmission finished (set by the channel).
     delivered_at: Optional[float] = None
+    #: True on the copy a receiver gets when the frame arrived damaged
+    #: (fault injection); the payload is then undecodable and must be
+    #: ignored.  Always False on the sender's original.
+    corrupted: bool = False
     #: Bits still to transmit; managed by the channel (preemptive resume).
     remaining_bits: float = field(default=0.0, repr=False)
 

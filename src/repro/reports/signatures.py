@@ -108,7 +108,9 @@ class SignatureScheme:
         """Compute all combined signatures for the given item versions."""
         combined = [0] * self.n_subsets
         for item in range(self.n_items):
-            sig = item_signature(item, int(versions[item]), self.signature_bits, self.seed)
+            sig = item_signature(
+                item, int(versions[item]), self.signature_bits, self.seed
+            )
             for s in self.subsets_of(item):
                 combined[s] ^= sig
         return combined

@@ -6,6 +6,7 @@ from .at import AT_SCHEME, ATClientPolicy, ATServerPolicy
 from .base import (
     ClientOutcome,
     ClientPolicy,
+    PendingTlbBuffer,
     Scheme,
     ServerPolicy,
     apply_invalidation,
@@ -47,6 +48,7 @@ __all__ = [
     "GCORE_SCHEME",
     "GCOREClientPolicy",
     "GCOREServerPolicy",
+    "PendingTlbBuffer",
     "SIG_SCHEME",
     "SIGClientPolicy",
     "SIGServerPolicy",

@@ -20,7 +20,7 @@ from ..reports.window import (
     build_window_report,
     enlarged_report_size,
 )
-from .base import Scheme, ServerPolicy
+from .base import PendingTlbBuffer, Scheme, ServerPolicy
 from .afw import AdaptiveClientPolicy
 
 
@@ -31,23 +31,23 @@ class AAWServerPolicy(ServerPolicy):
     def __init__(self, params, db):
         self.params = params
         self.db = db
-        self._pending_tlbs: list = []
+        self.tlb_buffer = PendingTlbBuffer(
+            getattr(params, "max_pending_tlbs", None)
+        )
         self.bs_broadcasts = 0
         self.enlarged_broadcasts = 0
 
     def on_tlb(self, ctx, client_id: int, tlb: float, now: float):
-        self._pending_tlbs.append(tlb)
+        self.tlb_buffer.add(client_id, tlb)
 
     def build_report(self, ctx, now: float):
         params = self.params
         salvageable = []
-        if self._pending_tlbs:
+        pending = self.tlb_buffer.drain()
+        if pending:
             window_start = now - params.window_seconds
             threshold = bs_salvage_threshold(self.db, origin=0.0)
-            salvageable = [
-                t for t in self._pending_tlbs if threshold <= t <= window_start
-            ]
-            self._pending_tlbs.clear()
+            salvageable = [t for t in pending if threshold <= t <= window_start]
         if salvageable:
             back_to = min(salvageable)
             _count, enlarged_bits = enlarged_report_size(

@@ -14,6 +14,7 @@ from ..reports.window import build_window_report
 from .base import (
     ClientOutcome,
     ClientPolicy,
+    PendingTlbBuffer,
     Scheme,
     ServerPolicy,
     apply_invalidation,
@@ -29,23 +30,22 @@ class AFWServerPolicy(ServerPolicy):
     def __init__(self, params, db):
         self.params = params
         self.db = db
-        self._pending_tlbs: list = []
+        self.tlb_buffer = PendingTlbBuffer(
+            getattr(params, "max_pending_tlbs", None)
+        )
         self.bs_broadcasts = 0
 
     def on_tlb(self, ctx, client_id: int, tlb: float, now: float):
-        self._pending_tlbs.append(tlb)
+        self.tlb_buffer.add(client_id, tlb)
 
     def _take_salvageable(self, now: float) -> list:
         """Pop all pending Tlbs, returning the salvageable ones."""
-        if not self._pending_tlbs:
+        pending = self.tlb_buffer.drain()
+        if not pending:
             return []
         window_start = now - self.params.window_seconds
         threshold = bs_salvage_threshold(self.db, origin=0.0)
-        salvageable = [
-            t for t in self._pending_tlbs if threshold <= t <= window_start
-        ]
-        self._pending_tlbs.clear()
-        return salvageable
+        return [t for t in pending if threshold <= t <= window_start]
 
     def build_report(self, ctx, now: float):
         if self._take_salvageable(now):
@@ -108,6 +108,13 @@ class AdaptiveClientPolicy(ClientPolicy):
 
     def on_reconnect(self, ctx, now: float):
         self._sent_tlb = False
+
+    def on_validation_timeout(self, ctx, now: float) -> bool:
+        """The rescue upload (or the rescue report) was lost on the air:
+        re-send ``Tlb`` so the server schedules another rescue."""
+        self.tlb_uploads += 1
+        ctx.send_tlb(ctx.tlb)
+        return True
 
 
 AFW_SCHEME = Scheme(

@@ -123,7 +123,9 @@ def drop_unreconciled(cache: ClientCache) -> int:
     return dropped
 
 
-def apply_invalidation(cache: ClientCache, inv: Invalidation, report_time: float) -> int:
+def apply_invalidation(
+    cache: ClientCache, inv: Invalidation, report_time: float
+) -> int:
     """Apply a covered :class:`Invalidation` set (BS/AT style: no per-item
     timestamps, drop every listed cached item), then certify survivors."""
     if not inv.covered:
@@ -159,6 +161,72 @@ class ClientPolicy:
 
     def on_disconnect(self, ctx, now: float):
         """Hook at disconnection time (rarely needed)."""
+
+    def on_missed_reports(self, ctx, n_missed: int, now: float):
+        """A connected client detected *n_missed* lost/corrupted reports.
+
+        Called when a received report's timestamp is more than one
+        broadcast interval past the last report this client decoded
+        while it was listening the whole time — i.e. the wireless hop
+        ate reports.  The window/covers machinery in :meth:`on_report`
+        already recovers (a gap within the window is invisible; beyond
+        it, the ordinary salvage path runs), so the default is telemetry
+        only; schemes may override to react proactively.
+        """
+
+    def on_validation_timeout(self, ctx, now: float) -> bool:
+        """An expected validity/rescue reply never arrived (lost uplink
+        request or lost reply).
+
+        Return True after re-issuing the upload (the client keeps
+        waiting), or False to give up — the client then degrades to a
+        full cache drop and resynchronises at the next report.  Schemes
+        without an uplink lifecycle keep the default give-up.
+        """
+        return False
+
+
+class PendingTlbBuffer:
+    """Bounded per-interval buffer of the adaptive schemes' salvage state.
+
+    Keyed by client so a retransmitted ``Tlb`` (the retry layer re-sends
+    lost uploads) refreshes its slot instead of growing the buffer, and
+    capped so a reconnection storm cannot balloon the server's memory:
+    uploads beyond ``capacity`` distinct clients are counted and shed
+    (those clients fall back to the ordinary drop-all path — graceful
+    degradation, not a crash).
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._by_client: Dict[int, float] = {}
+        #: Retransmissions observed (same client, same interval).
+        self.duplicates = 0
+        #: Uploads shed because the buffer was full.
+        self.overflows = 0
+
+    def __len__(self):
+        return len(self._by_client)
+
+    def add(self, client_id: int, tlb: float) -> bool:
+        """Record one upload; returns False when shed (buffer full)."""
+        if client_id in self._by_client:
+            self.duplicates += 1
+            self._by_client[client_id] = tlb
+            return True
+        if self.capacity is not None and len(self._by_client) >= self.capacity:
+            self.overflows += 1
+            return False
+        self._by_client[client_id] = tlb
+        return True
+
+    def drain(self) -> List[float]:
+        """Pop and return every buffered ``Tlb`` (arrival order)."""
+        tlbs = list(self._by_client.values())
+        self._by_client.clear()
+        return tlbs
 
 
 class ServerPolicy:

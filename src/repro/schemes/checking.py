@@ -86,6 +86,18 @@ class CheckingClientPolicy(ClientPolicy):
         # reset the client would wait for it forever.
         self._check_pending = False
 
+    def on_validation_timeout(self, ctx, now: float) -> bool:
+        """The checking upload (or its validity reply) was lost on the
+        air: re-upload the current cache contents."""
+        entries = [
+            (entry.item, ctx.cache.effective_ts(entry))
+            for entry in ctx.cache.entries()
+        ]
+        if not entries:
+            return False
+        ctx.send_check_request(entries)
+        return True
+
 
 CHECKING_SCHEME = Scheme(
     name="checking",

@@ -32,7 +32,9 @@ def group_of(item: int, n_groups: int) -> int:
     return item % n_groups
 
 
-def grouped_upload_bits(n_cached: int, n_items: int, n_groups: int, timestamp_bits: int) -> float:
+def grouped_upload_bits(
+    n_cached: int, n_items: int, n_groups: int, timestamp_bits: int
+) -> float:
     """Wire size of the grouped checking upload."""
     return n_cached * id_bits(n_items) + n_groups * timestamp_bits
 

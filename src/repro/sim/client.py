@@ -66,6 +66,13 @@ class MobileClient:
         self.connected = True
         self._query_active = False
         self._validation_pending = False
+        self._validation_epoch = 0
+        self._watchdog_armed = False
+        #: Timestamp of the last report this client *decoded* while
+        #: listening (None right after a reconnection, when a gap is
+        #: expected rather than evidence of loss).  Drives missed-report
+        #: detection under fault injection.
+        self._last_report_heard: Optional[float] = 0.0
 
         self._ready_waiters: Optional[Event] = None
         self._data_waits: Dict[int, Event] = {}
@@ -73,6 +80,13 @@ class MobileClient:
         self._think_stream = streams.stream(f"client-{client_id}/think")
         self._query_stream = streams.stream(f"client-{client_id}/query")
         self._disc_stream = streams.stream(f"client-{client_id}/disconnect")
+        #: Jittered-backoff stream; only created when the retry layer is
+        #: on, keeping the pristine configuration untouched.
+        self._retry_stream = (
+            streams.stream(f"client-{client_id}/retry")
+            if params.retries_enabled
+            else None
+        )
 
         if params.warm_start:
             warm_stream = streams.stream(f"client-{client_id}/warm")
@@ -146,14 +160,21 @@ class MobileClient:
     def _on_downlink(self, msg: Message, now: float):
         if not self.connected:
             return
+        if msg.corrupted:
+            self._on_corrupted(msg)
+            return
         if msg.kind is MessageKind.INVALIDATION_REPORT:
             self._charge_rx(msg.size_bits)
+            self._note_report_heard(msg.payload.timestamp, now)
             outcome = self.policy.on_report(self, msg.payload)
             if outcome is ClientOutcome.READY:
                 self._validation_pending = False
                 self._fire_ready()
             else:
-                self._validation_pending = True
+                if not self._validation_pending:
+                    self._validation_pending = True
+                    self._validation_epoch += 1
+                self._arm_validation_watchdog()
         elif msg.kind is MessageKind.VALIDITY_REPORT and msg.dest == self.client_id:
             if not self._validation_pending:
                 # A reply to a check from a previous connection episode
@@ -175,6 +196,35 @@ class MobileClient:
                 waiter = self._data_waits.pop(payload["item"], None)
                 if waiter is not None:
                     waiter.succeed(payload)
+
+    def _on_corrupted(self, msg: Message):
+        """A frame arrived with bit errors: undecodable, treat as lost.
+
+        A corrupted report is indistinguishable from a missed one — the
+        gap shows up in the next decodable report's timestamp and the
+        scheme's ordinary coverage/salvage logic recovers.  Corrupted
+        data items and validity reports are recovered by the retry
+        layer's timeouts.
+        """
+        if msg.kind is MessageKind.INVALIDATION_REPORT:
+            # The radio listened either way; the bits were garbage.
+            self._charge_rx(msg.size_bits)
+            self.metrics.counter(m.IR_CORRUPTED).add()
+
+    def _note_report_heard(self, report_ts: float, now: float):
+        """Missed-report detection: reports arrive at every ``i * L``, so
+        a decoded report more than one interval past the previous one —
+        while this client was listening throughout — means the wireless
+        hop ate reports."""
+        last = self._last_report_heard
+        self._last_report_heard = report_ts
+        if last is None:
+            return
+        interval = self.params.broadcast_interval
+        n_missed = int(round((report_ts - last) / interval)) - 1
+        if n_missed > 0:
+            self.metrics.counter(m.IR_GAPS).add(n_missed)
+            self.policy.on_missed_reports(self, n_missed, now)
 
     def _on_pushed_item(self, msg: Message, payload: dict):
         """Publishing mode: refresh or prefetch a broadcast item.
@@ -232,6 +282,8 @@ class MobileClient:
             )
             self.connected = True
             self._validation_pending = False
+            # Reports missed while dozing are expected, not wireless loss.
+            self._last_report_heard = None
             self.policy.on_reconnect(self, env.now)
         else:
             yield env.timeout(self._think_stream.exponential(params.think_time_mean))
@@ -291,6 +343,11 @@ class MobileClient:
         if self.timeseries is not None:
             self.timeseries["misses"].record(self.env.now)
         payload = yield from self._fetch(item)
+        if payload is None:
+            # Every retry lost on the air: the item goes unserved this
+            # query (counted in client.fetch_failures) — but the query
+            # itself terminates instead of hanging forever.
+            return 0
         coherent_ts = payload["coherent_ts"]
         # A fetch whose response crossed a report boundary carries a value
         # older than the client's knowledge horizon; mark it suspect so
@@ -301,23 +358,115 @@ class MobileClient:
         )
         return 0
 
+    def _send_data_request(self, item: int):
+        size = self.params.control_message_bits
+        self.metrics.counter(m.UPLINK_REQUEST_BITS).add(size)
+        self._charge_tx(size)
+        self.uplink.send(
+            Message(
+                kind=MessageKind.DATA_REQUEST,
+                size_bits=size,
+                src=self.client_id,
+                dest=SERVER_ID,
+                payload=item,
+            )
+        )
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Timeout for *attempt* (0-based): exponential with +-jitter."""
+        params = self.params
+        delay = params.uplink_timeout * (params.backoff_base ** attempt)
+        if params.backoff_jitter > 0.0:
+            delay *= 1.0 + params.backoff_jitter * self._retry_stream.uniform(
+                -1.0, 1.0
+            )
+        return delay
+
     def _fetch(self, item: int):
-        """Request *item* over the uplink; wait for the broadcast response."""
+        """Request *item* over the uplink; wait for the broadcast response.
+
+        With the retry layer on (``params.uplink_timeout``), a response
+        that does not arrive in time triggers a retransmission with
+        exponential backoff and jitter; after ``max_retries``
+        retransmissions the fetch gives up and returns None.  A late
+        response still satisfies the original waiter (the request is
+        idempotent — the server rereads the current value).
+        """
         waiter = self._data_waits.get(item)
         if waiter is None:
             waiter = self.env.event()
             self._data_waits[item] = waiter
-            size = self.params.control_message_bits
-            self.metrics.counter(m.UPLINK_REQUEST_BITS).add(size)
-            self._charge_tx(size)
-            self.uplink.send(
-                Message(
-                    kind=MessageKind.DATA_REQUEST,
-                    size_bits=size,
-                    src=self.client_id,
-                    dest=SERVER_ID,
-                    payload=item,
-                )
-            )
-        payload = yield waiter
-        return payload
+            self._send_data_request(item)
+        if self._retry_stream is None:
+            payload = yield waiter
+            return payload
+        attempt = 0
+        while True:
+            timeout = self.env.timeout(self._backoff_delay(attempt))
+            yield self.env.any_of([waiter, timeout])
+            if waiter.triggered:
+                return waiter.value
+            attempt += 1
+            self.metrics.counter(m.FETCH_TIMEOUTS).add()
+            if attempt > self.params.max_retries:
+                self.metrics.counter(m.FETCH_FAILURES).add()
+                if self._data_waits.get(item) is waiter:
+                    del self._data_waits[item]
+                return None
+            self.metrics.counter(m.RETRIES).add()
+            self._send_data_request(item)
+
+    # -- validation recovery ---------------------------------------------------
+
+    def _arm_validation_watchdog(self):
+        """Bound the wait for a validity/rescue reply (retry layer only)."""
+        if self._retry_stream is None or self._watchdog_armed:
+            return
+        self._watchdog_armed = True
+        self.env.process(
+            self._validation_watchdog(),
+            name=f"client-{self.client_id}-watchdog",
+        )
+
+    def _validation_watchdog(self):
+        """Timeout + bounded retries around a pending validation.
+
+        Each timeout asks the policy to re-issue its upload
+        (``on_validation_timeout``); once retries are exhausted — or the
+        policy cannot retry — the client degrades gracefully: drop the
+        cache (an empty cache is trivially consistent), release the
+        stalled query, and let the next report resynchronise ``tlb``.
+        """
+        env = self.env
+        try:
+            while self._validation_pending and self.connected:
+                # One inner pass per validation episode; a fresh episode
+                # beginning while we sleep restarts the timing.
+                epoch = self._validation_epoch
+                attempt = 0
+                while True:
+                    yield env.timeout(self._backoff_delay(min(attempt, 8)))
+                    if (
+                        not self._validation_pending
+                        or self._validation_epoch != epoch
+                        or not self.connected
+                    ):
+                        break
+                    attempt += 1
+                    self.metrics.counter(m.VALIDATION_TIMEOUTS).add()
+                    if (
+                        attempt <= self.params.max_retries
+                        and self.policy.on_validation_timeout(self, env.now)
+                    ):
+                        self.metrics.counter(m.RETRIES).add()
+                        continue
+                    self.cache.drop_all()
+                    self.note_cache_drop()
+                    # Tell the policy its in-flight exchange is dead (the
+                    # reconnect hook is exactly this reset).
+                    self.policy.on_reconnect(self, env.now)
+                    self._validation_pending = False
+                    self._fire_ready()
+                    return
+        finally:
+            self._watchdog_armed = False

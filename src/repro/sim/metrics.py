@@ -27,6 +27,15 @@ DISCONNECTIONS = "client.disconnections"
 PUBLISH_ITEMS = "publish.items_pushed"
 PUBLISH_BITS = "publish.bits"
 PUBLISH_REFRESHES = "publish.client_refreshes"
+# Fault-tolerance layer (all zero on a pristine medium).
+RETRIES = "client.retries"
+FETCH_TIMEOUTS = "client.fetch_timeouts"
+FETCH_FAILURES = "client.fetch_failures"
+VALIDATION_TIMEOUTS = "client.validation_timeouts"
+IR_GAPS = "client.ir_gaps"                    # reports provably missed
+IR_CORRUPTED = "client.ir_corrupted"          # reports heard but undecodable
+MALFORMED_UPLINK = "server.malformed_uplink"
+DUPLICATE_UPLINK = "server.duplicate_uplink"
 
 REPORT_COUNT_PREFIX = "reports."   # + ReportKind.value
 
@@ -85,6 +94,35 @@ class SimulationResult:
     def mean_query_latency(self) -> float:
         """Mean seconds from query arrival to answer."""
         return self.raw.get(f"{QUERY_LATENCY}.mean", 0.0)
+
+    @property
+    def retries(self) -> float:
+        """Retransmissions the clients issued (fetch + validation)."""
+        return self.counter(RETRIES)
+
+    @property
+    def fetch_failures(self) -> float:
+        """Item fetches abandoned after exhausting every retry."""
+        return self.counter(FETCH_FAILURES)
+
+    @property
+    def goodput_ratio(self) -> float:
+        """Fraction of receiver-deliveries that arrived intact.
+
+        1.0 on a pristine medium (or when no fault model is attached);
+        raw throughput times this ratio is the cell's goodput.
+        """
+        judged = intact = 0.0
+        for key, value in self.raw.items():
+            if key.endswith(".fault_judged"):
+                judged += value
+                channel = key[: -len(".fault_judged")]
+                intact += (
+                    value
+                    - self.raw.get(f"{channel}.fault_drops", 0.0)
+                    - self.raw.get(f"{channel}.fault_corruptions", 0.0)
+                )
+        return intact / judged if judged else 1.0
 
     @property
     def downlink_ir_share(self) -> float:

@@ -7,7 +7,7 @@ from typing import List, Union
 from ..db import Database, UpdateGenerator, UpdateLog
 from ..des import Environment, RandomStreams
 from ..des.monitor import MetricSet
-from ..net import Channel, PRIORITY_CHECK, PRIORITY_IR
+from ..net import Channel, FaultModel, PRIORITY_CHECK, PRIORITY_IR
 from ..schemes import Scheme, get_scheme
 from .client import MobileClient
 from .metrics import SimulationResult, finalize
@@ -52,11 +52,20 @@ class SimulationModel:
             else None
         )
 
+        # Fault injection: one model (own RNG stream, own Gilbert–Elliott
+        # chains) per impaired channel, so runs stay reproducible and the
+        # fault streams never perturb the rest of the simulation.
+        def fault_model(config, channel_name):
+            if config is None:
+                return None
+            return FaultModel(config, self.streams.stream(f"faults/{channel_name}"))
+
         self.downlink = Channel(
             self.env,
             params.downlink_bps,
             name="downlink",
             preempt_threshold=PRIORITY_IR,
+            faults=fault_model(params.downlink_faults, "downlink"),
         )
         # Tiny control payloads (Tlb, checking) must not starve behind
         # multi-second data requests on a narrow uplink; the paper gives
@@ -66,6 +75,7 @@ class SimulationModel:
             params.effective_uplink_bps,
             name="uplink",
             preempt_threshold=PRIORITY_CHECK,
+            faults=fault_model(params.uplink_faults, "uplink"),
         )
 
         # Optional dedicated report channel (the paper's multiple-channel
@@ -76,6 +86,7 @@ class SimulationModel:
                 params.ir_channel_bps,
                 name="ir-channel",
                 preempt_threshold=PRIORITY_IR,
+                faults=fault_model(params.downlink_faults, "ir-channel"),
             )
             if params.ir_channel_bps is not None
             else None
@@ -144,4 +155,23 @@ class SimulationModel:
         result.raw["uplink.utilization"] = self.uplink.stats.utilization(self.env.now)
         result.raw["downlink.bits_delivered"] = self.downlink.stats.bits_delivered
         result.raw["uplink.bits_delivered"] = self.uplink.stats.bits_delivered
+        channels = [self.downlink, self.uplink]
+        if self.ir_channel is not None:
+            channels.append(self.ir_channel)
+        for channel in channels:
+            fm = channel.faults
+            if fm is None:
+                continue
+            stats = fm.stats
+            result.raw[f"{channel.name}.fault_judged"] = float(stats.judged)
+            result.raw[f"{channel.name}.fault_drops"] = float(stats.dropped)
+            result.raw[f"{channel.name}.fault_corruptions"] = float(stats.corrupted)
+            result.raw[f"{channel.name}.fault_dropped_bits"] = stats.dropped_bits
+            result.raw[f"{channel.name}.fault_corrupted_bits"] = stats.corrupted_bits
+            result.raw[f"{channel.name}.fault_bursts"] = float(stats.bursts)
+        # Bounded salvage-state telemetry (adaptive schemes only).
+        buffer = getattr(self.server_policy, "tlb_buffer", None)
+        if buffer is not None:
+            result.raw["server.tlb_duplicates"] = float(buffer.duplicates)
+            result.raw["server.tlb_overflow"] = float(buffer.overflows)
         return result

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from ..net.faults import FaultConfig
 from ..reports.sizes import DEFAULT_TIMESTAMP_BITS
 from .energy import EnergyModel
 
@@ -68,6 +69,32 @@ class SystemParams:
     #: Inclusive id range ``(lo, hi)`` the server publishes from
     #: (required when ``publish_per_interval`` > 0).
     publish_region: Optional[tuple] = None
+    #: Fault injection on the downlink (and the dedicated IR channel, if
+    #: any): a :class:`repro.net.FaultConfig`, or None for a pristine
+    #: medium.  An all-zero config is bit-identical to None.
+    downlink_faults: Optional[FaultConfig] = None
+    #: Fault injection on the shared uplink.
+    uplink_faults: Optional[FaultConfig] = None
+    #: Client request lifecycle: seconds to wait for the response to an
+    #: uplink request (data fetch, checking upload, Tlb rescue) before
+    #: retransmitting.  ``None`` disables the whole timeout/retry layer —
+    #: the seed's fire-and-forget behaviour.  Size it well above the
+    #: uncontended response latency or spurious retransmissions will
+    #: waste the uplink.
+    uplink_timeout: Optional[float] = None
+    #: Retransmissions after the first attempt before giving up.  A
+    #: failed fetch leaves the query item unserved; a failed validation
+    #: degrades to a full cache drop (the next report resynchronises).
+    max_retries: int = 3
+    #: Exponential backoff multiplier applied per retry attempt.
+    backoff_base: float = 2.0
+    #: Uniform +-fraction jitter on each backoff delay (desynchronises
+    #: retry storms after a shared loss burst).
+    backoff_jitter: float = 0.25
+    #: Bound on the adaptive server's per-interval salvage state: at most
+    #: this many distinct clients' ``Tlb`` uploads are buffered between
+    #: broadcasts; later arrivals are counted and shed.  None = unbounded.
+    max_pending_tlbs: Optional[int] = None
 
     def __post_init__(self):
         if self.simulation_time <= 0:
@@ -100,6 +127,20 @@ class SystemParams:
             lo, hi = self.publish_region
             if not (0 <= lo <= hi < self.db_size):
                 raise ValueError("publish_region outside the database")
+        for name in ("downlink_faults", "uplink_faults"):
+            cfg = getattr(self, name)
+            if cfg is not None and not isinstance(cfg, FaultConfig):
+                raise ValueError(f"{name} must be a FaultConfig or None")
+        if self.uplink_timeout is not None and self.uplink_timeout <= 0:
+            raise ValueError("uplink_timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 1.0:
+            raise ValueError("backoff_base must be >= 1")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1)")
+        if self.max_pending_tlbs is not None and self.max_pending_tlbs < 1:
+            raise ValueError("max_pending_tlbs must be >= 1")
 
     # -- derived quantities ---------------------------------------------------
 
@@ -107,6 +148,11 @@ class SystemParams:
     def effective_uplink_bps(self) -> float:
         """Uplink bandwidth, defaulting to the downlink's."""
         return self.uplink_bps if self.uplink_bps is not None else self.downlink_bps
+
+    @property
+    def retries_enabled(self) -> bool:
+        """True when the client timeout/retry lifecycle is active."""
+        return self.uplink_timeout is not None
 
     @property
     def cache_capacity(self) -> int:

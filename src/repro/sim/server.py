@@ -49,8 +49,10 @@ class Server:
         #: Publishing-mode round-robin cursor over the publish region.
         self._publish_cursor = 0
         # The server watches its own downlink to close coalescing windows
-        # synchronously at delivery time.
-        downlink.attach(self._on_downlink_delivered)
+        # synchronously at delivery time; that is sender-side bookkeeping,
+        # not a radio reception, so it is wired (immune to fault
+        # injection).  The uplink attachment IS the radio reception.
+        downlink.attach(self._on_downlink_delivered, wired=True)
         uplink.attach(self._on_uplink)
         self.process = env.process(self._broadcast_loop(), name="server-broadcast")
 
@@ -115,12 +117,33 @@ class Server:
     # -- uplink handling ---------------------------------------------------------
 
     def _on_uplink(self, msg: Message, now: float):
+        if msg.corrupted or not self._well_formed(msg):
+            # Bit errors on the uplink (or garbage from a buggy client)
+            # must never crash the cell's single server: count and shed.
+            self.metrics.counter(m.MALFORMED_UPLINK).add()
+            return
         if msg.kind is MessageKind.TLB_UPLOAD:
             self.policy.on_tlb(self, msg.src, msg.payload, now)
         elif msg.kind is MessageKind.CHECK_REQUEST:
             self._answer_check(msg, now)
         elif msg.kind is MessageKind.DATA_REQUEST:
             self._serve_data(msg, now)
+
+    def _well_formed(self, msg: Message) -> bool:
+        """Structural validation of an uplink message's payload."""
+        payload = msg.payload
+        if msg.kind is MessageKind.TLB_UPLOAD:
+            return isinstance(payload, (int, float)) and payload >= 0
+        if msg.kind is MessageKind.CHECK_REQUEST:
+            return isinstance(payload, list)
+        if msg.kind is MessageKind.DATA_REQUEST:
+            return (
+                isinstance(payload, int)
+                and not isinstance(payload, bool)
+                and 0 <= payload < self.db.n_items
+            )
+        # Downlink-only kinds have no business on the uplink.
+        return False
 
     def _answer_check(self, msg: Message, now: float):
         invalid, certified_at, reply_bits = self.policy.on_check_request(
@@ -141,9 +164,15 @@ class Server:
         item = msg.payload
         pending = self._pending_data.get(item)
         if pending is not None and self.params.coalesce_data_responses:
+            requesters = pending.payload["requesters"]
+            if msg.src in requesters:
+                # A retransmission (the client's retry layer timed out
+                # while our response was still queued): idempotent.
+                self.metrics.counter(m.DUPLICATE_UPLINK).add()
+                return
             # A transmission of this item is already queued or on the air:
             # the broadcast serves this requester for free.
-            pending.payload["requesters"].add(msg.src)
+            requesters.add(msg.src)
             self.metrics.counter(m.DATA_COALESCED).add()
             return
         version, _ts = self.db.read(item)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments import get_figure, run_figure
+from repro.experiments import run_figure
 from repro.experiments.figures import Scale
 
 TINY = Scale(name="tiny", simulation_time=1200.0, n_clients=5)

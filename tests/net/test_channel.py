@@ -163,12 +163,63 @@ class TestDelivery:
     def test_detach_stops_delivery(self, env):
         ch = Channel(env, bandwidth_bps=100)
         seen = []
-        recv = lambda m, now: seen.append(m.payload)
+
+        def recv(m, now):
+            seen.append(m.payload)
+
         ch.attach(recv)
         ch.detach(recv)
         ch.send(msg(MessageKind.DATA_ITEM, 10))
         env.run()
         assert seen == []
+
+    def test_detach_unknown_receiver_raises(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        with pytest.raises(ValueError):
+            ch.detach(lambda m, now: None)
+
+    def test_receiver_detaching_itself_does_not_skip_neighbours(self, env):
+        """Regression: mutating the receiver list during delivery must not
+        skip (or double-deliver to) the receivers behind the mutator."""
+        ch = Channel(env, bandwidth_bps=100)
+        seen = []
+
+        def one_shot(m, now):
+            seen.append(("one_shot", m.payload))
+            ch.detach(one_shot)
+
+        def steady(m, now):
+            seen.append(("steady", m.payload))
+
+        ch.attach(one_shot)
+        ch.attach(steady)
+        ch.send(msg(MessageKind.DATA_ITEM, 10, payload="a"))
+        ch.send(msg(MessageKind.DATA_ITEM, 10, payload="b"))
+        env.run()
+        # one_shot hears only "a"; steady hears both, exactly once each.
+        assert seen == [
+            ("one_shot", "a"),
+            ("steady", "a"),
+            ("steady", "b"),
+        ]
+
+    def test_receiver_attaching_during_delivery_joins_next_message(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        seen = []
+
+        def late(m, now):
+            seen.append(("late", m.payload))
+
+        def joiner(m, now):
+            seen.append(("joiner", m.payload))
+            ch.attach(late)
+            ch.detach(joiner)
+
+        ch.attach(joiner)
+        ch.send(msg(MessageKind.DATA_ITEM, 10, payload="a"))
+        ch.send(msg(MessageKind.DATA_ITEM, 10, payload="b"))
+        env.run()
+        assert seen == [("joiner", "a"), ("late", "b")]
 
     def test_done_event_carries_message(self, env):
         ch = Channel(env, bandwidth_bps=100)
@@ -177,6 +228,23 @@ class TestDelivery:
         result = env.run(until=done)
         assert result is m
         assert m.delivered_at == pytest.approx(1.0)
+
+    def test_resending_in_flight_message_raises(self, env):
+        """Regression: re-sending the same object while it is queued or on
+        the air silently leaked the first done-event; now it is an error."""
+        ch = Channel(env, bandwidth_bps=100)
+        m = msg(MessageKind.DATA_ITEM, 100, payload="x")
+        ch.send(m)
+        with pytest.raises(ValueError):
+            ch.send(m)
+
+    def test_resending_after_delivery_is_allowed(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        m = msg(MessageKind.DATA_ITEM, 100, payload="x")
+        env.run(until=ch.send(m))
+        done = ch.send(m)  # a fresh transmission of the same object
+        env.run(until=done)
+        assert m.delivered_at == pytest.approx(2.0)
 
 
 class TestStats:

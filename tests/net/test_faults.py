@@ -1,0 +1,195 @@
+"""Unit tests for the wireless fault-injection layer (repro.net.faults)."""
+
+import pytest
+
+from repro.des import Environment, RandomStreams
+from repro.net import (
+    BROADCAST,
+    Channel,
+    Fate,
+    FaultConfig,
+    FaultModel,
+    Message,
+    MessageKind,
+    SERVER_ID,
+)
+
+
+def msg(kind=MessageKind.DATA_ITEM, size=100, payload=None):
+    return Message(
+        kind=kind, size_bits=size, src=SERVER_ID, dest=BROADCAST, payload=payload
+    )
+
+
+def stream(name="faults/test", seed=7):
+    return RandomStreams(seed).stream(name)
+
+
+class _ExplodingStream:
+    """Stands in for a RandomStream; any draw is a test failure."""
+
+    def __getattr__(self, name):
+        raise AssertionError("null fault model must not consume randomness")
+
+
+class TestFaultConfig:
+    def test_defaults_are_null(self):
+        assert FaultConfig().is_null
+
+    def test_validation_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultConfig(drop_prob=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(bit_error_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultConfig(drop_prob_by_kind={MessageKind.DATA_ITEM: 2.0})
+        with pytest.raises(ValueError):
+            FaultConfig(drop_prob_by_kind={"ir": 0.5})
+        with pytest.raises(ValueError):
+            FaultConfig(ge_good_to_bad=0.1, ge_bad_to_good=0.0)
+
+    def test_null_detection(self):
+        assert FaultConfig(drop_prob_by_kind={MessageKind.DATA_ITEM: 0.0}).is_null
+        assert not FaultConfig(drop_prob=0.01).is_null
+        assert not FaultConfig(bit_error_rate=1e-9).is_null
+        assert not FaultConfig(
+            drop_prob_by_kind={MessageKind.INVALIDATION_REPORT: 0.2}
+        ).is_null
+        assert not FaultConfig(ge_good_to_bad=0.1).is_null
+        # A burst state that never drops anything is still null.
+        assert FaultConfig(ge_good_to_bad=0.1, ge_bad_drop_prob=0.0).is_null
+
+    def test_per_kind_lookup_falls_back_to_base(self):
+        cfg = FaultConfig(
+            drop_prob=0.1, drop_prob_by_kind={MessageKind.DATA_ITEM: 0.9}
+        )
+        assert cfg.drop_prob_for(MessageKind.DATA_ITEM) == 0.9
+        assert cfg.drop_prob_for(MessageKind.INVALIDATION_REPORT) == 0.1
+
+    def test_corrupt_prob_grows_with_size(self):
+        cfg = FaultConfig(bit_error_rate=1e-4)
+        small = cfg.corrupt_prob_for(100)
+        big = cfg.corrupt_prob_for(100_000)
+        assert 0.0 < small < big <= 1.0
+        assert cfg.corrupt_prob_for(0) == 0.0
+        assert FaultConfig(bit_error_rate=1.0).corrupt_prob_for(1) == 1.0
+        assert cfg.corrupt_prob_for(100) == pytest.approx(
+            1.0 - (1.0 - 1e-4) ** 100
+        )
+
+
+class TestFaultModel:
+    def test_null_model_never_draws(self):
+        model = FaultModel(FaultConfig(), _ExplodingStream())
+        assert model.is_null
+        for _ in range(10):
+            assert model.fate(msg(), receiver_key=0) is Fate.DELIVER
+        assert model.stats.judged == 0
+
+    def test_certain_drop(self):
+        model = FaultModel(FaultConfig(drop_prob=1.0), stream())
+        assert model.fate(msg(size=50), 0) is Fate.DROP
+        assert model.stats.dropped == 1
+        assert model.stats.dropped_bits == 50
+        assert model.stats.dropped_by_kind[MessageKind.DATA_ITEM] == 1
+        assert model.stats.goodput_ratio == 0.0
+
+    def test_certain_corruption(self):
+        model = FaultModel(FaultConfig(bit_error_rate=1.0), stream())
+        assert model.fate(msg(size=10), 0) is Fate.CORRUPT
+        assert model.stats.corrupted == 1
+        assert model.stats.corrupted_bits == 10
+
+    def test_per_kind_drop_spares_other_kinds(self):
+        cfg = FaultConfig(drop_prob_by_kind={MessageKind.DATA_ITEM: 1.0})
+        model = FaultModel(cfg, stream())
+        assert model.fate(msg(MessageKind.DATA_ITEM), 0) is Fate.DROP
+        assert model.fate(msg(MessageKind.INVALIDATION_REPORT), 0) is Fate.DELIVER
+
+    def test_gilbert_elliott_bad_state_drops(self):
+        # Enter bad immediately, never leave... (bad_to_good must be > 0,
+        # so use an astronomically unlikely exit instead of 0).
+        cfg = FaultConfig(
+            ge_good_to_bad=1.0, ge_bad_to_good=1e-12, ge_bad_drop_prob=1.0
+        )
+        model = FaultModel(cfg, stream())
+        for _ in range(5):
+            assert model.fate(msg(), 0) is Fate.DROP
+        assert model.in_bad_state(0)
+        assert model.stats.bursts == 1  # one burst onset, not five
+        assert model.stats.dropped == 5
+
+    def test_gilbert_elliott_chains_are_per_receiver(self):
+        cfg = FaultConfig(
+            ge_good_to_bad=0.5, ge_bad_to_good=0.5, ge_bad_drop_prob=1.0
+        )
+        model = FaultModel(cfg, stream())
+        for _ in range(50):
+            model.fate(msg(), 0)
+            model.fate(msg(), 1)
+        # Both receivers evolved their own chain and saw some bursts.
+        assert model.stats.bursts >= 2
+        assert model.stats.judged == 100
+
+    def test_deterministic_given_stream_seed(self):
+        cfg = FaultConfig(drop_prob=0.3, bit_error_rate=1e-3)
+        fates_a = [
+            FaultModel(cfg, stream(seed=3)).fate(msg(size=500), 0) for _ in range(1)
+        ]
+        runs = []
+        for _ in range(2):
+            model = FaultModel(cfg, stream(seed=3))
+            runs.append([model.fate(msg(size=500), 0) for _ in range(200)])
+        assert runs[0] == runs[1]
+        assert fates_a[0] == runs[0][0]
+
+
+class TestChannelIntegration:
+    @pytest.fixture
+    def env(self):
+        return Environment()
+
+    def test_dropped_delivery_skips_receiver_but_fires_done(self, env):
+        ch = Channel(
+            env, 100, faults=FaultModel(FaultConfig(drop_prob=1.0), stream())
+        )
+        seen = []
+        ch.attach(lambda m, now: seen.append(m))
+        done = ch.send(msg(size=100))
+        env.run(until=done)
+        assert seen == []
+        assert ch.faults.stats.dropped == 1
+        # Airtime was still burned: raw channel stats count the bits.
+        assert ch.stats.bits_delivered == 100
+
+    def test_wired_receiver_is_immune(self, env):
+        ch = Channel(
+            env, 100, faults=FaultModel(FaultConfig(drop_prob=1.0), stream())
+        )
+        radio, wired = [], []
+        ch.attach(lambda m, now: radio.append(m))
+        ch.attach(lambda m, now: wired.append(m), wired=True)
+        env.run(until=ch.send(msg(size=100)))
+        assert radio == []
+        assert len(wired) == 1
+
+    def test_corrupted_copy_flags_receiver_not_sender(self, env):
+        ch = Channel(
+            env, 100, faults=FaultModel(FaultConfig(bit_error_rate=1.0), stream())
+        )
+        seen = []
+        ch.attach(lambda m, now: seen.append(m))
+        original = msg(size=100, payload="p")
+        env.run(until=ch.send(original))
+        assert len(seen) == 1
+        assert seen[0].corrupted
+        assert seen[0] is not original
+        assert seen[0].payload == "p"
+        assert not original.corrupted
+
+    def test_null_fault_model_is_transparent(self, env):
+        ch = Channel(env, 100, faults=FaultModel(FaultConfig(), _ExplodingStream()))
+        seen = []
+        ch.attach(lambda m, now: seen.append(m.payload))
+        env.run(until=ch.send(msg(size=100, payload="x")))
+        assert seen == ["x"]

@@ -160,7 +160,11 @@ class TestBitLevelView:
         decoded = decode_levels(report.materialize(), 16)
         counts_desc = list(reversed(report.level_counts))
         for level_ids, (idx, _m) in zip(
-            decoded, [(len(report.level_counts) - 1 - i, m) for i, m in enumerate(counts_desc)]
+            decoded,
+            [
+                (len(report.level_counts) - 1 - i, m)
+                for i, m in enumerate(counts_desc)
+            ],
         ):
             assert set(level_ids) == set(report.ones_of_level(idx))
 

@@ -64,9 +64,13 @@ class TestWindowReport:
 
     def test_item_outside_window_rejected(self):
         with pytest.raises(ValueError):
-            WindowReport(timestamp=60.0, window_start=20.0, items={5: 15.0}, n_items=100)
+            WindowReport(
+                timestamp=60.0, window_start=20.0, items={5: 15.0}, n_items=100
+            )
         with pytest.raises(ValueError):
-            WindowReport(timestamp=60.0, window_start=20.0, items={5: 65.0}, n_items=100)
+            WindowReport(
+                timestamp=60.0, window_start=20.0, items={5: 65.0}, n_items=100
+            )
 
     def test_window_after_timestamp_rejected(self):
         with pytest.raises(ValueError):

@@ -28,7 +28,9 @@ class TestLostReplyRecovery:
             (GCOREClientPolicy, GCOREServerPolicy),
         ],
     )
-    def test_reconnect_clears_pending_check(self, params, db, ctx, client_cls, server_cls):
+    def test_reconnect_clears_pending_check(
+        self, params, db, ctx, client_cls, server_cls
+    ):
         ctx.cache_items((2, 10.0))
         ctx.tlb = 30.0
         server = server_cls(params=params, db=db)

@@ -1,0 +1,220 @@
+"""End-to-end tests for fault injection and the client recovery layer.
+
+Three guarantees are pinned here:
+
+1. **Zero-fault equivalence** — attaching an all-zero :class:`FaultConfig`
+   (or enabling the retry layer on a pristine medium) is *bit-identical*
+   to the seed behaviour: every metric matches, to the last bit.
+2. **Recovery** — with real loss on either link, every query still
+   terminates (answered, or abandoned after bounded retries) and the
+   exact schemes stay exact: ``stale_hits == 0`` no matter what the
+   medium does.
+3. **Reproducibility** — faulted runs are a pure function of the seed.
+"""
+
+import pytest
+
+from repro.net import FaultConfig
+from repro.sim import SystemParams, UNIFORM, run_simulation
+from repro.sim import metrics as m
+
+# The golden-test configuration: small, fast, fully deterministic.
+BASE = SystemParams(
+    simulation_time=2000.0,
+    n_clients=5,
+    db_size=200,
+    buffer_fraction=0.1,
+    think_time_mean=50.0,
+    update_interarrival_mean=60.0,
+    disconnect_prob=0.25,
+    disconnect_time_mean=250.0,
+    seed=1234,
+)
+
+# One data item is 65 536 bits at 10 kbps ~ 6.6 s on the air; with
+# queueing a response can take tens of seconds, so the retry timeout
+# must sit well above that or retries trigger spuriously.
+RETRY = dict(uplink_timeout=60.0, max_retries=4, backoff_base=2.0)
+
+FAULT_KEYS = (".fault_",)
+
+
+def visible(raw):
+    """The raw snapshot minus fault-telemetry keys (absent on the seed)."""
+    return {
+        k: v for k, v in raw.items() if not any(t in k for t in FAULT_KEYS)
+    }
+
+
+class TestZeroFaultEquivalence:
+    """An inert fault layer must not move a single bit."""
+
+    @pytest.mark.parametrize("scheme", ["ts", "afw", "checking"])
+    def test_all_zero_config_is_bit_identical(self, scheme):
+        baseline = run_simulation(BASE, UNIFORM, scheme)
+        nulled = run_simulation(
+            BASE.with_(
+                downlink_faults=FaultConfig(), uplink_faults=FaultConfig()
+            ),
+            UNIFORM,
+            scheme,
+        )
+        assert visible(nulled.raw) == visible(baseline.raw)
+        # The telemetry keys exist but report a silent layer.
+        assert nulled.counter("downlink.fault_judged") == 0.0
+        assert nulled.counter("uplink.fault_drops") == 0.0
+        assert nulled.goodput_ratio == 1.0
+
+    @pytest.mark.parametrize("scheme", ["ts", "aaw"])
+    def test_retry_layer_is_inert_on_pristine_medium(self, scheme):
+        """With no loss, a generous timeout never fires: identical runs."""
+        baseline = run_simulation(BASE, UNIFORM, scheme)
+        armed = run_simulation(
+            BASE.with_(uplink_timeout=10_000.0, max_retries=4),
+            UNIFORM,
+            scheme,
+        )
+        assert visible(armed.raw) == visible(baseline.raw)
+        assert armed.retries == 0.0
+        assert armed.counter(m.FETCH_TIMEOUTS) == 0.0
+
+    def test_baseline_emits_no_fault_telemetry(self):
+        baseline = run_simulation(BASE, UNIFORM, "ts")
+        assert not any(".fault_" in k for k in baseline.raw)
+        assert baseline.goodput_ratio == 1.0
+
+
+class TestUplinkLossRecovery:
+    def run_lossy(self, scheme, drop, **over):
+        params = BASE.with_(
+            uplink_faults=FaultConfig(drop_prob=drop), **{**RETRY, **over}
+        )
+        return params, run_simulation(params, UNIFORM, scheme)
+
+    @pytest.mark.parametrize("scheme", ["ts", "afw", "aaw"])
+    def test_moderate_loss_retries_and_terminates(self, scheme):
+        params, result = self.run_lossy(scheme, 0.3)
+        assert result.queries_answered > 0
+        assert result.retries > 0
+        # Every generated query terminated: at most one per client can
+        # still be in flight when the clock stops.
+        in_flight = result.counter(m.QUERIES_GENERATED) - (
+            result.queries_answered
+        )
+        assert 0 <= in_flight <= params.n_clients
+        # Exactness survives the loss.
+        assert result.stale_hits == 0.0
+        assert result.counter(m.FETCH_TIMEOUTS) >= result.retries
+
+    def test_total_blackout_gives_up_gracefully(self):
+        """100% uplink loss: bounded retries, then the item goes unserved."""
+        params, result = self.run_lossy(
+            "ts", 1.0, uplink_timeout=30.0, max_retries=1
+        )
+        assert result.fetch_failures > 0
+        assert result.counter(m.RETRIES) > 0
+        # Cache hits can still answer queries; nothing hangs.
+        in_flight = result.counter(m.QUERIES_GENERATED) - (
+            result.queries_answered
+        )
+        assert 0 <= in_flight <= params.n_clients
+        assert result.stale_hits == 0.0
+
+    def test_checking_scheme_survives_uplink_loss(self):
+        _params, result = self.run_lossy("checking", 0.3)
+        assert result.queries_answered > 0
+        assert result.stale_hits == 0.0
+        assert result.retries > 0
+
+    def test_corrupted_uplink_is_counted_and_shed(self):
+        params = BASE.with_(
+            uplink_faults=FaultConfig(bit_error_rate=2e-4), **RETRY
+        )
+        result = run_simulation(params, UNIFORM, "ts")
+        assert result.counter(m.MALFORMED_UPLINK) > 0
+        assert result.stale_hits == 0.0
+        assert result.queries_answered > 0
+
+
+class TestDownlinkLossRecovery:
+    def test_dropped_reports_are_detected_and_absorbed(self):
+        """Lost IRs show up as gaps; the window makes them harmless."""
+        params = BASE.with_(
+            downlink_faults=FaultConfig(drop_prob=0.2), **RETRY
+        )
+        result = run_simulation(params, UNIFORM, "ts")
+        assert result.counter(m.IR_GAPS) > 0
+        assert result.stale_hits == 0.0
+        assert result.queries_answered > 0
+
+    def test_corrupted_reports_are_detected(self):
+        """Bit errors big enough to hit kilobit reports but spare tiny
+        data items: undecodable IRs are counted and treated as missed."""
+        params = BASE.with_(
+            item_size_bytes=64,
+            downlink_faults=FaultConfig(bit_error_rate=2e-4),
+            **RETRY,
+        )
+        result = run_simulation(params, UNIFORM, "ts")
+        assert result.counter(m.IR_CORRUPTED) > 0
+        assert result.counter(m.IR_GAPS) > 0
+        assert result.stale_hits == 0.0
+        assert result.queries_answered > 0
+
+    @pytest.mark.parametrize("scheme", ["afw", "aaw"])
+    def test_adaptive_schemes_salvage_through_loss(self, scheme):
+        params = BASE.with_(
+            downlink_faults=FaultConfig(drop_prob=0.15),
+            uplink_faults=FaultConfig(drop_prob=0.15),
+            **RETRY,
+        )
+        result = run_simulation(params, UNIFORM, scheme)
+        assert result.queries_answered > 0
+        assert result.stale_hits == 0.0
+        assert result.goodput_ratio < 1.0
+
+    def test_bursty_loss_is_reproducible(self):
+        """Gilbert-Elliott runs are a pure function of the seed."""
+        params = BASE.with_(
+            downlink_faults=FaultConfig(
+                ge_good_to_bad=0.05, ge_bad_to_good=0.3, ge_bad_drop_prob=1.0
+            ),
+            **RETRY,
+        )
+        a = run_simulation(params, UNIFORM, "ts")
+        b = run_simulation(params, UNIFORM, "ts")
+        assert a.raw == b.raw
+        assert a.counter("downlink.fault_bursts") > 0
+        assert a.stale_hits == 0.0
+
+
+class TestServerRobustness:
+    def test_pending_tlb_buffer_is_bounded(self):
+        """With capacity 1 and several concurrently reconnecting clients,
+        the server sheds (and counts) the overflow instead of growing."""
+        params = BASE.with_(
+            simulation_time=6000.0,
+            n_clients=10,
+            disconnect_prob=0.5,
+            disconnect_time_mean=100.0,
+            window_intervals=1,  # nearly every reconnect needs salvage
+            max_pending_tlbs=1,
+        )
+        result = run_simulation(params, UNIFORM, "afw")
+        assert result.counter("server.tlb_overflow") > 0
+        assert result.stale_hits == 0.0
+        assert result.queries_answered > 0
+
+    def test_unbounded_buffer_never_overflows(self):
+        result = run_simulation(BASE, UNIFORM, "afw")
+        assert result.counter("server.tlb_overflow") == 0.0
+
+
+class TestResultProperties:
+    def test_goodput_ratio_reflects_loss(self):
+        params = BASE.with_(downlink_faults=FaultConfig(drop_prob=0.5), **RETRY)
+        result = run_simulation(params, UNIFORM, "ts")
+        judged = result.counter("downlink.fault_judged")
+        drops = result.counter("downlink.fault_drops")
+        assert judged > 0 and drops > 0
+        assert result.goodput_ratio == pytest.approx((judged - drops) / judged)

@@ -7,7 +7,7 @@ clear the suspect marks of) state it never validated.  The client must
 drop such replies.
 """
 
-from repro.net import BROADCAST, Message, MessageKind, SERVER_ID
+from repro.net import Message, MessageKind, SERVER_ID
 from repro.sim import SimulationModel, SystemParams, UNIFORM
 
 
