@@ -2,82 +2,97 @@
 
 Sweeps a symmetric message-drop probability over both links (clients
 retry with timeout + exponential backoff) and compares the invalidation
-schemes.  Two lessons:
+schemes, plus AFW/AAW with the loss-adaptive window layer enabled
+(``afw+la`` / ``aaw+la``).  Three lessons:
 
 * *graceful degradation* — throughput falls with the loss rate but no
   scheme hangs or goes stale: every query terminates (answered or
   abandoned after bounded retries) and ``stale_hits`` stays zero on even
   a 30 %-loss medium;
 * *recovery cost* — the retry layer converts loss into extra uplink
-  traffic (retransmissions) and latency rather than correctness bugs.
+  traffic (retransmissions) and latency rather than correctness bugs;
+* *adaptation is free when clean* — with no loss the adaptive variants
+  fire no retries and send no NACKs.
+
+The dedicated win-margin claims (adaptive beats fixed at >= 5 % loss)
+live in ``bench_ablation_loss_adaptive.py``, which runs the downlink-
+loss regime the window law targets.
 """
+
+from sweep_common import format_sweep_table, run_loss_sweep
 
 from repro.experiments.figures import scale_from_env
 from repro.net import FaultConfig
-from repro.sim import SystemParams, UNIFORM, run_simulation
+from repro.schemes import LossAdaptationConfig
+from repro.sim import SystemParams, UNIFORM
 
 DROP_RATES = [0.0, 0.05, 0.15, 0.30]
 SCHEMES = ["ts", "at", "checking", "afw", "aaw"]
+ADAPTIVE = ["afw+la", "aaw+la"]
+VARIANTS = SCHEMES + ADAPTIVE
 
 
-def run_loss_sweep():
+def configure(drop, variant):
     scale = scale_from_env()
-    out = {}
-    for drop in DROP_RATES:
-        faults = FaultConfig(drop_prob=drop) if drop else None
-        params = SystemParams(
-            simulation_time=scale.simulation_time,
-            n_clients=scale.n_clients,
-            disconnect_prob=0.1,
-            disconnect_time_mean=400.0,
-            downlink_faults=faults,
-            uplink_faults=faults,
-            # The bench scale runs the downlink saturated (the paper's
-            # throughput regime), where queueing alone reaches ~800 s;
-            # the timeout must clear that or retries fire spuriously.
-            uplink_timeout=1500.0,
-            max_retries=4,
-            seed=0,
-        )
-        for scheme in SCHEMES:
-            out[(drop, scheme)] = run_simulation(params, UNIFORM, scheme)
-    return out
+    scheme, _, mode = variant.partition("+")
+    faults = FaultConfig(drop_prob=drop) if drop else None
+    params = SystemParams(
+        simulation_time=scale.simulation_time,
+        n_clients=scale.n_clients,
+        disconnect_prob=0.1,
+        disconnect_time_mean=400.0,
+        downlink_faults=faults,
+        uplink_faults=faults,
+        # The bench scale runs the downlink saturated (the paper's
+        # throughput regime), where queueing alone reaches ~800 s;
+        # the timeout must clear that or retries fire spuriously.
+        uplink_timeout=1500.0,
+        max_retries=4,
+        loss_adaptation=LossAdaptationConfig(w_max=40) if mode else None,
+        seed=0,
+    )
+    return params, scheme
+
+
+def run_fault_sweep():
+    return run_loss_sweep(DROP_RATES, VARIANTS, configure, UNIFORM)
 
 
 def test_fault_tolerance_sweep(benchmark, capsys):
-    results = benchmark.pedantic(run_loss_sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(run_fault_sweep, rounds=1, iterations=1)
     with capsys.disabled():
         print()
-        print("ablation: symmetric loss rate vs scheme (answered / retries)")
-        print(f"  {'loss':>6s} " + "".join(f"{s:>16s}" for s in SCHEMES))
-        for drop in DROP_RATES:
-            cells = []
-            for scheme in SCHEMES:
-                r = results[(drop, scheme)]
-                cells.append(
-                    f"{r.queries_answered:>9.0f}/{r.retries:<6.0f}"
-                )
-            print(f"  {drop:>6.2f} " + "".join(cells))
+        print(
+            format_sweep_table(
+                "ablation: symmetric loss rate vs scheme (answered / retries)",
+                results,
+                DROP_RATES,
+                VARIANTS,
+                lambda r: f"{r.queries_answered:.0f}/{r.retries:.0f}",
+            )
+        )
 
     n_clients = scale_from_env().n_clients
-    for (drop, scheme), r in results.items():
+    for (drop, variant), r in results.items():
         # Exactness survives any loss rate.
-        assert r.stale_hits == 0, (drop, scheme)
+        assert r.stale_hits == 0, (drop, variant)
         # Liveness: every query terminated (at most one in flight per
         # client when the clock stops).
         in_flight = r.counter("queries.generated") - r.queries_answered
-        assert 0 <= in_flight <= n_clients, (drop, scheme)
+        assert 0 <= in_flight <= n_clients, (drop, variant)
         if drop == 0.0:
-            # Pristine medium: the retry layer never fires.
-            assert r.retries == 0, scheme
-            assert r.goodput_ratio == 1.0, scheme
+            # Pristine medium: the retry layer never fires, and the
+            # adaptive variants send no NACKs (nothing is ever lost).
+            assert r.retries == 0, variant
+            assert r.goodput_ratio == 1.0, variant
+            assert r.counter("client.ir_nacks") == 0, variant
         else:
-            assert r.retries > 0, (drop, scheme)
-            assert r.goodput_ratio < 1.0, (drop, scheme)
+            assert r.retries > 0, (drop, variant)
+            assert r.goodput_ratio < 1.0, (drop, variant)
 
     # Loss hurts: heavy loss answers no more than the pristine medium
     # (small wiggle room for discrete-event noise).
-    for scheme in SCHEMES:
-        clean = results[(0.0, scheme)].queries_answered
-        lossy = results[(0.30, scheme)].queries_answered
-        assert lossy <= 1.02 * clean, scheme
+    for variant in VARIANTS:
+        clean = results[(0.0, variant)].queries_answered
+        lossy = results[(0.30, variant)].queries_answered
+        assert lossy <= 1.02 * clean, variant

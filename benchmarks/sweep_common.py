@@ -1,0 +1,43 @@
+"""Shared harness for the loss-rate ablation benches.
+
+``bench_ablation_fault_tolerance`` and ``bench_ablation_loss_adaptive``
+both sweep a message-drop probability against a set of variants (a
+scheme, or a scheme x adaptation mode), run one simulation per cell and
+print a fixed-width table of the sweep.  Keeping the sweep loop and the
+table rendering here means the two benches cannot drift apart in how
+they run or report the same experiment.
+"""
+
+from repro.sim import run_simulation
+
+
+def run_loss_sweep(drop_rates, variants, configure, workload):
+    """Run one simulation per ``(drop, variant)`` cell.
+
+    *configure* maps ``(drop, variant) -> (params, scheme_name)``; the
+    result dict is keyed by the same ``(drop, variant)`` pairs.
+    """
+    out = {}
+    for drop in drop_rates:
+        for variant in variants:
+            params, scheme = configure(drop, variant)
+            out[(drop, variant)] = run_simulation(params, workload, scheme)
+    return out
+
+
+def format_sweep_table(title, results, drop_rates, variants, cell, width=16):
+    """Render the sweep as rows of loss rate x variant columns.
+
+    *cell* maps a :class:`SimulationResult` to the string shown in its
+    table cell.
+    """
+    lines = [title]
+    lines.append(
+        f"  {'loss':>6s} " + "".join(f"{str(v):>{width}s}" for v in variants)
+    )
+    for drop in drop_rates:
+        row = "".join(
+            f"{cell(results[(drop, v)]):>{width}s}" for v in variants
+        )
+        lines.append(f"  {drop:>6.2f} " + row)
+    return "\n".join(lines)

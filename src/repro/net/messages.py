@@ -23,6 +23,7 @@ class MessageKind(enum.Enum):
     CHECK_REQUEST = "check_request"      # client -> server cache check upload
     VALIDITY_REPORT = "validity_report"  # server -> client check response
     TLB_UPLOAD = "tlb_upload"            # client -> server last-heard timestamp
+    IR_NACK = "ir_nack"                  # client -> server missed-report hint
     DATA_REQUEST = "data_request"        # client -> server item fetch
     DATA_ITEM = "data_item"              # server -> client item contents
 
@@ -37,6 +38,7 @@ KIND_PRIORITY = {
     MessageKind.CHECK_REQUEST: PRIORITY_CHECK,
     MessageKind.VALIDITY_REPORT: PRIORITY_CHECK,
     MessageKind.TLB_UPLOAD: PRIORITY_CHECK,
+    MessageKind.IR_NACK: PRIORITY_CHECK,
     MessageKind.DATA_REQUEST: PRIORITY_DATA,
     MessageKind.DATA_ITEM: PRIORITY_DATA,
 }

@@ -85,6 +85,15 @@ def tlb_upload_bits(timestamp_bits: int = DEFAULT_TIMESTAMP_BITS) -> float:
     return float(timestamp_bits)
 
 
+def nack_upload_bits(timestamp_bits: int = DEFAULT_TIMESTAMP_BITS) -> float:
+    """Payload of a loss-adaptive IR-gap NACK hint.
+
+    Priced like a ``Tlb`` upload: the missed-report count fits in one
+    timestamp-width field (it is bounded by the elapsed intervals).
+    """
+    return float(timestamp_bits)
+
+
 def checking_upload_bits(
     n_cached: int, n_items: int, timestamp_bits: int = DEFAULT_TIMESTAMP_BITS
 ) -> float:

@@ -8,6 +8,13 @@ inside that window can invalidate exactly the items updated after ``Tlb``.
 AAW's enlarged report stretches the window back to a requesting client's
 ``Tlb`` and marks the stretch with a ``(dummy_id, Tlb)`` record so clients
 can recognise that the report covers them (Section 3.2).
+
+Loss-adaptive broadcasting (:mod:`repro.schemes.loss_adaptive`) reuses
+these structures unchanged with a widened span ``w_eff * L``: ``covers``
+is monotone in the window span — moving ``window_start`` earlier only
+adds covered clients, never removes one — so widening is always safe,
+and the size formulas in :mod:`repro.reports.sizes` automatically price
+the extra ``(id, ts)`` records the wider window drags in.
 """
 
 from __future__ import annotations

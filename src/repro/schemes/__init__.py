@@ -18,6 +18,13 @@ from .base import (
 from .bs import BS_SCHEME, BSClientPolicy, BSServerPolicy
 from .checking import CHECKING_SCHEME, CheckingClientPolicy, CheckingServerPolicy
 from .gcore import GCORE_SCHEME, GCOREClientPolicy, GCOREServerPolicy, group_of
+from .loss_adaptive import (
+    LossAdaptationConfig,
+    LossAdaptiveController,
+    LossEstimator,
+    consecutive_loss_tolerance,
+    effective_window_intervals,
+)
 from .registry import (
     EVALUATED_SCHEMES,
     available_schemes,
@@ -48,6 +55,9 @@ __all__ = [
     "GCORE_SCHEME",
     "GCOREClientPolicy",
     "GCOREServerPolicy",
+    "LossAdaptationConfig",
+    "LossAdaptiveController",
+    "LossEstimator",
     "PendingTlbBuffer",
     "SIG_SCHEME",
     "SIGClientPolicy",
@@ -63,6 +73,8 @@ __all__ = [
     "reconcile_with_amnesic",
     "reconcile_with_bitseq",
     "available_schemes",
+    "consecutive_loss_tolerance",
+    "effective_window_intervals",
     "get_scheme",
     "group_of",
     "register_scheme",

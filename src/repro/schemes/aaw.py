@@ -20,7 +20,7 @@ from ..reports.window import (
     build_window_report,
     enlarged_report_size,
 )
-from .base import PendingTlbBuffer, Scheme, ServerPolicy
+from .base import PendingTlbBuffer, Scheme, ServerPolicy, effective_window_seconds
 from .afw import AdaptiveClientPolicy
 
 
@@ -42,10 +42,13 @@ class AAWServerPolicy(ServerPolicy):
 
     def build_report(self, ctx, now: float):
         params = self.params
+        window_seconds = effective_window_seconds(ctx, params)
         salvageable = []
         pending = self.tlb_buffer.drain()
         if pending:
-            window_start = now - params.window_seconds
+            # Tlbs inside the (possibly loss-widened) window ride the
+            # regular report; only older ones need stretching/BS.
+            window_start = now - window_seconds
             threshold = bs_salvage_threshold(self.db, origin=0.0)
             salvageable = [t for t in pending if threshold <= t <= window_start]
         if salvageable:
@@ -64,7 +67,7 @@ class AAWServerPolicy(ServerPolicy):
                 self.db, now, origin=0.0, timestamp_bits=params.timestamp_bits
             )
         return build_window_report(
-            self.db, now, params.window_seconds, params.timestamp_bits
+            self.db, now, window_seconds, params.timestamp_bits
         )
 
 

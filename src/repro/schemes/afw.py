@@ -19,6 +19,7 @@ from .base import (
     ServerPolicy,
     apply_invalidation,
     apply_window_report,
+    effective_window_seconds,
     reconcile_with_bitseq,
 )
 from ..reports.base import ReportKind
@@ -38,23 +39,30 @@ class AFWServerPolicy(ServerPolicy):
     def on_tlb(self, ctx, client_id: int, tlb: float, now: float):
         self.tlb_buffer.add(client_id, tlb)
 
-    def _take_salvageable(self, now: float) -> list:
-        """Pop all pending Tlbs, returning the salvageable ones."""
+    def _take_salvageable(self, now: float, window_seconds: float) -> list:
+        """Pop all pending Tlbs, returning the salvageable ones.
+
+        *window_seconds* is the span the regular report will cover this
+        period (the loss-adaptive widened window, when active): any
+        pending ``Tlb`` inside it is covered by the ordinary report for
+        free, so only clients beyond it still need the BS rescue.
+        """
         pending = self.tlb_buffer.drain()
         if not pending:
             return []
-        window_start = now - self.params.window_seconds
+        window_start = now - window_seconds
         threshold = bs_salvage_threshold(self.db, origin=0.0)
         return [t for t in pending if threshold <= t <= window_start]
 
     def build_report(self, ctx, now: float):
-        if self._take_salvageable(now):
+        window_seconds = effective_window_seconds(ctx, self.params)
+        if self._take_salvageable(now, window_seconds):
             self.bs_broadcasts += 1
             return build_bitseq_report(
                 self.db, now, origin=0.0, timestamp_bits=self.params.timestamp_bits
             )
         return build_window_report(
-            self.db, now, self.params.window_seconds, self.params.timestamp_bits
+            self.db, now, window_seconds, self.params.timestamp_bits
         )
 
 

@@ -43,6 +43,20 @@ class ClientOutcome(enum.Enum):
     PENDING = "pending"   # waiting on the server (Tlb sent / check sent)
 
 
+def effective_window_seconds(ctx, params) -> float:
+    """The window span a server policy should cover right now.
+
+    The loss-adaptive control loop (:mod:`repro.schemes.loss_adaptive`)
+    advertises a widened ``effective_window_seconds`` on the server
+    context each broadcast tick; without it — loss adaptation off, or a
+    duck-typed test context — this is exactly ``params.window_seconds``.
+    Widening is monotone-safe: ``WindowReport.covers`` only gains clients
+    as the span grows, so a wider window never un-salvages anyone.
+    """
+    span = getattr(ctx, "effective_window_seconds", None)
+    return params.window_seconds if span is None else span
+
+
 def apply_window_report(cache: ClientCache, report) -> int:
     """Apply a covered TS/enlarged window report to *cache*.
 

@@ -16,7 +16,14 @@ from typing import List, Tuple
 
 from ..reports.sizes import validity_report_bits
 from ..reports.window import build_window_report
-from .base import ClientOutcome, ClientPolicy, Scheme, ServerPolicy, apply_window_report
+from .base import (
+    ClientOutcome,
+    ClientPolicy,
+    Scheme,
+    ServerPolicy,
+    apply_window_report,
+    effective_window_seconds,
+)
 
 
 class CheckingServerPolicy(ServerPolicy):
@@ -29,7 +36,10 @@ class CheckingServerPolicy(ServerPolicy):
 
     def build_report(self, ctx, now: float):
         return build_window_report(
-            self.db, now, self.params.window_seconds, self.params.timestamp_bits
+            self.db,
+            now,
+            effective_window_seconds(ctx, self.params),
+            self.params.timestamp_bits,
         )
 
     def on_check_request(

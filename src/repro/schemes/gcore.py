@@ -21,7 +21,14 @@ from typing import List, Tuple
 
 from ..reports.sizes import id_bits, validity_report_bits
 from ..reports.window import build_window_report
-from .base import ClientOutcome, ClientPolicy, Scheme, ServerPolicy, apply_window_report
+from .base import (
+    ClientOutcome,
+    ClientPolicy,
+    Scheme,
+    ServerPolicy,
+    apply_window_report,
+    effective_window_seconds,
+)
 
 #: Number of timestamp groups the cache is hashed into.
 DEFAULT_GROUPS = 8
@@ -50,7 +57,10 @@ class GCOREServerPolicy(ServerPolicy):
 
     def build_report(self, ctx, now: float):
         return build_window_report(
-            self.db, now, self.params.window_seconds, self.params.timestamp_bits
+            self.db,
+            now,
+            effective_window_seconds(ctx, self.params),
+            self.params.timestamp_bits,
         )
 
     def on_check_request(

@@ -8,11 +8,19 @@ the listed items newer than its entries and certifies the rest.
 from __future__ import annotations
 
 from ..reports.window import build_window_report
-from .base import ClientOutcome, ClientPolicy, Scheme, ServerPolicy, apply_window_report
+from .base import (
+    ClientOutcome,
+    ClientPolicy,
+    Scheme,
+    ServerPolicy,
+    apply_window_report,
+    effective_window_seconds,
+)
 
 
 class TSServerPolicy(ServerPolicy):
-    """Broadcasts the fixed-window report every period."""
+    """Broadcasts the fixed-window report every period (widened under
+    loss adaptation)."""
 
     def __init__(self, params, db):
         self.params = params
@@ -20,7 +28,10 @@ class TSServerPolicy(ServerPolicy):
 
     def build_report(self, ctx, now: float):
         return build_window_report(
-            self.db, now, self.params.window_seconds, self.params.timestamp_bits
+            self.db,
+            now,
+            effective_window_seconds(ctx, self.params),
+            self.params.timestamp_bits,
         )
 
 

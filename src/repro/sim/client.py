@@ -22,7 +22,7 @@ from ..cache import CacheEntry, ClientCache
 from ..des import Environment, Event
 from ..des.monitor import MetricSet
 from ..net import Channel, Message, MessageKind, SERVER_ID
-from ..reports.sizes import checking_upload_bits, tlb_upload_bits
+from ..reports.sizes import checking_upload_bits, nack_upload_bits, tlb_upload_bits
 from ..schemes.base import ClientOutcome
 from . import metrics as m
 from .energy import ENERGY_RX, ENERGY_TX
@@ -73,6 +73,12 @@ class MobileClient:
         #: expected rather than evidence of loss).  Drives missed-report
         #: detection under fault injection.
         self._last_report_heard: Optional[float] = 0.0
+        #: Timestamp of the last report *applied*, for repetition-coding
+        #: dedup: a second copy of the same report must be counted and
+        #: discarded, never re-run through the policy (re-applying an
+        #: uncovered report would wrongly escalate the adaptive schemes'
+        #: ask-once salvage protocol to a full cache drop).
+        self._last_report_applied: Optional[float] = None
 
         self._ready_waiters: Optional[Event] = None
         self._data_waits: Dict[int, Event] = {}
@@ -165,6 +171,12 @@ class MobileClient:
             return
         if msg.kind is MessageKind.INVALIDATION_REPORT:
             self._charge_rx(msg.size_bits)
+            if msg.payload.dedup_key == self._last_report_applied:
+                # A repetition-coded copy of a report already processed:
+                # count the discard (the radio still listened) and stop.
+                self.metrics.counter(m.IR_DUPLICATES).add()
+                return
+            self._last_report_applied = msg.payload.dedup_key
             self._note_report_heard(msg.payload.timestamp, now)
             outcome = self.policy.on_report(self, msg.payload)
             if outcome is ClientOutcome.READY:
@@ -224,7 +236,32 @@ class MobileClient:
         n_missed = int(round((report_ts - last) / interval)) - 1
         if n_missed > 0:
             self.metrics.counter(m.IR_GAPS).add(n_missed)
+            la = self.params.loss_adaptation
+            if la is not None and la.nack:
+                self._send_ir_nack(n_missed)
             self.policy.on_missed_reports(self, n_missed, now)
+
+    def _send_ir_nack(self, n_missed: int):
+        """Upload a loss hint: *n_missed* reports provably lost on the air.
+
+        The server's loss estimator aggregates these into the widened
+        ``w_eff``; the hint rides the checking priority class and is
+        priced like a ``Tlb`` upload.
+        """
+        size = nack_upload_bits(self.params.timestamp_bits)
+        self.metrics.counter(m.UPLINK_VALIDATION_BITS).add(size)
+        self.metrics.counter(m.NACK_BITS).add(size)
+        self.metrics.counter(m.NACKS_SENT).add()
+        self._charge_tx(size)
+        self.uplink.send(
+            Message(
+                kind=MessageKind.IR_NACK,
+                size_bits=size,
+                src=self.client_id,
+                dest=SERVER_ID,
+                payload=n_missed,
+            )
+        )
 
     def _on_pushed_item(self, msg: Message, payload: dict):
         """Publishing mode: refresh or prefetch a broadcast item.

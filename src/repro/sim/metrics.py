@@ -36,6 +36,14 @@ IR_GAPS = "client.ir_gaps"                    # reports provably missed
 IR_CORRUPTED = "client.ir_corrupted"          # reports heard but undecodable
 MALFORMED_UPLINK = "server.malformed_uplink"
 DUPLICATE_UPLINK = "server.duplicate_uplink"
+# Loss-adaptive broadcasting (all zero with `loss_adaptation` off).
+IR_DUPLICATES = "client.ir_duplicates"        # repeated-report copies discarded
+NACKS_SENT = "client.ir_nacks"                # gap hints uploaded
+NACK_BITS = "uplink.nack_bits"
+NACKS_RECEIVED = "server.nacks_received"
+IR_REPEATS = "server.ir_repeats"              # extra report copies broadcast
+EST_LOSS = "server.est_loss"                  # final smoothed loss estimate
+W_EFF = "adaptive.w_eff"                      # tally: w_eff trajectory
 
 REPORT_COUNT_PREFIX = "reports."   # + ReportKind.value
 
@@ -104,6 +112,21 @@ class SimulationResult:
     def fetch_failures(self) -> float:
         """Item fetches abandoned after exhausting every retry."""
         return self.counter(FETCH_FAILURES)
+
+    @property
+    def ir_duplicates(self) -> float:
+        """Repeated-report copies the clients deduplicated."""
+        return self.counter(IR_DUPLICATES)
+
+    @property
+    def estimated_ir_loss(self) -> float:
+        """The server's final smoothed IR-loss estimate (0 when off)."""
+        return self.counter(EST_LOSS)
+
+    @property
+    def mean_effective_window(self) -> float:
+        """Mean ``w_eff`` over the run (0 when loss adaptation is off)."""
+        return self.raw.get(f"{W_EFF}.mean", 0.0)
 
     @property
     def goodput_ratio(self) -> float:

@@ -174,4 +174,11 @@ class SimulationModel:
         if buffer is not None:
             result.raw["server.tlb_duplicates"] = float(buffer.duplicates)
             result.raw["server.tlb_overflow"] = float(buffer.overflows)
+        # Loss-adaptive control-loop telemetry (knob group on only).
+        controller = self.server.loss_controller
+        if controller is not None:
+            from .metrics import EST_LOSS
+
+            result.raw[EST_LOSS] = controller.estimate
+            result.raw["server.w_eff_last"] = float(controller.w_eff)
         return result

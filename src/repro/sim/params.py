@@ -7,6 +7,7 @@ from typing import Optional
 
 from ..net.faults import FaultConfig
 from ..reports.sizes import DEFAULT_TIMESTAMP_BITS
+from ..schemes.loss_adaptive import LossAdaptationConfig
 from .energy import EnergyModel
 
 
@@ -95,6 +96,13 @@ class SystemParams:
     #: this many distinct clients' ``Tlb`` uploads are buffered between
     #: broadcasts; later arrivals are counted and shed.  None = unbounded.
     max_pending_tlbs: Optional[int] = None
+    #: Loss-adaptive broadcasting (see :mod:`repro.schemes.loss_adaptive`):
+    #: the server estimates the IR-loss rate from client NACK hints and
+    #: salvage traffic, widens the window-report span to ``w_eff`` in
+    #: ``[window_intervals, w_max]``, and optionally repeats each report
+    #: ``repeat`` times.  ``None`` (the default) disables the whole loop —
+    #: bit-identical to the paper-faithful seed behaviour.
+    loss_adaptation: Optional[LossAdaptationConfig] = None
 
     def __post_init__(self):
         if self.simulation_time <= 0:
@@ -141,6 +149,13 @@ class SystemParams:
             raise ValueError("backoff_jitter must be in [0, 1)")
         if self.max_pending_tlbs is not None and self.max_pending_tlbs < 1:
             raise ValueError("max_pending_tlbs must be >= 1")
+        if self.loss_adaptation is not None:
+            if not isinstance(self.loss_adaptation, LossAdaptationConfig):
+                raise ValueError(
+                    "loss_adaptation must be a LossAdaptationConfig or None"
+                )
+            if self.loss_adaptation.w_max < self.window_intervals:
+                raise ValueError("loss_adaptation.w_max must be >= window_intervals")
 
     # -- derived quantities ---------------------------------------------------
 
@@ -153,6 +168,11 @@ class SystemParams:
     def retries_enabled(self) -> bool:
         """True when the client timeout/retry lifecycle is active."""
         return self.uplink_timeout is not None
+
+    @property
+    def ir_repeat(self) -> int:
+        """Report repetition factor ``r`` (1 = broadcast once)."""
+        return 1 if self.loss_adaptation is None else self.loss_adaptation.repeat
 
     @property
     def cache_capacity(self) -> int:

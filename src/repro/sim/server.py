@@ -7,16 +7,21 @@ One server covers the cell (paper Section 2).  Responsibilities:
 * answer data requests, *coalescing* concurrent requests for the same
   item into one broadcast transmission (broadcast medium);
 * answer checking uploads with validity reports and forward ``Tlb``
-  uploads to the scheme policy.
+  uploads to the scheme policy;
+* when ``params.loss_adaptation`` is set, run the loss-adaptive control
+  loop: fold the cell's NACK hints and salvage traffic into an IR-loss
+  estimate each tick, advertise the widened ``effective_window_seconds``
+  to the scheme policy, and repeat each report ``r`` times.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..des import Environment, LOW
 from ..des.monitor import MetricSet
 from ..net import BROADCAST, Channel, Message, MessageKind, SERVER_ID
+from ..schemes.loss_adaptive import LossAdaptiveController
 from . import metrics as m
 
 
@@ -44,6 +49,20 @@ class Server:
         #: default; a dedicated channel in the multiple-channel extension).
         self.ir_channel = ir_channel if ir_channel is not None else downlink
         self.metrics = metrics
+        #: Loss-adaptive control loop (None = paper-faithful fixed window).
+        self.loss_controller: Optional[LossAdaptiveController] = (
+            LossAdaptiveController(
+                params.loss_adaptation,
+                window_intervals=params.window_intervals,
+                broadcast_interval=params.broadcast_interval,
+                expected_listeners=params.n_clients,
+            )
+            if params.loss_adaptation is not None
+            else None
+        )
+        #: Widened window span advertised to window-based scheme policies
+        #: (None = use ``params.window_seconds``; see schemes.base).
+        self.effective_window_seconds: Optional[float] = None
         #: item -> queued DATA_ITEM message (coalescing window).
         self._pending_data: Dict[int, Message] = {}
         #: Publishing-mode round-robin cursor over the publish region.
@@ -67,21 +86,34 @@ class Server:
             # LOW priority: same-instant database updates commit first, so
             # the report reflects every update with ts <= Ti.
             yield env.timeout(tick * interval - env.now, priority=LOW)
+            if self.loss_controller is not None:
+                # Fold last interval's loss evidence into the estimate and
+                # advertise the (possibly widened) window to the policy.
+                w_eff = self.loss_controller.tick()
+                self.effective_window_seconds = (
+                    self.loss_controller.effective_window_seconds
+                )
+                self.metrics.tally(m.W_EFF).observe(float(w_eff))
             report = self.policy.build_report(self, env.now)
             self.metrics.counter(
                 f"{m.REPORT_COUNT_PREFIX}{report.kind.value}"
             ).add()
             self.metrics.tally(m.REPORT_SIZE).observe(report.size_bits)
-            self.metrics.counter(m.DOWNLINK_IR_BITS).add(report.size_bits)
-            self.ir_channel.send(
-                Message(
-                    kind=MessageKind.INVALIDATION_REPORT,
-                    size_bits=report.size_bits,
-                    src=SERVER_ID,
-                    dest=BROADCAST,
-                    payload=report,
+            for copy in range(self.params.ir_repeat):
+                # Repetition coding: every copy is a full-size broadcast —
+                # the downlink pays for redundancy, honestly.
+                if copy > 0:
+                    self.metrics.counter(m.IR_REPEATS).add()
+                self.metrics.counter(m.DOWNLINK_IR_BITS).add(report.size_bits)
+                self.ir_channel.send(
+                    Message(
+                        kind=MessageKind.INVALIDATION_REPORT,
+                        size_bits=report.size_bits,
+                        src=SERVER_ID,
+                        dest=BROADCAST,
+                        payload=report,
+                    )
                 )
-            )
             if self.params.publish_per_interval > 0:
                 self._publish_round()
 
@@ -123,7 +155,15 @@ class Server:
             self.metrics.counter(m.MALFORMED_UPLINK).add()
             return
         if msg.kind is MessageKind.TLB_UPLOAD:
+            if self.loss_controller is not None:
+                # Salvage traffic is (weak) loss evidence: clients that
+                # fell out of the window may have lost reports on the air.
+                self.loss_controller.observe_salvage()
             self.policy.on_tlb(self, msg.src, msg.payload, now)
+        elif msg.kind is MessageKind.IR_NACK:
+            self.metrics.counter(m.NACKS_RECEIVED).add()
+            if self.loss_controller is not None:
+                self.loss_controller.observe_nack(msg.payload)
         elif msg.kind is MessageKind.CHECK_REQUEST:
             self._answer_check(msg, now)
         elif msg.kind is MessageKind.DATA_REQUEST:
@@ -134,6 +174,12 @@ class Server:
         payload = msg.payload
         if msg.kind is MessageKind.TLB_UPLOAD:
             return isinstance(payload, (int, float)) and payload >= 0
+        if msg.kind is MessageKind.IR_NACK:
+            return (
+                isinstance(payload, int)
+                and not isinstance(payload, bool)
+                and payload >= 1
+            )
         if msg.kind is MessageKind.CHECK_REQUEST:
             return isinstance(payload, list)
         if msg.kind is MessageKind.DATA_REQUEST:

@@ -5,10 +5,34 @@ every window-based scheme broadcasts the same reports and applies the
 same invalidations, so entire runs must agree metric-for-metric.  Any
 divergence exposes hidden nondeterminism or a scheme touching state it
 should not.
+
+The second half differentially tests the **loss-adaptive window** layer
+against the fixed window on identical lossy broadcast traces: widening
+must only ever *add* serveable state (a client fixed-w can answer from
+cache, adaptive-w can too), and neither side may ever certify a stale
+entry — the same consistency oracle `test_consistency.py` applies to
+full runs, here checked cache-entry by cache-entry against the ground-
+truth database.
 """
 
-import pytest
+import random
+from types import SimpleNamespace
 
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheEntry, ClientCache
+from repro.db import Database
+from repro.net import FaultConfig
+from repro.schemes import (
+    AAWServerPolicy,
+    AFWServerPolicy,
+    AdaptiveClientPolicy,
+    LossAdaptationConfig,
+    LossAdaptiveController,
+)
+from repro.schemes.base import ClientOutcome
 from repro.sim import HOTCOLD, UNIFORM, SystemParams, run_simulation
 
 WINDOW_SCHEMES = ("ts", "checking", "afw", "aaw", "gcore")
@@ -90,3 +114,244 @@ class TestWindowSchemesCoincide:
         }
         assert snapshots["ts"] != snapshots["checking"]
         assert snapshots["checking"] != snapshots["aaw"]
+
+
+# ---------------------------------------------------------------------------
+# Differential under loss: fixed window vs loss-adaptive window on the
+# SAME broadcast trace.
+#
+# Closed-loop full simulations cannot express the superset property
+# cleanly (a widened report changes queueing, which changes which
+# queries even exist), so this harness replays a *scripted* trace at
+# the policy layer: one shared database update history and, per client,
+# one doze schedule and one per-interval report-loss mask — and runs
+# the identical trace through two worlds that differ only in the window
+# the server uses.  Everything a client could answer from cache in the
+# fixed world, it can also answer in the adaptive world.
+#
+# Each client gets its own server pair (one cell per client).  That is
+# deliberate: with several clients sharing a server, a BS rescue asked
+# for by client A also salvages bystanders, so a *narrower* window can
+# accidentally help a client that the wide window covered directly —
+# monotonicity in the window span is a per-client property, and the
+# cross-client rescue channel is a confound this harness controls for.
+# ---------------------------------------------------------------------------
+
+INTERVAL = 20.0
+W = 3               # fixed window, in intervals
+W_MAX = 12
+N_INTERVALS = 30
+N_CLIENTS = 6
+DB_SIZE = 48
+PREFILL = 16        # items 0..15 cached by everyone at t=0
+
+SERVERS = {"afw": AFWServerPolicy, "aaw": AAWServerPolicy}
+
+
+def scheme_params():
+    return SystemParams(
+        simulation_time=float(N_INTERVALS) * INTERVAL,
+        n_clients=N_CLIENTS,
+        db_size=DB_SIZE,
+        buffer_fraction=PREFILL / DB_SIZE,
+        window_intervals=W,
+        broadcast_interval=INTERVAL,
+        seed=0,
+    )
+
+
+def build_trace(seed, loss_rate):
+    """One shared script: updates per interval and, per client, whether
+    each broadcast was heard, lost on the air, or slept through."""
+    rng = random.Random(seed)
+    updates = [
+        [rng.randrange(DB_SIZE) for _ in range(rng.randint(0, 3))]
+        for _ in range(N_INTERVALS)
+    ]
+    status = []
+    awake = [True] * N_CLIENTS
+    for _ in range(N_INTERVALS):
+        row = []
+        for c in range(N_CLIENTS):
+            # Sticky doze episodes so gaps regularly exceed w (and
+            # sometimes w_max): P(doze)=0.2, P(wake)=0.35.
+            if awake[c]:
+                awake[c] = rng.random() >= 0.2
+            else:
+                awake[c] = rng.random() < 0.35
+            if not awake[c]:
+                row.append("doze")
+            elif rng.random() < loss_rate:
+                row.append("lost")
+            else:
+                row.append("heard")
+        status.append(row)
+    return updates, status
+
+
+class ScriptedCtx:
+    """Minimal duck-typed client context (see tests/schemes/conftest)."""
+
+    def __init__(self, capacity):
+        self.cache = ClientCache(capacity)
+        self.tlb = 0.0
+        self.sent_tlbs = []
+        self.drops = 0
+
+    def send_tlb(self, tlb):
+        self.sent_tlbs.append(tlb)
+
+    def note_cache_drop(self):
+        self.drops += 1
+
+
+class ScriptedWorld:
+    """One (scheme, window-mode) single-client replay of a trace."""
+
+    def __init__(self, scheme, db, adaptive, config=None):
+        params = scheme_params()
+        self.db = db
+        self.server = SERVERS[scheme](params, db)
+        self.controller = (
+            LossAdaptiveController(
+                config or LossAdaptationConfig(w_max=W_MAX),
+                window_intervals=W,
+                broadcast_interval=INTERVAL,
+                expected_listeners=1,
+            )
+            if adaptive
+            else None
+        )
+        self.ctx = ScriptedCtx(capacity=PREFILL)
+        for item in range(PREFILL):
+            self.ctx.cache.insert(CacheEntry(item=item, version=0, ts=0.0))
+        self.policy = AdaptiveClientPolicy(params, 0)
+        self.outcome = None
+        self.last_heard = None  # interval index; None after a doze
+        self.uploads_fed = 0
+
+    def run_interval(self, index, now, status):
+        """Advance one broadcast period; return the servable item set."""
+        if self.controller is not None:
+            self.controller.tick()
+            span = self.controller.effective_window_seconds
+            assert W * INTERVAL <= span <= W_MAX * INTERVAL
+            server_ctx = SimpleNamespace(effective_window_seconds=span)
+        else:
+            server_ctx = SimpleNamespace()
+        report = self.server.build_report(server_ctx, now)
+
+        if status == "doze":
+            self.last_heard = None
+            self.outcome = None
+            return set()
+        if status == "heard":
+            if self.last_heard is None and self.outcome is None:
+                self.policy.on_reconnect(self.ctx, now)
+            elif self.last_heard is not None:
+                missed = index - self.last_heard - 1
+                if missed > 0 and self.controller is not None:
+                    self.controller.observe_nack(missed)
+            self.last_heard = index
+            self.outcome = self.policy.on_report(self.ctx, report)
+            # Relay any new Tlb upload to this world's server.
+            for tlb in self.ctx.sent_tlbs[self.uploads_fed:]:
+                self.server.on_tlb(None, 0, tlb, now)
+                if self.controller is not None:
+                    self.controller.observe_salvage()
+            self.uploads_fed = len(self.ctx.sent_tlbs)
+            if self.outcome is ClientOutcome.READY:
+                # Consistency oracle: with no fetches in the script, a
+                # certified entry is fresh iff its version matches the
+                # database *right now* (every update predates the report
+                # this client just consumed).
+                for entry in self.ctx.cache.entries():
+                    assert entry.version == int(self.db.version[entry.item])
+        # "lost": state unchanged — but the client did not hear this
+        # interval's report, so (paper semantics) it cannot answer
+        # queries until the next one it does hear.
+        if status == "heard" and self.outcome is ClientOutcome.READY:
+            return set(self.ctx.cache.item_ids())
+        return set()
+
+
+@pytest.mark.parametrize("scheme", sorted(SERVERS))
+@settings(max_examples=20)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    loss=st.floats(min_value=0.0, max_value=0.6),
+)
+def test_adaptive_window_serves_a_superset_under_loss(scheme, seed, loss):
+    """On any shared lossy trace, every item a fixed-w client can serve
+    from cache, the adaptive-w client can too — and neither world's
+    oracle ever sees a stale certified entry."""
+    updates, status = build_trace(seed, loss)
+    db = Database(DB_SIZE)
+    fixed = [ScriptedWorld(scheme, db, adaptive=False) for _ in range(N_CLIENTS)]
+    adaptive = [ScriptedWorld(scheme, db, adaptive=True) for _ in range(N_CLIENTS)]
+    for i in range(N_INTERVALS):
+        now = (i + 1) * INTERVAL
+        for item in updates[i]:
+            db.apply_update(item, now - INTERVAL / 2)
+        for cid in range(N_CLIENTS):
+            servable_fixed = fixed[cid].run_interval(i, now, status[i][cid])
+            servable_adaptive = adaptive[cid].run_interval(i, now, status[i][cid])
+            assert servable_fixed <= servable_adaptive, (
+                f"interval {i}, client {cid}: fixed-w serves "
+                f"{sorted(servable_fixed - servable_adaptive)} "
+                f"that adaptive-w cannot"
+            )
+
+
+@pytest.mark.parametrize("scheme", sorted(SERVERS))
+@settings(max_examples=5)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_lossless_trace_worlds_coincide(scheme, seed):
+    """With no loss (hence no NACKs) and the ambiguous salvage signal
+    weighted to zero, the estimate stays 0, the controller never widens,
+    and both worlds must agree exactly — not just by inclusion — on
+    every servable set.  (With the default ``salvage_weight`` the worlds
+    may legitimately differ even at zero loss: doze-driven salvage
+    uploads widen the window, which is the designed response.)"""
+    updates, status = build_trace(seed, loss_rate=0.0)
+    quiet = LossAdaptationConfig(w_max=W_MAX, salvage_weight=0.0)
+    db = Database(DB_SIZE)
+    fixed = [ScriptedWorld(scheme, db, adaptive=False) for _ in range(N_CLIENTS)]
+    adaptive = [
+        ScriptedWorld(scheme, db, adaptive=True, config=quiet)
+        for _ in range(N_CLIENTS)
+    ]
+    for i in range(N_INTERVALS):
+        now = (i + 1) * INTERVAL
+        for item in updates[i]:
+            db.apply_update(item, now - INTERVAL / 2)
+        for cid in range(N_CLIENTS):
+            assert fixed[cid].run_interval(
+                i, now, status[i][cid]
+            ) == adaptive[cid].run_interval(i, now, status[i][cid])
+
+
+class TestFullSimulationUnderLoss:
+    """End-to-end counterpart: closed-loop runs with the adaptive layer
+    live on a lossy downlink keep the paper's correctness guarantee."""
+
+    @pytest.mark.parametrize("scheme", sorted(SERVERS))
+    def test_adaptive_runs_stay_consistent(self, scheme):
+        result = run_simulation(
+            params(
+                simulation_time=3000.0,
+                disconnect_prob=0.25,
+                disconnect_time_mean=300.0,
+                downlink_faults=FaultConfig(drop_prob=0.2),
+                uplink_timeout=500.0,
+                loss_adaptation=LossAdaptationConfig(w_max=40, repeat=2),
+            ),
+            HOTCOLD,
+            scheme,
+        )
+        assert result.stale_hits == 0
+        assert 0.0 <= result.estimated_ir_loss <= 1.0
+        assert result.queries_answered > 0
+        # Repetition actually ran and the dedup layer absorbed it.
+        assert result.counter("server.ir_repeats") > 0
+        assert result.counter("client.ir_duplicates") > 0
