@@ -6,23 +6,51 @@ scheme, or a scheme x adaptation mode), run one simulation per cell and
 print a fixed-width table of the sweep.  Keeping the sweep loop and the
 table rendering here means the two benches cannot drift apart in how
 they run or report the same experiment.
+
+Cells are independent deterministic simulations, so — like the figure
+sweeps in :mod:`repro.experiments.parallel` — they fan out over a
+process pool by default (``workers="auto"``); results are identical at
+any worker count.
 """
 
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.experiments.parallel import resolve_workers, sweep_chunksize
 from repro.sim import run_simulation
 
 
-def run_loss_sweep(drop_rates, variants, configure, workload):
+def _run_cell(cell):
+    """Worker entry point (module-level so it pickles)."""
+    key, params, scheme, workload = cell
+    return key, run_simulation(params, workload, scheme)
+
+
+def run_loss_sweep(drop_rates, variants, configure, workload, workers="auto"):
     """Run one simulation per ``(drop, variant)`` cell.
 
     *configure* maps ``(drop, variant) -> (params, scheme_name)``; the
-    result dict is keyed by the same ``(drop, variant)`` pairs.
+    result dict is keyed by the same ``(drop, variant)`` pairs.  Cells
+    fan out over *workers* processes (``"auto"`` = cpu_count); configure
+    itself runs serially in the parent, so it may close over anything.
     """
-    out = {}
+    cells = []
     for drop in drop_rates:
         for variant in variants:
             params, scheme = configure(drop, variant)
-            out[(drop, variant)] = run_simulation(params, workload, scheme)
-    return out
+            cells.append(((drop, variant), params, scheme, workload))
+    n_workers = resolve_workers(workers)
+    if n_workers == 1:
+        results = map(_run_cell, cells)
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            results = list(
+                pool.map(
+                    _run_cell,
+                    cells,
+                    chunksize=sweep_chunksize(len(cells), n_workers),
+                )
+            )
+    return dict(results)
 
 
 def format_sweep_table(title, results, drop_rates, variants, cell, width=16):

@@ -40,6 +40,14 @@ class Database:
         self.total_updates = 0
         # item -> last update time; most recently updated item is LAST.
         self._recency: "OrderedDict[int, float]" = OrderedDict()
+        # Single-slot memos for the per-broadcast-tick recency scans
+        # (keyed by total_updates, so any update invalidates them).  At
+        # the paper's update rates most ticks repeat the previous tick's
+        # query verbatim — see docs/PERFORMANCE.md.
+        self._updated_since_key: Tuple[int, float] | None = None
+        self._updated_since_result: List[Tuple[int, float]] = []
+        self._recency_order_key: Tuple[int, int | None] | None = None
+        self._recency_order_result: List[Tuple[int, float]] = []
 
     def __repr__(self):
         return f"<Database n={self.n_items} updates={self.total_updates}>"
@@ -73,22 +81,36 @@ class Database:
         """Items whose latest update is strictly after *cutoff*.
 
         Returned most-recent-first as ``(item, timestamp)`` pairs; cost is
-        O(result size).
+        O(result size), O(1) when repeating the previous query against an
+        unchanged database.  Callers must treat the list as immutable.
         """
+        key = (self.total_updates, cutoff)
+        if key == self._updated_since_key:
+            return self._updated_since_result
         out: List[Tuple[int, float]] = []
         for item, ts in reversed(self._recency.items()):
             if ts <= cutoff:
                 break
             out.append((item, ts))
+        self._updated_since_key = key
+        self._updated_since_result = out
         return out
 
     def recency_order(self, limit: int | None = None) -> List[Tuple[int, float]]:
-        """Up to *limit* most-recently-updated items, most recent first."""
+        """Up to *limit* most-recently-updated items, most recent first.
+
+        Memoized like :meth:`updated_since`; treat the list as immutable.
+        """
+        key = (self.total_updates, limit)
+        if key == self._recency_order_key:
+            return self._recency_order_result
         out: List[Tuple[int, float]] = []
         for item, ts in reversed(self._recency.items()):
             if limit is not None and len(out) >= limit:
                 break
             out.append((item, ts))
+        self._recency_order_key = key
+        self._recency_order_result = out
         return out
 
     def iter_recency_desc(self) -> Iterator[Tuple[int, float]]:

@@ -68,7 +68,7 @@ class UpdateGenerator:
     def _run(self):
         env = self.env
         while True:
-            yield env.timeout(self.stream.exponential(self.interarrival_mean))
+            yield env.sleep(self.stream.exponential(self.interarrival_mean))
             count = self.stream.poisson_at_least_one(self.items_per_update_mean)
             now = env.now
             seen = set()

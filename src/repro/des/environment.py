@@ -6,7 +6,7 @@ import heapq
 from typing import Any, Generator, Iterable, Optional, Union
 
 from .errors import EmptySchedule, StopSimulation
-from .event import AllOf, AnyOf, Event, NORMAL, Timeout
+from .event import AllOf, AnyOf, Event, NORMAL, Timeout, _Wakeup
 from .process import Process
 
 Infinity = float("inf")
@@ -40,6 +40,11 @@ class Environment:
         return self._now
 
     @property
+    def scheduled_events(self) -> int:
+        """Total events ever scheduled (the kernel's throughput unit)."""
+        return self._eid
+
+    @property
     def active_process(self) -> Optional[Process]:
         """The process currently executing, if any."""
         return self._active_process
@@ -63,6 +68,19 @@ class Environment:
     ) -> Timeout:
         """Create an event that fires after *delay* simulated seconds."""
         return Timeout(self, delay, value, priority)
+
+    def sleep(self, delay: float) -> float:
+        """Fast-lane sleep token: ``yield env.sleep(d)``.
+
+        Equivalent to ``yield env.timeout(d)`` at NORMAL priority —
+        identical ``(time, priority, insertion-order)`` scheduling — but
+        avoids allocating an Event and its callback list: the kernel
+        pushes a lightweight wakeup the run loop resumes directly (see
+        :meth:`Process._resume`).  Yielding the bare number works too;
+        this spelling exists for readability.  Use :meth:`timeout` when
+        a value, a non-default priority, or a joinable event is needed.
+        """
+        return float(delay)
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a new :class:`Process` from *generator*."""
@@ -102,6 +120,13 @@ class Environment:
         except IndexError:
             raise EmptySchedule("no scheduled events remain") from None
         self._now = when
+        if type(event) is _Wakeup:
+            proc = event.proc
+            if proc is not None:  # tombstoned by interrupt() otherwise
+                if self._tracer is not None:
+                    self._tracer(when, event)
+                proc._resume(event)
+            return
         if self._tracer is not None:
             self._tracer(when, event)
         callbacks = event.callbacks
@@ -140,12 +165,37 @@ class Environment:
                     f"until={stop_at} lies in the past (now={self._now})"
                 )
 
+        # Inlined step() loop: heap access, the wakeup fast lane and the
+        # processed-marking are hot enough at full scale that the method
+        # and property indirections measurably cost (see
+        # docs/PERFORMANCE.md); step() stays as the single-event API.
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                if self.peek() > stop_at:
+            while heap:
+                if heap[0][0] > stop_at:
                     self._now = stop_at
                     return None
-                self.step()
+                when, _prio, _eid, event = pop(heap)
+                self._now = when
+                if type(event) is _Wakeup:
+                    proc = event.proc
+                    if proc is not None:  # tombstoned otherwise
+                        if self._tracer is not None:
+                            self._tracer(when, event)
+                        proc._resume(event)
+                    continue
+                if self._tracer is not None:
+                    self._tracer(when, event)
+                callbacks = event.callbacks
+                event._processed = True
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event._defused and not callbacks:
+                    # A failed event nobody waited on: surface the error
+                    # instead of silently dropping it.
+                    raise event.value
         except StopSimulation as stop:
             return stop.value
         if until_event is not None:

@@ -137,6 +137,35 @@ class Timeout(Event):
         return f"<Timeout delay={self.delay} at {id(self):#x}>"
 
 
+class _Wakeup:
+    """Heap token for the kernel's timeout fast lane.
+
+    The dominant event pattern by far is a process sleeping for a fixed
+    delay.  ``yield <seconds>`` (or ``yield env.sleep(seconds)``)
+    schedules one of these instead of a full :class:`Timeout`: no
+    callback list, no pending/triggered lifecycle — just the owning
+    process, which the run loop resumes directly.  An interrupt
+    tombstones the token by clearing ``proc``; the run loop skips
+    tombstones on pop.  The class-level attributes let the token
+    duck-type as a processed, successful event for tracers.
+    """
+
+    __slots__ = ("proc",)
+
+    ok = True
+    processed = True
+    callbacks = None
+    _value = None
+    value = None
+    _defused = True
+
+    def __init__(self, proc):
+        self.proc = proc
+
+    def __repr__(self):
+        return f"<_Wakeup for {self.proc!r}>"
+
+
 class ConditionValue:
     """Read-only mapping of the events that had fired when a condition met.
 

@@ -235,6 +235,26 @@ class MetricSet:
             self.levels[name] = lv
             return lv
 
+    # -- bound handles -------------------------------------------------------
+    #
+    # ``metrics.counter("x").add()`` costs a method call plus a dict
+    # lookup on every event; actors on the hot path resolve their names
+    # once at construction and keep the returned handle.  The bind_*
+    # spellings are aliases of the fetch-or-create accessors — they exist
+    # so call sites document that the lookup is deliberately hoisted.
+
+    def bind_counter(self, name: str) -> Counter:
+        """Resolve *name* once; call ``.add()`` on the returned handle."""
+        return self.counter(name)
+
+    def bind_tally(self, name: str) -> Tally:
+        """Resolve *name* once; call ``.observe()`` on the handle."""
+        return self.tally(name)
+
+    def bind_histogram(self, name: str, base: float = 0.001) -> Histogram:
+        """Resolve *name* once; call ``.observe()`` on the handle."""
+        return self.histogram(name, base=base)
+
     def snapshot(self, now: float) -> Dict[str, float]:
         """Flatten every collector into a ``{name: value}`` dict."""
         out: Dict[str, float] = {}

@@ -7,10 +7,22 @@ value once it is processed (or has the failure exception thrown in).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Generator, Optional
 
 from .errors import Interrupt
-from .event import Event, URGENT, PENDING
+from .event import Event, NORMAL, PENDING, URGENT, _Wakeup
+
+
+class _Failure:
+    """Minimal failed-event stand-in for throwing into the generator."""
+
+    __slots__ = ("value",)
+
+    ok = False
+
+    def __init__(self, exc: BaseException):
+        self.value = exc
 
 
 class Process(Event):
@@ -66,7 +78,10 @@ class Process(Event):
         # Detach from the current target so its eventual processing does not
         # resume us a second time.
         target = self._target
-        if target.callbacks is not None and self._resume in target.callbacks:
+        if type(target) is _Wakeup:
+            # Fast-lane sleep: tombstone the heap token.
+            target.proc = None
+        elif target.callbacks is not None and self._resume in target.callbacks:
             target.callbacks.remove(self._resume)
         self._target = None
         wakeup = Event(self.env)
@@ -99,24 +114,44 @@ class Process(Event):
                 self.fail(exc, priority=URGENT)
                 return
 
-            if not isinstance(next_target, Event):
-                self.env._active_process = None
-                self._generator.throw(
-                    TypeError(f"process yielded a non-event: {next_target!r}")
-                )
-                return
-            if next_target.env is not self.env:
-                self.env._active_process = None
-                self._generator.throw(
-                    ValueError("yielded event belongs to a different environment")
-                )
-                return
-
-            if next_target.processed:
-                # Already processed: resume synchronously with its outcome.
-                event = next_target
+            cls = type(next_target)
+            if cls is not float and cls is not int:
+                if isinstance(next_target, Event):
+                    if next_target.env is not self.env:
+                        self.env._active_process = None
+                        self._generator.throw(
+                            ValueError(
+                                "yielded event belongs to a different environment"
+                            )
+                        )
+                        return
+                    if next_target.processed:
+                        # Already processed: resume synchronously.
+                        event = next_target
+                        continue
+                    next_target.callbacks.append(self._resume)
+                    self._target = next_target
+                    self.env._active_process = None
+                    return
+                if isinstance(next_target, (float, int)):
+                    # numpy floating scalars subclass float; normalise.
+                    next_target = float(next_target)
+                else:
+                    self.env._active_process = None
+                    self._generator.throw(
+                        TypeError(f"process yielded a non-event: {next_target!r}")
+                    )
+                    return
+            # Timeout fast lane: a bare number of seconds sleeps without
+            # allocating a Timeout/callback list — one heap push, and the
+            # run loop resumes this process directly (same (time,
+            # priority, eid) ordering as env.timeout at NORMAL priority).
+            if next_target < 0:
+                event = _Failure(ValueError(f"negative delay {next_target}"))
                 continue
-            next_target.callbacks.append(self._resume)
-            self._target = next_target
-            self.env._active_process = None
+            env = self.env
+            env._eid += 1
+            self._target = wakeup = _Wakeup(self)
+            heappush(env._heap, (env._now + next_target, NORMAL, env._eid, wakeup))
+            env._active_process = None
             return

@@ -78,6 +78,19 @@ class Store:
         """Queue *item*; the returned event fires once it is accepted."""
         return StorePut(self, item)
 
+    def put_nowait(self, item: Any):
+        """Store *item* immediately, without allocating a put event.
+
+        For fire-and-forget producers on effectively unbounded stores
+        (the wireless channels): skips the StorePut event, its heap
+        round-trip and its callbacks.  Raises when the store is full
+        instead of blocking.
+        """
+        if len(self.items) >= self.capacity:
+            raise RuntimeError(f"{type(self).__name__} is full")
+        self._store_item(item)
+        self._trigger()
+
     def get(self) -> StoreGet:
         """Request an item; the returned event fires with the item."""
         return StoreGet(self)
@@ -132,7 +145,7 @@ class Store:
                     idx += 1
 
 
-@dataclass(order=True)
+@dataclass
 class PriorityItem:
     """Wrapper giving an arbitrary payload a sort key for a PriorityStore.
 
@@ -142,6 +155,14 @@ class PriorityItem:
     priority: float
     seq: int = field(compare=True, default=0)
     item: Any = field(compare=False, default=None)
+
+    def __lt__(self, other: "PriorityItem") -> bool:
+        # Hand-written heap comparison: the dataclass-generated one
+        # builds a tuple per operand on every heap sift.
+        sp, op = self.priority, other.priority
+        if sp != op:
+            return sp < op
+        return self.seq < other.seq
 
 
 class PriorityStore(Store):

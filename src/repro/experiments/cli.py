@@ -14,8 +14,20 @@ import sys
 import time
 
 from .figures import BENCH_SCALE, FULL_SCALE, figure_ids, get_figure
-from .sweep import run_figure
+from .parallel import run_figure_parallel
 from .tables import format_figure, format_legend
+
+
+def _workers_arg(value: str):
+    """``--workers`` accepts a positive integer or ``auto`` (cpu_count)."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be an integer or 'auto', got {value!r}"
+        ) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,10 +64,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers",
-        type=int,
-        default=1,
+        type=_workers_arg,
+        default="auto",
         metavar="N",
-        help="fan sweep cells over N processes (results are identical)",
+        help="fan sweep cells over N processes, or 'auto' for cpu_count "
+        "(default; results are identical at any worker count)",
     )
     return parser
 
@@ -78,16 +91,10 @@ def main(argv=None) -> int:
     print("scheme legend:")
     print(format_legend())
     for fid in targets:
-        spec = get_figure(fid)
         started = time.time()
-        if args.workers > 1:
-            from .parallel import run_figure_parallel
-
-            result = run_figure_parallel(
-                fid, scale=scale, seed=args.seed, workers=args.workers
-            )
-        else:
-            result = run_figure(spec, scale=scale, seed=args.seed)
+        result = run_figure_parallel(
+            fid, scale=scale, seed=args.seed, workers=args.workers
+        )
         print()
         print(format_figure(result))
         if args.plot:

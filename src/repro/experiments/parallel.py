@@ -5,17 +5,52 @@ simulation — embarrassingly parallel.  This module fans the cells of a
 figure out over a process pool; results are bit-identical to the serial
 path because all randomness derives from named, seed-addressed streams
 (`repro.des.rng`), never from process state.
+
+``workers="auto"`` (the default everywhere: the CLI, the figure benches)
+sizes the pool from ``os.cpu_count()``; on a single-core box it degrades
+to the inline serial path, so callers never pay pool start-up for
+nothing.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..sim.metrics import SimulationResult
 from ..sim.runner import run_simulation
 from .figures import Scale, get_figure
 from .sweep import FigureResult
+
+Workers = Union[int, str]
+
+
+def resolve_workers(workers: Workers) -> int:
+    """Turn a worker count or ``"auto"`` into a concrete pool size.
+
+    ``"auto"`` uses every core the box reports (sweep cells are
+    CPU-bound, near-equal-cost simulations — there is nothing to gain
+    from oversubscription).
+    """
+    if workers == "auto":
+        return os.cpu_count() or 1
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ValueError(f"workers must be an int or 'auto', got {workers!r}")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return workers
+
+
+def sweep_chunksize(n_cells: int, workers: int) -> int:
+    """Pool chunksize tuned for the many-small-cells sweep shape.
+
+    Cells are numerous and individually short, so per-task IPC matters;
+    but cost still varies by scheme/sweep point, so chunks must stay
+    small enough to balance.  Four waves per worker is the usual
+    compromise.
+    """
+    return max(1, n_cells // (workers * 4))
 
 
 def _run_cell(
@@ -36,7 +71,7 @@ def run_figure_parallel(
     seed: int = 0,
     points: Optional[Sequence[float]] = None,
     schemes: Optional[Sequence[str]] = None,
-    workers: int = 2,
+    workers: Workers = "auto",
 ) -> FigureResult:
     """Regenerate one figure with cells fanned over *workers* processes.
 
@@ -44,8 +79,7 @@ def run_figure_parallel(
     :func:`repro.experiments.sweep.run_figure` with identical numbers
     (deterministic per cell); only wall-clock differs.
     """
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
+    n_workers = resolve_workers(workers)
     spec = get_figure(figure_id)
     xs = list(points if points is not None else spec.sweep_values)
     scheme_names = list(schemes if schemes is not None else spec.schemes)
@@ -57,14 +91,17 @@ def run_figure_parallel(
     ]
     out = FigureResult(spec=spec, scale=scale, xs=xs)
     collected: dict = {}
-    if workers == 1:
-        results = map(_run_cell, cells)
+    if n_workers == 1:
+        results = list(map(_run_cell, cells))
     else:
-        pool = ProcessPoolExecutor(max_workers=workers)
-        try:
-            results = list(pool.map(_run_cell, cells))
-        finally:
-            pool.shutdown()
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            results = list(
+                pool.map(
+                    _run_cell,
+                    cells,
+                    chunksize=sweep_chunksize(len(cells), n_workers),
+                )
+            )
     for scheme, x, result in results:
         collected[(scheme, x)] = result
     for scheme in scheme_names:

@@ -18,14 +18,35 @@ uplink (clients share it toward the server).
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, List, Optional, Tuple
+from operator import attrgetter
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..des import Environment, Event, Interrupt, PriorityItem, PriorityStore
 from ..des.monitor import TimeWeighted
 from .faults import Fate, FaultModel
-from .messages import Message, PRIORITY_IR
+from .messages import BROADCAST, Message, PRIORITY_IR
 
 Receiver = Callable[[Message, float], None]
+
+_attach_order = attrgetter("key")
+
+
+class _Receiver:
+    """One attached delivery callback plus its dispatch metadata."""
+
+    __slots__ = ("callback", "wired", "key", "dest", "listening")
+
+    def __init__(self, callback: Receiver, wired: bool, key: int, dest):
+        self.callback = callback
+        self.wired = wired
+        #: Stable identity for fault judgment (Gilbert–Elliott chains are
+        #: keyed by it); survives doze/wake listening churn.
+        self.key = key
+        #: Unicast address this receiver answers to (None = promiscuous:
+        #: hears everything, like the server's uplink and the sender-side
+        #: downlink bookkeeping).
+        self.dest = dest
+        self.listening = True
 
 
 class ChannelStats:
@@ -83,8 +104,14 @@ class Channel:
         self.faults = faults
         self.stats = ChannelStats(env.now)
         self._queue = PriorityStore(env)
-        #: (receiver, wired, key) triples; wired receivers bypass faults.
-        self._receivers: List[Tuple[Receiver, bool, int]] = []
+        #: Attachment-ordered receiver records; wired ones bypass faults.
+        self._receivers: List[_Receiver] = []
+        self._by_cb: Dict[Receiver, _Receiver] = {}
+        self._by_dest: Dict[int, List[_Receiver]] = {}
+        self._promiscuous: List[_Receiver] = []
+        #: Lazily rebuilt snapshot of listening receivers for broadcast
+        #: dispatch (None = dirty).
+        self._listening: Optional[Tuple[_Receiver, ...]] = None
         self._next_receiver_key = 0
         self._seq = 0
         self._current: Optional[PriorityItem] = None
@@ -99,25 +126,63 @@ class Channel:
 
     # -- public API ----------------------------------------------------------
 
-    def attach(self, receiver: Receiver, wired: bool = False):
+    def attach(self, receiver: Receiver, wired: bool = False, dest=None):
         """Register a delivery callback ``receiver(message, now)``.
 
-        Every completed message is offered to every receiver; receivers
-        filter by destination/connectivity themselves (it is a broadcast
-        medium).  A *wired* receiver is bookkeeping on the sender's side
-        of the air interface (e.g. the server watching its own downlink)
-        and is never subjected to fault injection.
+        Every broadcast is offered to every *listening* receiver (see
+        :meth:`set_listening`).  Addressed (non-broadcast) messages are
+        dispatched by destination index: a receiver attached with
+        ``dest=<id>`` additionally hears messages addressed to that id;
+        a receiver attached without ``dest`` is promiscuous and hears
+        everything (the server's uplink, channel-level taps in tests).
+        A *wired* receiver is bookkeeping on the sender's side of the
+        air interface (e.g. the server watching its own downlink) and is
+        never subjected to fault injection.  Attaching the same callback
+        twice to one channel is an error.
         """
-        self._receivers.append((receiver, wired, self._next_receiver_key))
+        if receiver in self._by_cb:
+            raise ValueError(f"{receiver!r} is already attached")
+        rec = _Receiver(receiver, wired, self._next_receiver_key, dest)
         self._next_receiver_key += 1
+        self._receivers.append(rec)
+        self._by_cb[receiver] = rec
+        if dest is None:
+            self._promiscuous.append(rec)
+        else:
+            self._by_dest.setdefault(dest, []).append(rec)
+        self._listening = None
 
     def detach(self, receiver: Receiver):
         """Remove a previously attached receiver."""
-        for i, (cb, _wired, _key) in enumerate(self._receivers):
-            if cb == receiver:
-                del self._receivers[i]
-                return
-        raise ValueError(f"{receiver!r} is not attached")
+        rec = self._by_cb.pop(receiver, None)
+        if rec is None:
+            raise ValueError(f"{receiver!r} is not attached")
+        self._receivers.remove(rec)
+        if rec.dest is None:
+            self._promiscuous.remove(rec)
+        else:
+            group = self._by_dest[rec.dest]
+            group.remove(rec)
+            if not group:
+                del self._by_dest[rec.dest]
+        self._listening = None
+
+    def set_listening(self, receiver: Receiver, listening: bool):
+        """Gate delivery to *receiver* without detaching it.
+
+        A dozing client powers its radio down: broadcasts (and their
+        per-receiver fault judgments) skip it entirely instead of
+        calling into a no-op handler.  Cheaper than detach/attach churn,
+        and it keeps both the receiver's attachment order (which fixes
+        delivery order) and its fault-chain key stable across wake-ups.
+        """
+        rec = self._by_cb.get(receiver)
+        if rec is None:
+            raise ValueError(f"{receiver!r} is not attached")
+        listening = bool(listening)
+        if rec.listening is not listening:
+            rec.listening = listening
+            self._listening = None
 
     def send(self, message: Message) -> Event:
         """Enqueue *message*; returns an event that fires on delivery.
@@ -137,7 +202,7 @@ class Channel:
         self._done_events[id(message)] = done
         self._seq += 1
         item = PriorityItem(priority=message.priority, seq=self._seq, item=message)
-        self._queue.put(item)
+        self._queue.put_nowait(item)
         if (
             self._current is not None
             and message.priority <= self.preempt_threshold
@@ -180,7 +245,9 @@ class Channel:
             self.stats.busy.set(1.0, env.now)
             started = env.now
             try:
-                yield env.timeout(message.remaining_bits / self.bandwidth_bps)
+                # Fast-lane sleep (bare number): the single hottest yield
+                # in the simulator — one per transmission.
+                yield message.remaining_bits / self.bandwidth_bps
             except Interrupt:
                 elapsed = env.now - started
                 message.remaining_bits = max(
@@ -193,12 +260,39 @@ class Channel:
                 else:
                     # Re-queue with the original sequence number so the
                     # message resumes ahead of later arrivals in its class.
-                    self._queue.put(item)
+                    self._queue.put_nowait(item)
                 continue
             message.remaining_bits = 0.0
             self._current = None
             self.stats.busy.set(0.0, env.now)
             self._deliver(message)
+
+    @staticmethod
+    def _complete(done, message: Message):
+        """Fire a delivery event without a heap round-trip when unwatched.
+
+        Most senders discard the event :meth:`send` returns; succeeding
+        it through the scheduler would cost an event per message for
+        nobody.  With callbacks attached the normal succeed path runs.
+        """
+        if done.callbacks:
+            done.succeed(message)
+        else:
+            done._ok = True
+            done._value = message
+            done._mark_processed()
+
+    def _targets(self, dests) -> List[_Receiver]:
+        """Listening receivers for an addressed delivery, in attach order:
+        every promiscuous receiver plus those registered for *dests*."""
+        recs = [rec for rec in self._promiscuous if rec.listening]
+        by_dest = self._by_dest
+        for dest in dests:
+            for rec in by_dest.get(dest, ()):
+                if rec.listening:
+                    recs.append(rec)
+        recs.sort(key=_attach_order)
+        return recs
 
     def _deliver(self, message: Message):
         now = self.env.now
@@ -211,21 +305,46 @@ class Channel:
         faults = self.faults
         if faults is not None and faults.is_null:
             faults = None
+        if message.dest == BROADCAST:
+            recipients = message.recipients
+            if recipients is None:
+                # Cached snapshot: a receiver may attach()/detach()/doze
+                # during delivery without skipping or double-delivering
+                # to its neighbours in the list (mutators take effect at
+                # the next delivery, as before).
+                receivers = self._listening
+                if receivers is None:
+                    receivers = self._listening = tuple(
+                        rec for rec in self._receivers if rec.listening
+                    )
+                if faults is None:
+                    # Pristine broadcast: the hottest dispatch path.
+                    for rec in receivers:
+                        rec.callback(message, now)
+                    if done is not None:
+                        self._complete(done, message)
+                    return
+            else:
+                # A coalesced data response: only its requesters (and
+                # promiscuous watchers) need to decode the broadcast.
+                receivers = self._targets(recipients)
+        else:
+            receivers = self._targets((message.dest,))
         corrupted_copy: Optional[Message] = None
-        # Snapshot: a receiver may attach()/detach() during delivery
-        # (e.g. a client detaching on cell hand-off) without skipping or
-        # double-delivering to its neighbours in the list.
-        for receiver, wired, key in tuple(self._receivers):
-            if faults is not None and not wired:
-                fate = faults.fate(message, key)
+        # Fault fates are judged only for receivers that are actually
+        # dispatched to — dozing clients and unaddressed bystanders
+        # consume no draws (see docs/PROTOCOLS.md).
+        for rec in receivers:
+            if faults is not None and not rec.wired:
+                fate = faults.fate(message, rec.key)
                 if fate is Fate.DROP:
                     continue
                 if fate is Fate.CORRUPT:
                     if corrupted_copy is None:
                         corrupted_copy = replace(message, corrupted=True)
                         corrupted_copy.delivered_at = now
-                    receiver(corrupted_copy, now)
+                    rec.callback(corrupted_copy, now)
                     continue
-            receiver(message, now)
+            rec.callback(message, now)
         if done is not None:
-            done.succeed(message)
+            self._complete(done, message)

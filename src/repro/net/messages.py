@@ -75,6 +75,12 @@ class Message:
     #: (fault injection); the payload is then undecodable and must be
     #: ignored.  Always False on the sender's original.
     corrupted: bool = False
+    #: For a broadcast whose payload only concerns known clients (a
+    #: coalesced data response): the ids whose radios must decode it.
+    #: ``None`` means a true broadcast for every listener.  Read at
+    #: delivery time, so a coalescing server may keep growing the set
+    #: while the message is queued or on the air.
+    recipients: Optional[set] = field(default=None, repr=False)
     #: Bits still to transmit; managed by the channel (preemptive resume).
     remaining_bits: float = field(default=0.0, repr=False)
 

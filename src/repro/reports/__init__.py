@@ -32,6 +32,7 @@ from .sizes import (
 from .window import (
     EnlargedWindowReport,
     WindowReport,
+    WindowReportCache,
     build_enlarged_window_report,
     build_window_report,
     enlarged_report_size,
@@ -50,6 +51,7 @@ __all__ = [
     "SignatureReport",
     "SignatureScheme",
     "WindowReport",
+    "WindowReportCache",
     "amnesic_report_bits",
     "bitseq_report_bits",
     "build_amnesic_report",

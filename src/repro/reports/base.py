@@ -50,17 +50,23 @@ class Invalidation:
     @staticmethod
     def drop_all() -> "Invalidation":
         """The client must discard its entire cache."""
-        return Invalidation(covered=False)
+        return _DROP_ALL
 
     @staticmethod
     def nothing() -> "Invalidation":
         """The cache is entirely valid."""
-        return Invalidation(covered=True)
+        return _NOTHING
 
     @staticmethod
     def drop(items: AbstractSet[int]) -> "Invalidation":
         """Invalidate exactly *items*."""
         return Invalidation(covered=True, items=frozenset(items))
+
+
+# Frozen, so the two argument-free outcomes are shared singletons (every
+# connected client materializes one per broadcast tick).
+_DROP_ALL = Invalidation(covered=False)
+_NOTHING = Invalidation(covered=True)
 
 
 class Report:

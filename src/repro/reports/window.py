@@ -19,7 +19,7 @@ the extra ``(id, ts)`` records the wider window drags in.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from .base import Invalidation, Report, ReportKind
 from .sizes import (
@@ -67,6 +67,13 @@ class WindowReport(Report):
         self.window_start = float(window_start)
         self.items = dict(items)
         self.n_items = n_items
+        #: Latest update time the report mentions (window_start when it
+        #: is empty): a client certified past this can certify again in
+        #: O(1) — see ``schemes.base.apply_window_report``.
+        self.newest_ts = max(self.items.values(), default=self.window_start)
+        # Single-slot memo for fresh_since(): listeners in one broadcast
+        # tick overwhelmingly share a certification floor.
+        self._fresh_memo = None
         self.size_bits = window_report_bits(len(items), n_items, timestamp_bits)
 
     def __repr__(self):
@@ -78,6 +85,21 @@ class WindowReport(Report):
     def covers(self, tlb: float) -> bool:
         """True when the client's gap lies inside the window."""
         return tlb >= self.window_start
+
+    def fresh_since(self, floor: float):
+        """The report's ``(item, ts)`` pairs with ``ts > floor``, memoized.
+
+        A client whose cache holds no suspect entries only needs these
+        against its certification floor (every entry's effective
+        timestamp is at least the floor); one tick's listeners share a
+        floor, so the filter runs once per broadcast, not per client.
+        """
+        memo = self._fresh_memo
+        if memo is not None and memo[0] == floor:
+            return memo[1]
+        fresh = [(item, ts) for item, ts in self.items.items() if ts > floor]
+        self._fresh_memo = (floor, fresh)
+        return fresh
 
     def stale_items_after(self, tlb: float) -> FrozenSet[int]:
         """Items whose latest update is after *tlb* (requires coverage)."""
@@ -127,18 +149,68 @@ class EnlargedWindowReport(WindowReport):
         )
 
 
+class WindowReportCache:
+    """Memoizes the ``{item: ts}`` scan behind consecutive ``IR(w)``.
+
+    At the paper's update rates most broadcast ticks see no new update:
+    the item dict behind the report is then the previous tick's, minus
+    any items that slid out of the back of the window.  The cached dict
+    is reused when, against ``db.total_updates``:
+
+    * no update has been committed since the cached scan, and
+    * the window only slid forward (``new start >= cached start``), and
+    * no cached item has expired (oldest cached ts > new start).
+
+    A widened window (loss-adaptive) or an expiring item rebuilds.  The
+    dict is shared, never handed out: :class:`WindowReport` copies it.
+    """
+
+    def __init__(self, db):
+        self.db = db
+        self._total_updates = -1
+        self._window_start = 0.0
+        self._oldest_ts = 0.0
+        self._items: Optional[Dict[int, float]] = None
+        self.hits = 0
+        self.misses = 0
+
+    def items_since(self, window_start: float) -> Dict[int, float]:
+        """The ``{item: latest ts}`` map for ``(window_start, now]``."""
+        cached = self._items
+        if (
+            cached is not None
+            and self.db.total_updates == self._total_updates
+            and window_start >= self._window_start
+            and (not cached or self._oldest_ts > window_start)
+        ):
+            self.hits += 1
+            return cached
+        items = dict(self.db.updated_since(window_start))
+        self._items = items
+        self._total_updates = self.db.total_updates
+        self._window_start = window_start
+        self._oldest_ts = min(items.values()) if items else 0.0
+        self.misses += 1
+        return items
+
+
 def build_window_report(
     db,
     timestamp: float,
     window_seconds: float,
     timestamp_bits: int = DEFAULT_TIMESTAMP_BITS,
+    cache: Optional[WindowReportCache] = None,
 ) -> WindowReport:
     """Construct ``IR(w)`` from the database recency index.
 
-    *window_seconds* is ``w * L``.
+    *window_seconds* is ``w * L``.  Passing a per-server
+    :class:`WindowReportCache` lets consecutive ticks share the scan.
     """
     window_start = timestamp - window_seconds
-    items = {item: ts for item, ts in db.updated_since(window_start)}
+    if cache is not None:
+        items = cache.items_since(window_start)
+    else:
+        items = dict(db.updated_since(window_start))
     return WindowReport(
         timestamp=timestamp,
         window_start=window_start,

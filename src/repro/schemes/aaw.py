@@ -16,6 +16,7 @@ from ..reports.bitseq import (
 )
 from ..reports.sizes import bitseq_report_bits
 from ..reports.window import (
+    WindowReportCache,
     build_enlarged_window_report,
     build_window_report,
     enlarged_report_size,
@@ -36,6 +37,7 @@ class AAWServerPolicy(ServerPolicy):
         )
         self.bs_broadcasts = 0
         self.enlarged_broadcasts = 0
+        self._report_cache = WindowReportCache(db)
 
     def on_tlb(self, ctx, client_id: int, tlb: float, now: float):
         self.tlb_buffer.add(client_id, tlb)
@@ -67,7 +69,11 @@ class AAWServerPolicy(ServerPolicy):
                 self.db, now, origin=0.0, timestamp_bits=params.timestamp_bits
             )
         return build_window_report(
-            self.db, now, window_seconds, params.timestamp_bits
+            self.db,
+            now,
+            window_seconds,
+            params.timestamp_bits,
+            cache=self._report_cache,
         )
 
 

@@ -10,7 +10,7 @@ per request batch.
 from __future__ import annotations
 
 from ..reports.bitseq import bs_salvage_threshold, build_bitseq_report
-from ..reports.window import build_window_report
+from ..reports.window import WindowReportCache, build_window_report
 from .base import (
     ClientOutcome,
     ClientPolicy,
@@ -35,6 +35,7 @@ class AFWServerPolicy(ServerPolicy):
             getattr(params, "max_pending_tlbs", None)
         )
         self.bs_broadcasts = 0
+        self._report_cache = WindowReportCache(db)
 
     def on_tlb(self, ctx, client_id: int, tlb: float, now: float):
         self.tlb_buffer.add(client_id, tlb)
@@ -62,7 +63,11 @@ class AFWServerPolicy(ServerPolicy):
                 self.db, now, origin=0.0, timestamp_bits=self.params.timestamp_bits
             )
         return build_window_report(
-            self.db, now, window_seconds, self.params.timestamp_bits
+            self.db,
+            now,
+            window_seconds,
+            self.params.timestamp_bits,
+            cache=self._report_cache,
         )
 
 
@@ -85,6 +90,12 @@ class AdaptiveClientPolicy(ClientPolicy):
     def on_report(self, ctx, report) -> ClientOutcome:
         t = report.timestamp
         if report.kind is ReportKind.BIT_SEQUENCES:
+            # Same O(1) no-news fast path as the plain BS client.
+            if ctx.tlb >= report.ts_b0 and not ctx.cache.unreconciled:
+                ctx.cache.certify(t)
+                ctx.tlb = t
+                self._sent_tlb = False
+                return ClientOutcome.READY
             inv = report.invalidation_for(ctx.tlb)
             if inv.covered:
                 reconcile_with_bitseq(ctx.cache, report)
@@ -96,8 +107,13 @@ class AdaptiveClientPolicy(ClientPolicy):
             ctx.tlb = t
             self._sent_tlb = False
             return ClientOutcome.READY
-        if report.covers(ctx.tlb):
-            apply_window_report(ctx.cache, report)
+        if report.window_start <= ctx.tlb:  # covers(), inlined
+            cache = ctx.cache
+            # No-news certify (apply_window_report's fast path, inlined).
+            if not cache.unreconciled and report.newest_ts <= cache.certified_floor:
+                cache.certify(t)
+            else:
+                apply_window_report(cache, report)
             ctx.tlb = t
             self._sent_tlb = False
             return ClientOutcome.READY

@@ -39,6 +39,15 @@ class BSClientPolicy(ClientPolicy):
         self.client_id = client_id
 
     def on_report(self, ctx, report) -> ClientOutcome:
+        t = report.timestamp
+        cache = ctx.cache
+        # Fast path: no update since the client's last-heard time
+        # (``tlb >= TS(B0)``) and no suspects to reconcile — the general
+        # path below would compute an empty invalidation and certify.
+        if ctx.tlb >= report.ts_b0 and not cache.unreconciled:
+            cache.certify(t)
+            ctx.tlb = t
+            return ClientOutcome.READY
         inv = report.invalidation_for(ctx.tlb)
         if inv.covered:
             reconcile_with_bitseq(ctx.cache, report)

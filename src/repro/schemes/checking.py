@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from ..reports.sizes import validity_report_bits
-from ..reports.window import build_window_report
+from ..reports.window import WindowReportCache, build_window_report
 from .base import (
     ClientOutcome,
     ClientPolicy,
@@ -33,6 +33,7 @@ class CheckingServerPolicy(ServerPolicy):
         self.params = params
         self.db = db
         self.checks_served = 0
+        self._report_cache = WindowReportCache(db)
 
     def build_report(self, ctx, now: float):
         return build_window_report(
@@ -40,6 +41,7 @@ class CheckingServerPolicy(ServerPolicy):
             now,
             effective_window_seconds(ctx, self.params),
             self.params.timestamp_bits,
+            cache=self._report_cache,
         )
 
     def on_check_request(
@@ -65,8 +67,13 @@ class CheckingClientPolicy(ClientPolicy):
             # The answer to our upload is still in flight; this report
             # cannot help (our Tlb predates its window).
             return ClientOutcome.PENDING
-        if report.covers(ctx.tlb):
-            apply_window_report(ctx.cache, report)
+        if report.window_start <= ctx.tlb:  # covers(), inlined
+            cache = ctx.cache
+            # No-news certify (apply_window_report's fast path, inlined).
+            if not cache.unreconciled and report.newest_ts <= cache.certified_floor:
+                cache.certify(report.timestamp)
+            else:
+                apply_window_report(cache, report)
             ctx.tlb = report.timestamp
             return ClientOutcome.READY
         entries = [

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from ..reports.sizes import id_bits, validity_report_bits
-from ..reports.window import build_window_report
+from ..reports.window import WindowReportCache, build_window_report
 from .base import (
     ClientOutcome,
     ClientPolicy,
@@ -54,6 +54,7 @@ class GCOREServerPolicy(ServerPolicy):
         self.db = db
         self.n_groups = n_groups
         self.checks_served = 0
+        self._report_cache = WindowReportCache(db)
 
     def build_report(self, ctx, now: float):
         return build_window_report(
@@ -61,6 +62,7 @@ class GCOREServerPolicy(ServerPolicy):
             now,
             effective_window_seconds(ctx, self.params),
             self.params.timestamp_bits,
+            cache=self._report_cache,
         )
 
     def on_check_request(
@@ -91,8 +93,13 @@ class GCOREClientPolicy(ClientPolicy):
     def on_report(self, ctx, report) -> ClientOutcome:
         if self._check_pending:
             return ClientOutcome.PENDING
-        if report.covers(ctx.tlb):
-            apply_window_report(ctx.cache, report)
+        if report.window_start <= ctx.tlb:  # covers(), inlined
+            cache = ctx.cache
+            # No-news certify (apply_window_report's fast path, inlined).
+            if not cache.unreconciled and report.newest_ts <= cache.certified_floor:
+                cache.certify(report.timestamp)
+            else:
+                apply_window_report(cache, report)
             ctx.tlb = report.timestamp
             return ClientOutcome.READY
         entries = ctx.cache.entries()

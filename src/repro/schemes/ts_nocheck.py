@@ -7,7 +7,7 @@ the listed items newer than its entries and certifies the rest.
 
 from __future__ import annotations
 
-from ..reports.window import build_window_report
+from ..reports.window import WindowReportCache, build_window_report
 from .base import (
     ClientOutcome,
     ClientPolicy,
@@ -25,6 +25,7 @@ class TSServerPolicy(ServerPolicy):
     def __init__(self, params, db):
         self.params = params
         self.db = db
+        self._report_cache = WindowReportCache(db)
 
     def build_report(self, ctx, now: float):
         return build_window_report(
@@ -32,6 +33,7 @@ class TSServerPolicy(ServerPolicy):
             now,
             effective_window_seconds(ctx, self.params),
             self.params.timestamp_bits,
+            cache=self._report_cache,
         )
 
 
@@ -43,13 +45,20 @@ class TSClientPolicy(ClientPolicy):
         self.client_id = client_id
 
     def on_report(self, ctx, report) -> ClientOutcome:
-        if report.covers(ctx.tlb):
-            apply_window_report(ctx.cache, report)
+        t = report.timestamp
+        cache = ctx.cache
+        if report.window_start <= ctx.tlb:  # covers(), inlined
+            # No-news certify, inlined from apply_window_report's fast
+            # path: this runs once per listener per tick.
+            if not cache.unreconciled and report.newest_ts <= cache.certified_floor:
+                cache.certify(t)
+            else:
+                apply_window_report(cache, report)
         else:
-            ctx.cache.drop_all()
+            cache.drop_all()
             ctx.note_cache_drop()
-            ctx.cache.certify(report.timestamp)
-        ctx.tlb = report.timestamp
+            cache.certify(t)
+        ctx.tlb = t
         return ClientOutcome.READY
 
 

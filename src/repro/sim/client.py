@@ -27,6 +27,13 @@ from ..schemes.base import ClientOutcome
 from . import metrics as m
 from .energy import ENERGY_RX, ENERGY_TX
 
+# Hot-branch kind constants: skip the enum attribute lookups in the
+# per-delivery dispatch below.
+_IR = MessageKind.INVALIDATION_REPORT
+_VALIDITY = MessageKind.VALIDITY_REPORT
+_DATA = MessageKind.DATA_ITEM
+_READY = ClientOutcome.READY
+
 
 class MobileClient:
     """One mobile host in the cell."""
@@ -83,6 +90,31 @@ class MobileClient:
         self._ready_waiters: Optional[Event] = None
         self._data_waits: Dict[int, Event] = {}
 
+        # Hot-path metric handles, resolved once (docs/PERFORMANCE.md):
+        # every query/IR/fetch used to pay a string-keyed dict lookup.
+        bind = metrics.bind_counter
+        self._m_queries_generated = bind(m.QUERIES_GENERATED)
+        self._m_queries_answered = bind(m.QUERIES_ANSWERED)
+        self._m_items_served = bind(m.ITEMS_SERVED)
+        self._m_cache_hits = bind(m.CACHE_HITS)
+        self._m_cache_misses = bind(m.CACHE_MISSES)
+        self._m_stale_hits = bind(m.STALE_HITS)
+        self._m_cache_drops = bind(m.CACHE_DROPS)
+        self._m_disconnections = bind(m.DISCONNECTIONS)
+        self._m_uplink_validation_bits = bind(m.UPLINK_VALIDATION_BITS)
+        self._m_uplink_request_bits = bind(m.UPLINK_REQUEST_BITS)
+        self._m_tlb_uploads = bind(m.TLB_UPLOADS)
+        self._m_checks_sent = bind(m.CHECKS_SENT)
+        self._m_ir_duplicates = bind(m.IR_DUPLICATES)
+        self._m_ir_gaps = bind(m.IR_GAPS)
+        self._m_energy_tx = bind(ENERGY_TX)
+        self._m_energy_rx = bind(ENERGY_RX)
+        self._m_latency_tally = metrics.bind_tally(m.QUERY_LATENCY)
+        self._m_latency_hist = metrics.bind_histogram(m.QUERY_LATENCY, base=0.1)
+        # Per-bit energy costs hoisted out of the per-message charge path.
+        self._tx_nj_per_bit = params.energy.tx_nj_per_bit
+        self._rx_nj_per_bit = params.energy.rx_nj_per_bit
+
         self._think_stream = streams.stream(f"client-{client_id}/think")
         self._query_stream = streams.stream(f"client-{client_id}/query")
         self._disc_stream = streams.stream(f"client-{client_id}/disconnect")
@@ -100,9 +132,10 @@ class MobileClient:
                 # Version 0 at ts 0: coherent with the untouched database.
                 self.cache.insert(CacheEntry(item=item, version=0, ts=0.0))
 
-        downlink.attach(self._on_downlink)
+        self._ir_channel = ir_channel
+        downlink.attach(self._on_downlink, dest=client_id)
         if ir_channel is not None:
-            ir_channel.attach(self._on_downlink)
+            ir_channel.attach(self._on_downlink, dest=client_id)
         env.process(self._query_loop(), name=f"client-{client_id}-query")
 
     def __repr__(self):
@@ -119,8 +152,8 @@ class MobileClient:
     def send_tlb(self, tlb: float):
         """Upload the last-heard timestamp (adaptive schemes)."""
         size = tlb_upload_bits(self.params.timestamp_bits)
-        self.metrics.counter(m.UPLINK_VALIDATION_BITS).add(size)
-        self.metrics.counter(m.TLB_UPLOADS).add()
+        self._m_uplink_validation_bits.add(size)
+        self._m_tlb_uploads.add()
         self._charge_tx(size)
         self.uplink.send(
             Message(
@@ -138,8 +171,8 @@ class MobileClient:
             size_bits = checking_upload_bits(
                 len(entries), self.params.db_size, self.params.timestamp_bits
             )
-        self.metrics.counter(m.UPLINK_VALIDATION_BITS).add(size_bits)
-        self.metrics.counter(m.CHECKS_SENT).add()
+        self._m_uplink_validation_bits.add(size_bits)
+        self._m_checks_sent.add()
         self._charge_tx(size_bits)
         self.uplink.send(
             Message(
@@ -153,15 +186,26 @@ class MobileClient:
 
     def note_cache_drop(self):
         """Metrics hook for full cache discards."""
-        self.metrics.counter(m.CACHE_DROPS).add()
+        self._m_cache_drops.add()
 
     def _charge_tx(self, bits: float):
-        self.metrics.counter(ENERGY_TX).add(self.params.energy.tx(bits))
+        self._m_energy_tx.add(self._tx_nj_per_bit * bits)
 
     def _charge_rx(self, bits: float):
-        self.metrics.counter(ENERGY_RX).add(self.params.energy.rx(bits))
+        self._m_energy_rx.add(self._rx_nj_per_bit * bits)
 
     # -- downlink handling -----------------------------------------------------
+
+    def _set_listening(self, on: bool):
+        """Doze/wake the radio: gate broadcast dispatch at the channel.
+
+        While dozing, the channel skips this client entirely (no handler
+        call, no fault judgment) — the ``connected`` check in
+        :meth:`_on_downlink` stays as defence in depth.
+        """
+        self.downlink.set_listening(self._on_downlink, on)
+        if self._ir_channel is not None:
+            self._ir_channel.set_listening(self._on_downlink, on)
 
     def _on_downlink(self, msg: Message, now: float):
         if not self.connected:
@@ -169,25 +213,42 @@ class MobileClient:
         if msg.corrupted:
             self._on_corrupted(msg)
             return
-        if msg.kind is MessageKind.INVALIDATION_REPORT:
-            self._charge_rx(msg.size_bits)
-            if msg.payload.dedup_key == self._last_report_applied:
+        if msg.kind is _IR:
+            # Hottest branch in the cell (every listener, every tick):
+            # charge inline and read the dedup property once.
+            self._m_energy_rx.add(self._rx_nj_per_bit * msg.size_bits)
+            report = msg.payload
+            # Every report's dedup_key IS its timestamp (reports.base);
+            # the direct read skips a property call per listener.
+            report_ts = report.timestamp
+            if report_ts == self._last_report_applied:
                 # A repetition-coded copy of a report already processed:
                 # count the discard (the radio still listened) and stop.
-                self.metrics.counter(m.IR_DUPLICATES).add()
+                self._m_ir_duplicates.add()
                 return
-            self._last_report_applied = msg.payload.dedup_key
-            self._note_report_heard(msg.payload.timestamp, now)
-            outcome = self.policy.on_report(self, msg.payload)
-            if outcome is ClientOutcome.READY:
+            self._last_report_applied = report_ts
+            # Missed-report detection, inlined: a decoded report one
+            # interval after the previous one (the overwhelmingly common
+            # case) needs no gap analysis.
+            last = self._last_report_heard
+            self._last_report_heard = report_ts
+            if last is not None and round(
+                (report_ts - last) / self.params.broadcast_interval
+            ) > 1:
+                self._on_report_gap(report_ts, last, now)
+            outcome = self.policy.on_report(self, report)
+            if outcome is _READY:
                 self._validation_pending = False
-                self._fire_ready()
+                waiter = self._ready_waiters
+                if waiter is not None:
+                    self._ready_waiters = None
+                    waiter.succeed()
             else:
                 if not self._validation_pending:
                     self._validation_pending = True
                     self._validation_epoch += 1
                 self._arm_validation_watchdog()
-        elif msg.kind is MessageKind.VALIDITY_REPORT and msg.dest == self.client_id:
+        elif msg.kind is _VALIDITY and msg.dest == self.client_id:
             if not self._validation_pending:
                 # A reply to a check from a previous connection episode
                 # (we dozed after uploading and woke before its delivery).
@@ -199,7 +260,7 @@ class MobileClient:
             self.policy.on_validity_reply(self, invalid, certified_at)
             self._validation_pending = False
             self._fire_ready()
-        elif msg.kind is MessageKind.DATA_ITEM:
+        elif msg.kind is _DATA:
             payload = msg.payload
             if payload.get("pushed"):
                 self._on_pushed_item(msg, payload)
@@ -223,23 +284,19 @@ class MobileClient:
             self._charge_rx(msg.size_bits)
             self.metrics.counter(m.IR_CORRUPTED).add()
 
-    def _note_report_heard(self, report_ts: float, now: float):
-        """Missed-report detection: reports arrive at every ``i * L``, so
+    def _on_report_gap(self, report_ts: float, last: float, now: float):
+        """Missed-report handling: reports arrive at every ``i * L``, so
         a decoded report more than one interval past the previous one —
         while this client was listening throughout — means the wireless
-        hop ate reports."""
-        last = self._last_report_heard
-        self._last_report_heard = report_ts
-        if last is None:
-            return
+        hop ate reports.  (The no-gap common case is screened inline in
+        :meth:`_on_downlink`.)"""
         interval = self.params.broadcast_interval
         n_missed = int(round((report_ts - last) / interval)) - 1
-        if n_missed > 0:
-            self.metrics.counter(m.IR_GAPS).add(n_missed)
-            la = self.params.loss_adaptation
-            if la is not None and la.nack:
-                self._send_ir_nack(n_missed)
-            self.policy.on_missed_reports(self, n_missed, now)
+        self._m_ir_gaps.add(n_missed)
+        la = self.params.loss_adaptation
+        if la is not None and la.nack:
+            self._send_ir_nack(n_missed)
+        self.policy.on_missed_reports(self, n_missed, now)
 
     def _send_ir_nack(self, n_missed: int):
         """Upload a loss hint: *n_missed* reports provably lost on the air.
@@ -249,7 +306,7 @@ class MobileClient:
         priced like a ``Tlb`` upload.
         """
         size = nack_upload_bits(self.params.timestamp_bits)
-        self.metrics.counter(m.UPLINK_VALIDATION_BITS).add(size)
+        self._m_uplink_validation_bits.add(size)
         self.metrics.counter(m.NACK_BITS).add(size)
         self.metrics.counter(m.NACKS_SENT).add()
         self._charge_tx(size)
@@ -312,18 +369,20 @@ class MobileClient:
         params = self.params
         if self._disc_stream.bernoulli(params.disconnect_prob):
             self.connected = False
-            self.metrics.counter(m.DISCONNECTIONS).add()
+            self._set_listening(False)
+            self._m_disconnections.add()
             self.policy.on_disconnect(self, env.now)
-            yield env.timeout(
+            yield env.sleep(
                 self._disc_stream.exponential(params.disconnect_time_mean)
             )
             self.connected = True
+            self._set_listening(True)
             self._validation_pending = False
             # Reports missed while dozing are expected, not wireless loss.
             self._last_report_heard = None
             self.policy.on_reconnect(self, env.now)
         else:
-            yield env.timeout(self._think_stream.exponential(params.think_time_mean))
+            yield env.sleep(self._think_stream.exponential(params.think_time_mean))
 
     def _query_loop(self):
         env = self.env
@@ -332,7 +391,7 @@ class MobileClient:
             yield from self._inter_query_gap()
             self._query_active = True
             started = env.now
-            self.metrics.counter(m.QUERIES_GENERATED).add()
+            self._m_queries_generated.add()
             # Listen to the next invalidation report before answering
             # (Section 2), waiting out any pending validation.
             yield self._wait_cache_ready()
@@ -340,13 +399,13 @@ class MobileClient:
             for _ in range(params.items_per_query):
                 item = self.query_pattern.pick(self._query_stream)
                 hits += yield from self._access_item(item)
-                self.metrics.counter(m.ITEMS_SERVED).add()
-            self.metrics.counter(m.QUERIES_ANSWERED).add()
+                self._m_items_served.add()
+            self._m_queries_answered.add()
             if self.timeseries is not None:
                 self.timeseries["answered"].record(env.now)
             latency = env.now - started
-            self.metrics.tally(m.QUERY_LATENCY).observe(latency)
-            self.metrics.histogram(m.QUERY_LATENCY, base=0.1).observe(latency)
+            self._m_latency_tally.observe(latency)
+            self._m_latency_hist.observe(latency)
             if self.query_log is not None:
                 from .querylog import QueryRecord
 
@@ -366,7 +425,7 @@ class MobileClient:
         """Serve one item access; returns 1 for a cache hit, 0 for a miss."""
         entry = self.cache.lookup(item)
         if entry is not None:
-            self.metrics.counter(m.CACHE_HITS).add()
+            self._m_cache_hits.add()
             if self.timeseries is not None:
                 self.timeseries["hits"].record(self.env.now)
             if (
@@ -374,9 +433,9 @@ class MobileClient:
                 and self.update_log is not None
                 and self.update_log.updated_in(item, after=entry.ts, up_to=self.tlb)
             ):
-                self.metrics.counter(m.STALE_HITS).add()
+                self._m_stale_hits.add()
             return 1
-        self.metrics.counter(m.CACHE_MISSES).add()
+        self._m_cache_misses.add()
         if self.timeseries is not None:
             self.timeseries["misses"].record(self.env.now)
         payload = yield from self._fetch(item)
@@ -397,7 +456,7 @@ class MobileClient:
 
     def _send_data_request(self, item: int):
         size = self.params.control_message_bits
-        self.metrics.counter(m.UPLINK_REQUEST_BITS).add(size)
+        self._m_uplink_request_bits.add(size)
         self._charge_tx(size)
         self.uplink.send(
             Message(
@@ -482,7 +541,7 @@ class MobileClient:
                 epoch = self._validation_epoch
                 attempt = 0
                 while True:
-                    yield env.timeout(self._backoff_delay(min(attempt, 8)))
+                    yield env.sleep(self._backoff_delay(min(attempt, 8)))
                     if (
                         not self._validation_pending
                         or self._validation_epoch != epoch

@@ -148,6 +148,9 @@ class SimulationModel:
             sim_time=self.params.simulation_time,
             now=self.env.now,
         )
+        # Kernel telemetry: lets the perf benches compute events/second
+        # without reaching into Environment internals.
+        result.raw["kernel.events_scheduled"] = float(self.env.scheduled_events)
         # Channel telemetry joins the raw snapshot.
         result.raw["downlink.utilization"] = self.downlink.stats.utilization(
             self.env.now

@@ -65,6 +65,16 @@ class Server:
         self.effective_window_seconds: Optional[float] = None
         #: item -> queued DATA_ITEM message (coalescing window).
         self._pending_data: Dict[int, Message] = {}
+        # Hot-path metric handles, resolved once (docs/PERFORMANCE.md).
+        self._m_downlink_ir_bits = metrics.bind_counter(m.DOWNLINK_IR_BITS)
+        self._m_downlink_data_bits = metrics.bind_counter(m.DOWNLINK_DATA_BITS)
+        self._m_downlink_validity_bits = metrics.bind_counter(
+            m.DOWNLINK_VALIDITY_BITS
+        )
+        self._m_data_coalesced = metrics.bind_counter(m.DATA_COALESCED)
+        self._m_duplicate_uplink = metrics.bind_counter(m.DUPLICATE_UPLINK)
+        self._m_malformed_uplink = metrics.bind_counter(m.MALFORMED_UPLINK)
+        self._m_report_size = metrics.bind_tally(m.REPORT_SIZE)
         #: Publishing-mode round-robin cursor over the publish region.
         self._publish_cursor = 0
         # The server watches its own downlink to close coalescing windows
@@ -98,13 +108,13 @@ class Server:
             self.metrics.counter(
                 f"{m.REPORT_COUNT_PREFIX}{report.kind.value}"
             ).add()
-            self.metrics.tally(m.REPORT_SIZE).observe(report.size_bits)
+            self._m_report_size.observe(report.size_bits)
             for copy in range(self.params.ir_repeat):
                 # Repetition coding: every copy is a full-size broadcast —
                 # the downlink pays for redundancy, honestly.
                 if copy > 0:
                     self.metrics.counter(m.IR_REPEATS).add()
-                self.metrics.counter(m.DOWNLINK_IR_BITS).add(report.size_bits)
+                self._m_downlink_ir_bits.add(report.size_bits)
                 self.ir_channel.send(
                     Message(
                         kind=MessageKind.INVALIDATION_REPORT,
@@ -152,7 +162,7 @@ class Server:
         if msg.corrupted or not self._well_formed(msg):
             # Bit errors on the uplink (or garbage from a buggy client)
             # must never crash the cell's single server: count and shed.
-            self.metrics.counter(m.MALFORMED_UPLINK).add()
+            self._m_malformed_uplink.add()
             return
         if msg.kind is MessageKind.TLB_UPLOAD:
             if self.loss_controller is not None:
@@ -195,7 +205,7 @@ class Server:
         invalid, certified_at, reply_bits = self.policy.on_check_request(
             self, msg.src, msg.payload, now
         )
-        self.metrics.counter(m.DOWNLINK_VALIDITY_BITS).add(reply_bits)
+        self._m_downlink_validity_bits.add(reply_bits)
         self.downlink.send(
             Message(
                 kind=MessageKind.VALIDITY_REPORT,
@@ -214,14 +224,15 @@ class Server:
             if msg.src in requesters:
                 # A retransmission (the client's retry layer timed out
                 # while our response was still queued): idempotent.
-                self.metrics.counter(m.DUPLICATE_UPLINK).add()
+                self._m_duplicate_uplink.add()
                 return
             # A transmission of this item is already queued or on the air:
             # the broadcast serves this requester for free.
             requesters.add(msg.src)
-            self.metrics.counter(m.DATA_COALESCED).add()
+            self._m_data_coalesced.add()
             return
         version, _ts = self.db.read(item)
+        requesters = {msg.src}
         data = Message(
             kind=MessageKind.DATA_ITEM,
             size_bits=self.params.item_size_bits,
@@ -233,11 +244,14 @@ class Server:
                 # The value reflects all updates up to this instant; any
                 # later update will appear in a subsequent report.
                 "coherent_ts": now,
-                "requesters": {msg.src},
+                "requesters": requesters,
             },
+            # Same (mutable) set: the channel dispatches the broadcast
+            # only to requesters coalesced by delivery time.
+            recipients=requesters,
         )
         self._pending_data[item] = data
-        self.metrics.counter(m.DOWNLINK_DATA_BITS).add(data.size_bits)
+        self._m_downlink_data_bits.add(data.size_bits)
         self.downlink.send(data)
 
     def _on_downlink_delivered(self, msg: Message, now: float):

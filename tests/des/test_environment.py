@@ -147,3 +147,65 @@ def test_event_callbacks_receive_the_event():
     env.run()
     assert box == [ev]
     assert box[0].value == 7
+
+
+class TestTimeoutFastLane:
+    """Bare-number yields and env.sleep() take the allocation-free lane."""
+
+    def test_bare_number_yield_sleeps(self):
+        env = Environment()
+        trail = []
+
+        def proc(env):
+            yield 2.5
+            trail.append(env.now)
+            yield 0.5
+            trail.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert trail == [2.5, 3.0]
+
+    def test_sleep_helper_matches_timeout(self):
+        env = Environment()
+        trail = []
+
+        def proc(env):
+            yield env.sleep(4.0)
+            trail.append(env.now)
+            yield env.timeout(1.0)
+            trail.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert trail == [4.0, 5.0]
+
+    def test_fast_lane_interleaves_with_events(self):
+        env = Environment()
+        order = []
+
+        def sleeper(env):
+            yield 1.0
+            order.append(("sleeper", env.now))
+
+        def timeouter(env):
+            yield env.timeout(1.0)
+            order.append(("timeouter", env.now))
+
+        env.process(sleeper(env))
+        env.process(timeouter(env))
+        env.run()
+        # Same instant: insertion order breaks the tie, as for events.
+        assert order == [("sleeper", 1.0), ("timeouter", 1.0)]
+
+    def test_scheduled_events_counts_monotonically(self):
+        env = Environment()
+
+        def proc(env):
+            yield 1.0
+            yield env.timeout(1.0)
+
+        env.process(proc(env))
+        before = env.scheduled_events
+        env.run()
+        assert env.scheduled_events > before

@@ -103,3 +103,19 @@ class TestMetricSet:
         m = MetricSet()
         m.tally("x")
         assert m.snapshot(0.0)["x.max"] == 0.0
+
+
+class TestBoundHandles:
+    def test_bind_counter_is_the_same_object(self):
+        m = MetricSet()
+        handle = m.bind_counter("energy.rx")
+        assert handle is m.counter("energy.rx")
+        handle.add(3.0)
+        assert m.snapshot(0.0)["energy.rx"] == 3.0
+
+    def test_bind_tally_is_the_same_object(self):
+        m = MetricSet()
+        handle = m.bind_tally("latency")
+        assert handle is m.tally("latency")
+        handle.observe(2.0)
+        assert m.snapshot(0.0)["latency.count"] == 1

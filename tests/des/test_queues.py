@@ -203,3 +203,54 @@ class TestFilterStore:
         env.process(producer(env))
         env.run()
         assert got == [("special", 3)]
+
+
+class TestPutNowait:
+    def test_item_available_immediately(self, env):
+        store = Store(env)
+        store.put_nowait("x")
+        assert len(store) == 1 and store.items == ["x"]
+
+    def test_wakes_waiting_getter(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            got.append((yield store.get()))
+
+        env.process(consumer(env))
+        store.put_nowait("x")
+        env.run()
+        assert got == ["x"]
+
+    def test_full_store_raises_instead_of_blocking(self, env):
+        store = Store(env, capacity=1)
+        store.put_nowait("x")
+        with pytest.raises(RuntimeError):
+            store.put_nowait("y")
+        assert store.items == ["x"]
+
+    def test_matches_put_ordering(self, env):
+        # Interleaving event-based puts with put_nowait keeps FIFO order.
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            store.put_nowait("a")
+            yield store.put("b")
+            store.put_nowait("c")
+
+        def consumer(env):
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == ["a", "b", "c"]
+
+    def test_priority_store_put_nowait_sorts(self, env):
+        store = PriorityStore(env)
+        for priority, payload in [(5, "e"), (1, "a"), (3, "c")]:
+            store.put_nowait(PriorityItem(priority=priority, seq=0, item=payload))
+        assert store.peek().item == "a"

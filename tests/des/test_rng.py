@@ -103,3 +103,22 @@ class TestDistributions:
     def test_shuffled_is_permutation(self, stream):
         out = stream.shuffled([1, 2, 3, 4, 5])
         assert sorted(out) == [1, 2, 3, 4, 5]
+
+
+class TestStateMemoization:
+    """Stream creation memoizes initial PCG64 states per (seed, name)."""
+
+    def test_memoized_stream_draws_identically(self):
+        # Second construction hits the state cache; the draw sequence
+        # must be indistinguishable from a cold derivation.
+        cold = RandomStream(991, "memo-check")
+        warm = RandomStream(991, "memo-check")
+        assert [cold.uniform() for _ in range(8)] == [
+            warm.uniform() for _ in range(8)
+        ]
+
+    def test_memoized_streams_do_not_share_state(self):
+        a = RandomStream(992, "memo-iso")
+        b = RandomStream(992, "memo-iso")
+        a.uniform()  # advancing one must not advance the other
+        assert b.uniform() == RandomStream(992, "memo-iso").uniform()

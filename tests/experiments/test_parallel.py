@@ -43,3 +43,44 @@ class TestParallelSweep:
 
         args = build_parser().parse_args(["--figure", "fig05", "--workers", "3"])
         assert args.workers == 3
+
+    def test_cli_workers_defaults_to_auto(self):
+        from repro.experiments.cli import build_parser
+
+        args = build_parser().parse_args(["--figure", "fig05"])
+        assert args.workers == "auto"
+        auto = build_parser().parse_args(["--all", "--workers", "auto"])
+        assert auto.workers == "auto"
+
+
+class TestWorkerResolution:
+    def test_auto_uses_cpu_count(self, monkeypatch):
+        from repro.experiments import parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 6)
+        assert parallel.resolve_workers("auto") == 6
+
+    def test_auto_survives_unknown_cpu_count(self, monkeypatch):
+        from repro.experiments import parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: None)
+        assert parallel.resolve_workers("auto") == 1
+
+    def test_explicit_count_passes_through(self):
+        from repro.experiments.parallel import resolve_workers
+
+        assert resolve_workers(3) == 3
+
+    def test_rejects_garbage(self):
+        from repro.experiments.parallel import resolve_workers
+
+        for bad in (0, -1, "fast", 2.5, True):
+            with pytest.raises(ValueError):
+                resolve_workers(bad)
+
+    def test_chunksize_shape(self):
+        from repro.experiments.parallel import sweep_chunksize
+
+        # Four waves per worker; never below one cell per task.
+        assert sweep_chunksize(80, 4) == 5
+        assert sweep_chunksize(3, 8) == 1

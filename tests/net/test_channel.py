@@ -284,3 +284,54 @@ class TestStats:
         # 1100 bits at 100 bps = 11 s busy total, no gaps here.
         assert ch.stats.bits_delivered == 1100
         assert ch.stats.utilization(env.now) == pytest.approx(1.0)
+
+
+class TestListeningGate:
+    def test_dozing_receiver_skips_broadcasts(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        seen = {1: [], 2: []}
+
+        def awake(m, now):
+            seen[1].append(m.payload)
+
+        def dozer(m, now):
+            seen[2].append(m.payload)
+
+        ch.attach(awake)
+        ch.attach(dozer)
+        ch.set_listening(dozer, False)
+        ch.send(msg(MessageKind.INVALIDATION_REPORT, 100, payload="ir1"))
+        env.run()
+        ch.set_listening(dozer, True)
+        ch.send(msg(MessageKind.INVALIDATION_REPORT, 100, payload="ir2"))
+        env.run()
+        assert seen[1] == ["ir1", "ir2"]
+        assert seen[2] == ["ir2"]
+
+    def test_gating_unknown_receiver_raises(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        with pytest.raises(ValueError):
+            ch.set_listening(lambda m, now: None, True)
+
+    def test_unicast_reaches_only_its_destination(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        seen = {"c1": [], "c2": [], "tap": []}
+        ch.attach(lambda m, now: seen["c1"].append(m.payload), dest=1)
+        ch.attach(lambda m, now: seen["c2"].append(m.payload), dest=2)
+        ch.attach(lambda m, now: seen["tap"].append(m.payload))  # promiscuous
+        ch.send(msg(MessageKind.DATA_ITEM, 100, dest=1, payload="for-1"))
+        env.run()
+        assert seen == {"c1": ["for-1"], "c2": [], "tap": ["for-1"]}
+
+    def test_dozing_destination_misses_unicast(self, env):
+        ch = Channel(env, bandwidth_bps=100)
+        seen = []
+
+        def receiver(m, now):
+            seen.append(m.payload)
+
+        ch.attach(receiver, dest=1)
+        ch.set_listening(receiver, False)
+        ch.send(msg(MessageKind.DATA_ITEM, 100, dest=1, payload="lost"))
+        env.run()
+        assert seen == []

@@ -106,3 +106,73 @@ class TestEnlargedWindowReport:
         report = build_enlarged_window_report(db, timestamp=60.0, back_to=5.0)
         assert count == len(report.items)
         assert size == report.size_bits
+
+
+class TestFreshSince:
+    def test_newest_ts_tracks_items(self):
+        db = make_db()
+        report = build_window_report(db, timestamp=60.0, window_seconds=40.0)
+        assert report.newest_ts == 55.0
+        empty = WindowReport(
+            timestamp=60.0, window_start=20.0, items={}, n_items=100
+        )
+        assert empty.newest_ts == 20.0  # falls back to the window start
+
+    def test_filters_by_floor(self):
+        db = make_db()
+        report = build_window_report(db, timestamp=60.0, window_seconds=40.0)
+        assert dict(report.fresh_since(30.0)) == {3: 40.0, 1: 55.0}
+        assert report.fresh_since(55.0) == []
+
+    def test_memo_reused_for_same_floor(self):
+        db = make_db()
+        report = build_window_report(db, timestamp=60.0, window_seconds=40.0)
+        first = report.fresh_since(30.0)
+        assert report.fresh_since(30.0) is first      # memo hit
+        assert report.fresh_since(50.0) is not first  # different floor
+
+
+class TestWindowReportCache:
+    def test_quiet_ticks_share_the_scan(self):
+        from repro.reports import WindowReportCache
+
+        db = make_db()
+        cache = WindowReportCache(db)
+        a = build_window_report(db, 60.0, 40.0, cache=cache)
+        # Window slides forward but no cached item expires (oldest is 25).
+        b = build_window_report(db, 62.0, 40.0, cache=cache)
+        assert cache.hits == 1 and cache.misses == 1
+        assert b.items == a.items
+
+    def test_update_invalidates(self):
+        from repro.reports import WindowReportCache
+
+        db = make_db()
+        cache = WindowReportCache(db)
+        build_window_report(db, 60.0, 40.0, cache=cache)
+        db.apply_update(7, 65.0)
+        report = build_window_report(db, 70.0, 40.0, cache=cache)
+        assert cache.misses == 2
+        assert report.items[7] == 65.0
+
+    def test_expiring_item_rebuilds(self):
+        from repro.reports import WindowReportCache
+
+        db = make_db()
+        cache = WindowReportCache(db)
+        a = build_window_report(db, 60.0, 40.0, cache=cache)
+        assert 2 in a.items  # ts=25
+        # Window start moves past item 2's timestamp: must rebuild.
+        b = build_window_report(db, 70.0, 40.0 - 5.0, cache=cache)
+        assert cache.misses == 2
+        assert 2 not in b.items
+
+    def test_cached_reports_stay_valid(self):
+        from repro.reports import WindowReportCache
+
+        db = make_db()
+        cache = WindowReportCache(db)
+        a = build_window_report(db, 60.0, 40.0, cache=cache)
+        b = build_window_report(db, 62.0, 40.0, cache=cache)  # cache hit
+        # The shared dict must never leak mutations between reports.
+        assert a.items is not b.items

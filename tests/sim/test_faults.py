@@ -36,13 +36,16 @@ BASE = SystemParams(
 # must sit well above that or retries trigger spuriously.
 RETRY = dict(uplink_timeout=60.0, max_retries=4, backoff_base=2.0)
 
-FAULT_KEYS = (".fault_",)
+#: Instrumentation-only keys: fault telemetry (absent on the seed) and
+#: kernel telemetry (arming an inert timer layer schedules/cancels timer
+#: events without changing any simulated behaviour).
+TELEMETRY_KEYS = (".fault_", "kernel.")
 
 
 def visible(raw):
-    """The raw snapshot minus fault-telemetry keys (absent on the seed)."""
+    """The raw snapshot minus instrumentation-telemetry keys."""
     return {
-        k: v for k, v in raw.items() if not any(t in k for t in FAULT_KEYS)
+        k: v for k, v in raw.items() if not any(t in k for t in TELEMETRY_KEYS)
     }
 
 

@@ -1,0 +1,88 @@
+"""Golden equivalence for the kernel/dispatch hot-path optimizations.
+
+The perf PR rewired the DES kernel (timeout fast lane, inlined run
+loop), the channel's receiver dispatch (destination index + listening
+filter), the metrics plumbing (bound handles) and the report builders
+(memoized recency scans).  None of that may change *what* is simulated:
+this suite pins a wide slice of ``SimulationResult`` — traffic volumes,
+cache behaviour, latency moments (order-sensitive Welford sums) and
+channel utilization — for the four evaluated schemes plus BS, at a
+config chosen to exercise disconnection (doze/wake listening churn),
+salvage uploads, checking round-trips and data coalescing.
+
+The pinned numbers were captured from the PRE-optimization kernel (seed
+lineage); the optimized kernel must reproduce them bit-for-bit on the
+pristine medium.  Lossy configs are exercised separately (the dispatch
+change legitimately re-sequences fault draws; see CHANGES.md).
+
+Regenerate (only for an intentional, explained re-pin)::
+
+    PYTHONPATH=src:tests python -m sim.test_kernel_golden
+"""
+
+import pytest
+
+from repro.sim import SystemParams, UNIFORM, run_simulation
+
+PARAMS = SystemParams(
+    simulation_time=3000.0,
+    n_clients=10,
+    db_size=400,
+    buffer_fraction=0.1,
+    think_time_mean=40.0,
+    update_interarrival_mean=80.0,
+    disconnect_prob=0.3,
+    disconnect_time_mean=300.0,
+    seed=4321,
+)
+
+#: Metrics pinned per scheme, in tuple order.  Deliberately a fixed name
+#: list (not the whole raw dict): eager handle binding may add
+#: zero-valued keys, but every number that existed before must not move.
+OBSERVED = (
+    "queries.generated",
+    "queries.answered",
+    "cache.hits",
+    "cache.misses",
+    "cache.full_drops",
+    "cache.stale_hits",
+    "uplink.validation_bits",
+    "uplink.request_bits",
+    "downlink.ir_bits",
+    "downlink.data_bits",
+    "downlink.validity_bits",
+    "client.disconnections",
+    "adaptive.tlb_uploads",
+    "checking.requests",
+    "data.coalesced",
+    "query.latency.count",
+    "query.latency.mean",
+    "query.latency.max",
+    "downlink.utilization",
+    "uplink.utilization",
+    "downlink.bits_delivered",
+    "uplink.bits_delivered",
+)
+
+GOLDEN = {
+    "aaw": (271.0, 271.0, 23.0, 248.0, 0.0, 0.0, 864.0, 1015808.0, 64287.0, 16252928.0, 0.0, 74.0, 27.0, 0.0, 0.0, 271, 22.786564453690296, 54.65804902253262, 0.5438910000000058, 0.03388906666666429, 16316730.0, 1016672.0),
+    "afw": (271.0, 271.0, 23.0, 248.0, 0.0, 0.0, 768.0, 1015808.0, 72531.0, 16187392.0, 0.0, 74.0, 24.0, 0.0, 1.0, 271, 22.86029508099656, 54.59744902253237, 0.5419812666666726, 0.03388586666666418, 16259438.0, 1016576.0),
+    "bs": (274.0, 273.0, 23.0, 250.0, 0.0, 0.0, 0.0, 1024000.0, 173100.0, 16318464.0, 0.0, 75.0, 0.0, 0.0, 1.0, 273, 21.89232658901305, 51.66687440914643, 0.5496803333333384, 0.03413333333333027, 16490410.0, 1024000.0),
+    "checking": (276.0, 274.0, 23.0, 251.0, 0.0, 0.0, 47068.0, 1028096.0, 53521.0, 16449536.0, 1148.0, 76.0, 0.0, 29.0, 0.0, 274, 20.58332554966814, 46.27612686965131, 0.5501240000000056, 0.035838799999997124, 16503720.0, 1075164.0),
+    "ts": (273.0, 272.0, 9.0, 263.0, 28.0, 0.0, 0.0, 1077248.0, 53521.0, 17235968.0, 0.0, 75.0, 0.0, 0.0, 0.0, 272, 22.216030363609786, 49.84248345844662, 0.5763001333333394, 0.03590826666666343, 17289004.0, 1077248.0),
+}
+
+
+def observe(scheme):
+    result = run_simulation(PARAMS, UNIFORM, scheme)
+    return tuple(result.raw.get(name, 0.0) for name in OBSERVED)
+
+
+@pytest.mark.parametrize("scheme", sorted(GOLDEN))
+def test_optimized_kernel_matches_pre_optimization_pins(scheme):
+    assert observe(scheme) == GOLDEN[scheme]
+
+
+if __name__ == "__main__":
+    for scheme in sorted(GOLDEN):
+        print(f'    "{scheme}": {observe(scheme)!r},')
