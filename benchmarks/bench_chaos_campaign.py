@@ -1,0 +1,109 @@
+"""Chaos campaign: endpoint failures under the hard safety oracle.
+
+Runs a seeded campaign matrix — chaos seeds x failure modes
+{server-crash, client-crash, clock-skew, combined} — with
+``strict_staleness`` armed, so any stale cache hit raises
+:class:`repro.chaos.StalenessViolation` inside the run instead of
+averaging into a counter.  Schemes rotate across the matrix so every
+family (window, adaptive, bit-sequences, checking, amnesic, signatures)
+faces every failure mode over the seed set.
+
+The assertions are the PR's robustness claims:
+
+* *safety* — zero stale reads in every cell (the strict oracle would
+  have raised first anyway);
+* *liveness* — every issued query is answered or pending at the horizon
+  (at most one per client), despite crashes eating uplink requests;
+* *the chaos actually happened* — server/client crash counters are
+  nonzero in the modes that inject them, and epoch purges fired.
+"""
+
+from sweep_common import format_sweep_table, run_loss_sweep
+
+from repro.chaos import ChaosConfig
+from repro.sim import SystemParams, UNIFORM
+
+SEEDS = [1, 2, 3]
+MODES = ["server-crash", "client-crash", "clock-skew", "combined"]
+SCHEMES = ["aaw", "afw", "checking", "bs", "at", "sig", "ts", "gcore"]
+
+SIM_TIME = 6000.0
+N_CLIENTS = 16
+
+
+def chaos_for(mode, seed):
+    if mode == "server-crash":
+        return ChaosConfig(seed=seed, server_crash_mtbf=1200.0,
+                           server_downtime_mean=150.0)
+    if mode == "client-crash":
+        return ChaosConfig(seed=seed, client_crash_mtbf=2000.0)
+    if mode == "clock-skew":
+        return ChaosConfig(seed=seed, clock_skew_max=10.0, clock_drift_max=0.05)
+    return ChaosConfig(
+        seed=seed,
+        server_crash_mtbf=1500.0,
+        server_downtime_mean=120.0,
+        client_crash_mtbf=2500.0,
+        clock_skew_max=10.0,
+        clock_drift_max=0.05,
+    )
+
+
+def configure(seed, mode):
+    # Rotate the scheme so each (mode, seed) cell exercises a different
+    # policy family; over the seed set every family sees every mode.
+    scheme = SCHEMES[(int(seed) * len(MODES) + MODES.index(mode)) % len(SCHEMES)]
+    params = SystemParams(
+        simulation_time=SIM_TIME,
+        n_clients=N_CLIENTS,
+        db_size=600,
+        buffer_fraction=0.05,
+        think_time_mean=50.0,
+        update_interarrival_mean=40.0,
+        disconnect_prob=0.15,
+        disconnect_time_mean=400.0,
+        uplink_timeout=120.0,
+        max_retries=4,
+        strict_staleness=True,
+        chaos=chaos_for(mode, int(seed)),
+        seed=int(seed),
+    )
+    return params, scheme
+
+
+def run_campaign():
+    return run_loss_sweep(SEEDS, MODES, configure, UNIFORM)
+
+
+def test_chaos_campaign(benchmark, capsys):
+    results = benchmark.pedantic(run_campaign, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(
+            format_sweep_table(
+                "chaos campaign: seed vs failure mode (answered/crashes/purges)",
+                results,
+                SEEDS,
+                MODES,
+                lambda r: (
+                    f"{r.queries_answered:.0f}/"
+                    f"{r.server_crashes + r.counter('chaos.client_crashes'):.0f}/"
+                    f"{r.epoch_purges:.0f}"
+                ),
+            )
+        )
+
+    for (seed, mode), r in results.items():
+        # Safety: the strict oracle ran the whole cell without raising,
+        # and the counter agrees.
+        assert r.stale_hits == 0, (seed, mode)
+        # Liveness: the query ledger balances at the horizon.
+        assert r.liveness_ok, (seed, mode, r.queries_pending)
+        assert 0 <= r.queries_pending <= N_CLIENTS, (seed, mode)
+        # The campaign was not a no-op.
+        if mode in ("server-crash", "combined"):
+            assert r.server_crashes > 0, (seed, mode)
+            assert r.epoch_purges > 0, (seed, mode)
+        if mode in ("client-crash", "combined"):
+            assert r.counter("chaos.client_crashes") > 0, (seed, mode)
+        assert r.oracle_verdict == "SAFE", (seed, mode, r.oracle_verdict)

@@ -68,4 +68,22 @@ def format_sweep_table(title, results, drop_rates, variants, cell, width=16):
             f"{cell(results[(drop, v)]):>{width}s}" for v in variants
         )
         lines.append(f"  {drop:>6.2f} " + row)
+    lines.append(oracle_summary(results))
     return "\n".join(lines)
+
+
+def oracle_summary(results) -> str:
+    """One line of safety-oracle accounting for a finished sweep.
+
+    Sums stale cache hits and counts non-SAFE verdicts across every
+    cell, so a consistency violation is visible in any bench output even
+    when the table itself plots throughput.
+    """
+    stale = sum(r.stale_hits for r in results.values())
+    unsafe = [
+        f"{key}: {r.oracle_verdict}"
+        for key, r in results.items()
+        if r.oracle_verdict != "SAFE"
+    ]
+    verdict = "all cells SAFE" if not unsafe else "; ".join(unsafe)
+    return f"  oracle: {stale:.0f} stale hits across {len(results)} cells — {verdict}"

@@ -1,0 +1,26 @@
+"""Deterministic chaos injection and the hard safety oracle.
+
+Seeded, fully reproducible endpoint-failure campaigns (server
+crash–recovery with incarnation epochs, client crashes, clock
+skew/drift) plus the oracle that proves the protocols survive them:
+strict staleness (any stale cache hit raises with a diagnostic trace)
+and liveness accounting (no issued query may silently vanish).
+
+:class:`ChaosInjector` (in :mod:`repro.chaos.injector`) is deliberately
+not exported here: it imports :mod:`repro.sim`, which imports this
+package for :class:`ChaosConfig`; the model lazy-imports the injector.
+"""
+
+from .oracle import LivenessReport, StalenessViolation, account_liveness, oracle_verdict
+from .schedule import MIN_DOWNTIME, ChaosConfig, ChaosSchedule, ClockModel
+
+__all__ = [
+    "MIN_DOWNTIME",
+    "ChaosConfig",
+    "ChaosSchedule",
+    "ClockModel",
+    "LivenessReport",
+    "StalenessViolation",
+    "account_liveness",
+    "oracle_verdict",
+]

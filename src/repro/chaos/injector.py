@@ -1,0 +1,74 @@
+"""Drives a :class:`~repro.chaos.schedule.ChaosSchedule` against a live cell.
+
+The injector owns the chaos-side plumbing so the simulation model stays
+declarative: it expands the configured :class:`ChaosConfig` into a
+deterministic plan, assigns per-client clock models, and runs (at most)
+two DES processes — one walking the server outage plan, one walking the
+client crash plan.  All protocol-level consequences live in the actors
+themselves (``Server.crash``/``Server.restart``,
+``MobileClient.crash``); the injector only decides *when*.
+
+A server restart needs a fresh scheme policy (the crash discards the
+old incarnation's report caches, combiners and salvage buffers), which
+only the model can build — hence the injector is constructed with the
+whole model, not just the environment.
+"""
+
+from __future__ import annotations
+
+from ..sim import metrics as m
+from .schedule import ChaosConfig, ChaosSchedule
+
+
+class ChaosInjector:
+    """Wires one chaos campaign into one built :class:`SimulationModel`."""
+
+    def __init__(self, model, config: ChaosConfig):
+        self.model = model
+        self.config = config
+        self.schedule = ChaosSchedule.build(
+            config,
+            horizon=model.params.simulation_time,
+            n_clients=model.params.n_clients,
+            streams=model.streams,
+        )
+        if self.schedule.clocks:
+            for client in model.clients:
+                client.set_clock(self.schedule.clock_for(client.client_id))
+        env = model.env
+        if self.schedule.server_outages:
+            env.process(self._server_outages(), name="chaos-server")
+        if self.schedule.client_crashes:
+            env.process(self._client_crashes(), name="chaos-clients")
+
+    def _server_outages(self):
+        env = self.model.env
+        metrics = self.model.metrics
+        for crash_at, restart_at in self.schedule.server_outages:
+            if crash_at > env.now:
+                yield env.sleep(crash_at - env.now)
+            self.model.server.crash(env.now)
+            metrics.counter(m.SERVER_CRASHES).add()
+            if restart_at > env.now:
+                yield env.sleep(restart_at - env.now)
+            metrics.counter(m.SERVER_DOWNTIME).add(env.now - crash_at)
+            if restart_at >= self.schedule.horizon:
+                return  # the final outage never ends on-stage
+            # The new incarnation rebuilds every piece of volatile policy
+            # state (report caches, signature combiners, salvage buffers)
+            # from the durable database.
+            policy = self.model.scheme.make_server_policy(
+                self.model.params, self.model.db
+            )
+            self.model.server.restart(env.now, policy)
+            metrics.counter(m.SERVER_RESTARTS).add()
+
+    def _client_crashes(self):
+        env = self.model.env
+        metrics = self.model.metrics
+        clients = self.model.clients
+        for at, client_id in self.schedule.client_crashes:
+            if at > env.now:
+                yield env.sleep(at - env.now)
+            clients[client_id].crash(env.now)
+            metrics.counter(m.CLIENT_CRASHES).add()

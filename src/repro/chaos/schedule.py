@@ -1,0 +1,242 @@
+"""Deterministic chaos schedules: seeded endpoint-failure plans.
+
+A :class:`ChaosConfig` names the failure processes to inject into one
+simulated cell — server crash/restart cycles, client crashes (cache +
+``Tlb`` loss) and per-client clock skew/drift — and a
+:class:`ChaosSchedule` expands the config into a concrete, fully
+deterministic event plan *before the simulation starts*.
+
+Determinism contract: the plan is a pure function of
+``(config, horizon, n_clients, master seed)``.  Every random draw comes
+from named :class:`~repro.des.RandomStreams` streams salted with
+``config.seed`` (``chaos/<seed>/...``), so
+
+* the same seeds reproduce the same campaign bit-for-bit,
+* chaos draws never perturb the simulation's own streams (common random
+  numbers across chaos on/off comparisons), and
+* ``config.seed`` varies the failure plan independently of the
+  workload seed — a campaign matrix is ``seeds x failure modes``.
+
+Explicit schedules (``server_crashes_at`` / ``client_crashes_at``) skip
+the sampling entirely for scripted differential tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: Floor on sampled downtimes: a restart in the same instant as its crash
+#: would be invisible to every protocol layer.
+MIN_DOWNTIME = 1e-6
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knob group describing one chaos campaign (all injections off by
+    default; see docs/FAULTS.md for the knob-by-knob guide).
+
+    Attributes
+    ----------
+    seed:
+        Salt for the chaos random streams; independent of the simulation
+        seed so failure plans can be varied (or held fixed) on their own.
+    server_crash_mtbf:
+        Mean seconds between server crashes (exponential).  0 disables
+        sampled server crashes.
+    server_downtime_mean:
+        Mean seconds a crashed server stays down (exponential).
+    server_crashes_at:
+        Explicit crash instants (overrides ``server_crash_mtbf``); each
+        crash lasts ``server_downtime`` seconds.
+    server_downtime:
+        Fixed downtime used with ``server_crashes_at``.
+    client_crash_mtbf:
+        Per-client mean seconds between crashes (exponential).  A client
+        crash is instantaneous: the cache and ``Tlb`` are lost, the
+        process reboots immediately.  0 disables sampled client crashes.
+    client_crashes_at:
+        Explicit ``(client_id, time)`` crash instants (in addition to any
+        sampled ones).
+    clock_skew_max:
+        Per-client clock offset drawn uniformly from ``[-max, +max]``
+        seconds.  Protocol timestamps originate at the server, so skew
+        shows up as a phase offset of the client's local activity.
+    clock_drift_max:
+        Per-client clock *rate* error drawn uniformly from
+        ``[-max, +max]`` (fractional); local durations (think times,
+        backoff timers) are scaled by ``1 + drift``.
+    """
+
+    seed: int = 0
+    server_crash_mtbf: float = 0.0
+    server_downtime_mean: float = 60.0
+    server_crashes_at: Tuple[float, ...] = ()
+    server_downtime: float = 60.0
+    client_crash_mtbf: float = 0.0
+    client_crashes_at: Tuple[Tuple[int, float], ...] = ()
+    clock_skew_max: float = 0.0
+    clock_drift_max: float = 0.0
+
+    def __post_init__(self):
+        for name in (
+            "server_crash_mtbf",
+            "server_downtime_mean",
+            "server_downtime",
+            "client_crash_mtbf",
+            "clock_skew_max",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if not 0.0 <= self.clock_drift_max < 1.0:
+            raise ValueError("clock_drift_max must be in [0, 1)")
+        for at in self.server_crashes_at:
+            if at <= 0:
+                raise ValueError("server crash times must be positive")
+        for cid, at in self.client_crashes_at:
+            if cid < 0 or at <= 0:
+                raise ValueError("client crashes need id >= 0 and time > 0")
+
+    @property
+    def crashes_server(self) -> bool:
+        """Whether this campaign ever takes the server down."""
+        return self.server_crash_mtbf > 0 or bool(self.server_crashes_at)
+
+    @property
+    def crashes_clients(self) -> bool:
+        """Whether this campaign ever crashes a client."""
+        return self.client_crash_mtbf > 0 or bool(self.client_crashes_at)
+
+    @property
+    def skews_clocks(self) -> bool:
+        """Whether per-client clock models are active."""
+        return self.clock_skew_max > 0 or self.clock_drift_max > 0
+
+    @property
+    def is_null(self) -> bool:
+        """True when the config injects nothing at all."""
+        return not (self.crashes_server or self.crashes_clients or self.skews_clocks)
+
+
+@dataclass(frozen=True)
+class ClockModel:
+    """One client's clock error: constant skew plus a rate drift.
+
+    ``skew`` offsets the client's local timeline (its activity starts
+    that much later — a negative skew cannot move activity before t=0,
+    so it clamps to an on-time start); ``rate`` scales every locally
+    timed duration (``1.0`` = a perfect clock).
+    """
+
+    skew: float = 0.0
+    rate: float = 1.0
+
+    def local_duration(self, seconds: float) -> float:
+        """Real seconds consumed by a locally timed *seconds* wait."""
+        return seconds * self.rate
+
+    @property
+    def start_offset(self) -> float:
+        """Real seconds the client's first activity lags t=0."""
+        return self.skew if self.skew > 0.0 else 0.0
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """The concrete event plan one :class:`ChaosConfig` expands into.
+
+    Attributes
+    ----------
+    server_outages:
+        ``(crash_at, restart_at)`` pairs, increasing and non-overlapping,
+        all within the horizon (restarts may be clipped to the horizon —
+        such a final outage simply never ends on-stage).
+    client_crashes:
+        ``(time, client_id)`` pairs in time order.
+    clocks:
+        Per-client :class:`ClockModel` (index = client id).
+    """
+
+    config: ChaosConfig
+    horizon: float
+    server_outages: Tuple[Tuple[float, float], ...]
+    client_crashes: Tuple[Tuple[float, int], ...]
+    clocks: Tuple[ClockModel, ...] = field(default=())
+
+    @classmethod
+    def build(
+        cls, config: ChaosConfig, horizon: float, n_clients: int, streams
+    ) -> "ChaosSchedule":
+        """Expand *config* into a deterministic plan.
+
+        *streams* is the simulation's :class:`~repro.des.RandomStreams`;
+        every draw uses streams salted with ``config.seed`` so the plan
+        never consumes draws any other component sees.
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if n_clients < 1:
+            raise ValueError("need at least one client")
+        prefix = f"chaos/{config.seed}"
+        outages: List[Tuple[float, float]] = []
+        if config.server_crashes_at:
+            down = max(config.server_downtime, MIN_DOWNTIME)
+            t_prev = 0.0
+            for at in sorted(config.server_crashes_at):
+                if at >= horizon or at < t_prev:
+                    continue  # clipped or overlapping a previous outage
+                restart = min(at + down, horizon)
+                outages.append((at, restart))
+                t_prev = restart
+        elif config.server_crash_mtbf > 0:
+            stream = streams.stream(f"{prefix}/server")
+            t = stream.exponential(config.server_crash_mtbf)
+            while t < horizon:
+                down = max(
+                    stream.exponential(config.server_downtime_mean), MIN_DOWNTIME
+                )
+                restart = min(t + down, horizon)
+                outages.append((t, restart))
+                t = restart + stream.exponential(config.server_crash_mtbf)
+        crashes: List[Tuple[float, int]] = []
+        if config.client_crash_mtbf > 0:
+            for cid in range(n_clients):
+                stream = streams.stream(f"{prefix}/client-{cid}")
+                t = stream.exponential(config.client_crash_mtbf)
+                while t < horizon:
+                    crashes.append((t, cid))
+                    t += stream.exponential(config.client_crash_mtbf)
+        for cid, at in config.client_crashes_at:
+            if cid < n_clients and at < horizon:
+                crashes.append((at, cid))
+        crashes.sort()
+        clocks: Tuple[ClockModel, ...] = ()
+        if config.skews_clocks:
+            stream = streams.stream(f"{prefix}/clocks")
+            built = []
+            for _cid in range(n_clients):
+                skew = (
+                    stream.uniform(-config.clock_skew_max, config.clock_skew_max)
+                    if config.clock_skew_max > 0
+                    else 0.0
+                )
+                drift = (
+                    stream.uniform(-config.clock_drift_max, config.clock_drift_max)
+                    if config.clock_drift_max > 0
+                    else 0.0
+                )
+                built.append(ClockModel(skew=skew, rate=1.0 + drift))
+            clocks = tuple(built)
+        return cls(
+            config=config,
+            horizon=horizon,
+            server_outages=tuple(outages),
+            client_crashes=tuple(crashes),
+            clocks=clocks,
+        )
+
+    def clock_for(self, client_id: int) -> Optional[ClockModel]:
+        """The clock model for *client_id* (None = perfect clock)."""
+        if not self.clocks:
+            return None
+        return self.clocks[client_id]

@@ -28,7 +28,7 @@ NEVER = float("-inf")
 class Database:
     """Server-side item store with an incremental update-recency index."""
 
-    def __init__(self, n_items: int, origin_time: float = 0.0):
+    def __init__(self, n_items: int, origin_time: float = NEVER):
         if n_items <= 0:
             raise ValueError("database needs at least one item")
         self.n_items = int(n_items)
@@ -36,6 +36,10 @@ class Database:
         self.last_update = np.full(self.n_items, NEVER, dtype=np.float64)
         #: Monotone per-item version counter; version 0 is the initial value.
         self.version = np.zeros(self.n_items, dtype=np.int64)
+        #: History floor: the database vouches for every update since this
+        #: instant.  A newborn database knows all history (NEVER); a
+        #: crash-restart raises the floor to the restart time
+        #: (:meth:`forget_history`), bounding what reports may claim.
         self.origin_time = origin_time
         self.total_updates = 0
         # item -> last update time; most recently updated item is LAST.
@@ -66,6 +70,23 @@ class Database:
         self.total_updates += 1
         self._recency[item] = now
         self._recency.move_to_end(item)
+
+    def forget_history(self, now: float):
+        """Discard all update-*time* knowledge, as a server crash would.
+
+        Item values and version counters are durable (they model the
+        persisted database); what a restart loses is the in-memory record
+        of *when* items changed.  ``origin_time`` becomes *now*: the new
+        incarnation can only vouch for updates it witnesses from here on,
+        so every report builder must treat *now* as its history floor.
+        """
+        self.origin_time = now
+        self.last_update.fill(NEVER)
+        self._recency.clear()
+        self._updated_since_key = None
+        self._updated_since_result = []
+        self._recency_order_key = None
+        self._recency_order_result = []
 
     def read(self, item: int) -> Tuple[int, float]:
         """Return ``(version, last_update_time)`` of *item*."""

@@ -63,6 +63,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="render each figure as an ASCII chart too",
     )
     parser.add_argument(
+        "--strict-staleness",
+        action="store_true",
+        help="fail (exit 1) if any sweep cell served a stale cache hit "
+        "or broke the liveness ledger (the repro.chaos safety oracle)",
+    )
+    parser.add_argument(
         "--workers",
         type=_workers_arg,
         default="auto",
@@ -90,6 +96,7 @@ def main(argv=None) -> int:
     scale = FULL_SCALE if args.scale == "full" else BENCH_SCALE
     print("scheme legend:")
     print(format_legend())
+    violations = []
     for fid in targets:
         started = time.time()
         result = run_figure_parallel(
@@ -108,6 +115,20 @@ def main(argv=None) -> int:
 
             written = save_figure_result(result, f"{args.output}/{fid}.json")
             print(f"  saved {written}")
+        if args.strict_staleness:
+            for scheme in result.results:
+                stale = result.stale_hits_of(scheme)
+                verdict = result.oracle_verdict_of(scheme)
+                if stale or verdict != "SAFE":
+                    violations.append(
+                        f"{fid}/{scheme}: {stale:.0f} stale hits, "
+                        f"oracle {verdict}"
+                    )
+    if violations:
+        print("strict staleness check FAILED:", file=sys.stderr)
+        for line in violations:
+            print(f"  {line}", file=sys.stderr)
+        return 1
     return 0
 
 

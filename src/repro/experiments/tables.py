@@ -41,6 +41,17 @@ def format_figure(result: FigureResult, width: int = 12) -> str:
         for scheme in result.series:
             row += f" {result.series[scheme][i]:>{width}.2f}"
         lines.append(row)
+    if result.results:
+        # Safety oracle row: stale hits + verdict per scheme, so a
+        # consistency violation can never hide behind a throughput table.
+        row = f"  {'stale/oracle':>20s}"
+        for scheme in result.series:
+            cell = (
+                f"{result.stale_hits_of(scheme):.0f}/"
+                f"{result.oracle_verdict_of(scheme)}"
+            )
+            row += f" {cell:>{width}s}"
+        lines.append(row)
     return "\n".join(lines)
 
 

@@ -86,6 +86,12 @@ class Report:
     kind: ReportKind
     timestamp: float
     size_bits: float
+    #: Server incarnation that built this report.  Stamped by the server
+    #: at broadcast time (instance attribute); a restart after a crash
+    #: bumps it, telling clients the history behind earlier reports has
+    #: been truncated and their ``Tlb``-certified knowledge is void.  The
+    #: class default keeps pre-epoch pickles/tests valid.
+    epoch: int = 0
 
     @property
     def dedup_key(self) -> float:

@@ -205,8 +205,14 @@ def build_window_report(
 
     *window_seconds* is ``w * L``.  Passing a per-server
     :class:`WindowReportCache` lets consecutive ticks share the scan.
+
+    The window never reaches behind ``db.origin_time``: after a
+    crash–recovery the server only witnessed updates since the restart,
+    so claiming coverage further back would silently certify clients
+    whose gap spans the truncated history.  (In a never-crashed cell the
+    clamp is inert — every client ``Tlb`` is at least the origin.)
     """
-    window_start = timestamp - window_seconds
+    window_start = max(timestamp - window_seconds, db.origin_time)
     if cache is not None:
         items = cache.items_since(window_start)
     else:
@@ -226,7 +232,13 @@ def build_enlarged_window_report(
     back_to: float,
     timestamp_bits: int = DEFAULT_TIMESTAMP_BITS,
 ) -> EnlargedWindowReport:
-    """Construct ``IR(w')`` reaching back to *back_to* (a client's Tlb)."""
+    """Construct ``IR(w')`` reaching back to *back_to* (a client's Tlb).
+
+    Like :func:`build_window_report`, the claimed reach is clamped at
+    ``db.origin_time`` — a post-crash server cannot vouch for history it
+    never witnessed, so a pre-crash ``Tlb`` stays uncovered.
+    """
+    back_to = max(back_to, db.origin_time)
     items = {item: ts for item, ts in db.updated_since(back_to)}
     return EnlargedWindowReport(
         timestamp=timestamp,

@@ -51,7 +51,9 @@ class AAWServerPolicy(ServerPolicy):
             # Tlbs inside the (possibly loss-widened) window ride the
             # regular report; only older ones need stretching/BS.
             window_start = now - window_seconds
-            threshold = bs_salvage_threshold(self.db, origin=0.0)
+            # db.origin_time is the history floor (restart instant after
+            # a crash): pre-crash Tlbs are unsalvageable by construction.
+            threshold = bs_salvage_threshold(self.db, origin=self.db.origin_time)
             salvageable = [t for t in pending if threshold <= t <= window_start]
         if salvageable:
             back_to = min(salvageable)
@@ -66,7 +68,10 @@ class AAWServerPolicy(ServerPolicy):
                 )
             self.bs_broadcasts += 1
             return build_bitseq_report(
-                self.db, now, origin=0.0, timestamp_bits=params.timestamp_bits
+                self.db,
+                now,
+                origin=self.db.origin_time,
+                timestamp_bits=params.timestamp_bits,
             )
         return build_window_report(
             self.db,

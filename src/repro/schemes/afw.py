@@ -52,7 +52,10 @@ class AFWServerPolicy(ServerPolicy):
         if not pending:
             return []
         window_start = now - window_seconds
-        threshold = bs_salvage_threshold(self.db, origin=0.0)
+        # The history floor (db.origin_time; the restart instant after a
+        # crash) bounds what BS can salvage: pre-crash Tlbs fall below
+        # the threshold and correctly take the drop-all path.
+        threshold = bs_salvage_threshold(self.db, origin=self.db.origin_time)
         return [t for t in pending if threshold <= t <= window_start]
 
     def build_report(self, ctx, now: float):
@@ -60,7 +63,10 @@ class AFWServerPolicy(ServerPolicy):
         if self._take_salvageable(now, window_seconds):
             self.bs_broadcasts += 1
             return build_bitseq_report(
-                self.db, now, origin=0.0, timestamp_bits=self.params.timestamp_bits
+                self.db,
+                now,
+                origin=self.db.origin_time,
+                timestamp_bits=self.params.timestamp_bits,
             )
         return build_window_report(
             self.db,

@@ -212,6 +212,22 @@ class ClientPolicy:
         only; schemes may override to react proactively.
         """
 
+    def on_epoch_change(self, ctx, old_epoch: int, new_epoch: int, now: float):
+        """The server restarted under this client (or the IR timeline ran
+        backwards — equally a sign the certified history is gone).
+
+        The new incarnation's reports describe only post-restart history,
+        so nothing the client certified under the old epoch can be
+        trusted: the safe default drops the whole cache, resets the
+        per-episode uplink latches via :meth:`on_reconnect` (any rescue
+        the client was waiting on died with the old server), and lets the
+        caller resynchronise ``Tlb`` to the new timeline.  Schemes with a
+        cheaper recovery (e.g. checking-style revalidation) may override.
+        """
+        ctx.cache.drop_all()
+        ctx.note_cache_drop()
+        self.on_reconnect(ctx, now)
+
     def on_validation_timeout(self, ctx, now: float) -> bool:
         """An expected validity/rescue reply never arrived (lost uplink
         request or lost reply).

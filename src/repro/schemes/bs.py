@@ -26,8 +26,14 @@ class BSServerPolicy(ServerPolicy):
         self.db = db
 
     def build_report(self, ctx, now: float):
+        # origin is the server's history floor: 0.0 in a never-crashed
+        # cell, the restart instant after a crash–recovery — clients with
+        # an older Tlb must not be salvaged from truncated history.
         return build_bitseq_report(
-            self.db, now, origin=0.0, timestamp_bits=self.params.timestamp_bits
+            self.db,
+            now,
+            origin=self.db.origin_time,
+            timestamp_bits=self.params.timestamp_bits,
         )
 
 

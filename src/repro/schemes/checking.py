@@ -47,8 +47,15 @@ class CheckingServerPolicy(ServerPolicy):
     def on_check_request(
         self, ctx, client_id: int, entries: List[Tuple[int, float]], now: float
     ) -> Tuple[List[int], float, float]:
+        # An entry certified before db.origin_time (the restart instant
+        # after a crash) predates everything this incarnation witnessed:
+        # last_update was wiped, so the plain comparison would wrongly
+        # vouch for it.  Conservatively invalidate such entries.
+        floor = self.db.origin_time
         invalid = [
-            item for item, ts in entries if self.db.last_update[item] > ts
+            item
+            for item, ts in entries
+            if ts < floor or self.db.last_update[item] > ts
         ]
         self.checks_served += 1
         return invalid, now, validity_report_bits(len(entries))

@@ -70,7 +70,15 @@ class GCOREServerPolicy(ServerPolicy):
     ) -> Tuple[List[int], float, float]:
         """*entries* carry ``(item, group_min_ts)`` — the client already
         collapsed timestamps to its per-group minima."""
-        invalid = [item for item, ts in entries if self.db.last_update[item] > ts]
+        # As in simple checking: group timestamps older than the server's
+        # history floor (post-crash origin_time) cannot be vouched for —
+        # last_update was wiped — so those items drop conservatively.
+        floor = self.db.origin_time
+        invalid = [
+            item
+            for item, ts in entries
+            if ts < floor or self.db.last_update[item] > ts
+        ]
         self.checks_served += 1
         return invalid, now, validity_report_bits(len(entries))
 

@@ -52,7 +52,11 @@ class SIGServerPolicy(ServerPolicy):
             diagnose_threshold=threshold,
             seed=params.seed,
         )
-        self.combiner = IncrementalCombiner(self.scheme)
+        # Seed the combiner from the durable version counters: identical
+        # to the all-zero default at t=0, and the only correct baseline
+        # when a post-crash restart builds a fresh policy mid-run (the
+        # combined signatures are a pure function of current versions).
+        self.combiner = IncrementalCombiner(self.scheme, versions=db.version)
 
     def on_item_update(self, item: int, old_version: int, new_version: int):
         self.combiner.on_update(item, old_version, new_version)

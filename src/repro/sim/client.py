@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..cache import CacheEntry, ClientCache
+from ..chaos.oracle import StalenessViolation
 from ..des import Environment, Event
 from ..des.monitor import MetricSet
 from ..net import Channel, Message, MessageKind, SERVER_ID
@@ -86,6 +87,16 @@ class MobileClient:
         #: uncovered report would wrongly escalate the adaptive schemes'
         #: ask-once salvage protocol to a full cache drop).
         self._last_report_applied: Optional[float] = None
+        #: Server incarnation epoch of the last report applied.  A report
+        #: carrying a different epoch (or a timeline regression) means
+        #: the server restarted and the history behind our ``Tlb`` is
+        #: gone — the epoch state machine in :meth:`_on_downlink` purges.
+        self._report_epoch = 0
+        #: Clock error injected by the chaos layer (see ClockModel):
+        #: defaults are a perfect clock and are exactly free — ``d * 1.0``
+        #: is bit-identical in IEEE arithmetic.
+        self._clock_rate = 1.0
+        self._clock_skew = 0.0
 
         self._ready_waiters: Optional[Event] = None
         self._data_waits: Dict[int, Event] = {}
@@ -188,6 +199,37 @@ class MobileClient:
         """Metrics hook for full cache discards."""
         self._m_cache_drops.add()
 
+    # -- chaos-facing API (repro.chaos.ChaosInjector) ---------------------------
+
+    def set_clock(self, clock):
+        """Install this client's :class:`~repro.chaos.ClockModel` (None =
+        perfect clock, the default)."""
+        if clock is None:
+            return
+        self._clock_skew = clock.start_offset
+        self._clock_rate = clock.rate
+
+    def crash(self, now: float):
+        """Instant reboot with all volatile state lost.
+
+        The cache, ``Tlb``, report bookkeeping and any in-flight
+        validation die; a fresh :class:`ClientCache` also resets the
+        certification floor (``drop_all`` deliberately does not).  The
+        query loop itself survives — a rebooted host resumes its user —
+        and in-flight data waiters are kept so an already-transmitted
+        response still terminates its query (the value is inserted
+        non-suspect against ``tlb = 0`` and is coherent at serve time).
+        """
+        self.cache = ClientCache(self.params.cache_capacity)
+        self.tlb = 0.0
+        self._last_report_heard = None
+        self._last_report_applied = None
+        self._validation_pending = False
+        # The policy's per-episode latches must not outlive the reboot
+        # (a pre-crash checking upload's reply must not be awaited).
+        self.policy.on_reconnect(self, now)
+        self._fire_ready()
+
     def _charge_tx(self, bits: float):
         self._m_energy_tx.add(self._tx_nj_per_bit * bits)
 
@@ -221,12 +263,29 @@ class MobileClient:
             # Every report's dedup_key IS its timestamp (reports.base);
             # the direct read skips a property call per listener.
             report_ts = report.timestamp
-            if report_ts == self._last_report_applied:
+            prev_applied = self._last_report_applied
+            if report_ts == prev_applied:
                 # A repetition-coded copy of a report already processed:
                 # count the discard (the radio still listened) and stop.
                 self._m_ir_duplicates.add()
                 return
             self._last_report_applied = report_ts
+            epoch = report.epoch
+            if epoch != self._report_epoch or (
+                prev_applied is not None and report_ts < prev_applied
+            ):
+                # The server restarted under us (a timeline regression is
+                # the same symptom, detected belt-and-braces): everything
+                # we certified against the old incarnation's history is
+                # void.  Purge via the scheme (default: full drop), then
+                # resynchronise Tlb to the new timeline so this very
+                # report certifies the emptied cache.
+                self.metrics.counter(m.EPOCH_PURGES).add()
+                self.policy.on_epoch_change(self, self._report_epoch, epoch, now)
+                self._report_epoch = epoch
+                self._validation_pending = False
+                self._last_report_heard = None
+                self.tlb = report_ts
             # Missed-report detection, inlined: a decoded report one
             # interval after the previous one (the overwhelmingly common
             # case) needs no gap analysis.
@@ -374,6 +433,7 @@ class MobileClient:
             self.policy.on_disconnect(self, env.now)
             yield env.sleep(
                 self._disc_stream.exponential(params.disconnect_time_mean)
+                * self._clock_rate
             )
             self.connected = True
             self._set_listening(True)
@@ -382,11 +442,21 @@ class MobileClient:
             self._last_report_heard = None
             self.policy.on_reconnect(self, env.now)
         else:
-            yield env.sleep(self._think_stream.exponential(params.think_time_mean))
+            # Locally timed waits run on the (possibly drifting) local
+            # clock; rate 1.0 multiplies out bit-identically.
+            yield env.sleep(
+                self._think_stream.exponential(params.think_time_mean)
+                * self._clock_rate
+            )
 
     def _query_loop(self):
         env = self.env
         params = self.params
+        if self._clock_skew > 0.0:
+            # Clock skew shows up as a phase offset of the client's local
+            # activity (protocol timestamps all originate at the server).
+            # Chaos-only: a perfect clock schedules no event here.
+            yield env.sleep(self._clock_skew)
         while True:
             yield from self._inter_query_gap()
             self._query_active = True
@@ -434,6 +504,21 @@ class MobileClient:
                 and self.update_log.updated_in(item, after=entry.ts, up_to=self.tlb)
             ):
                 self._m_stale_hits.add()
+                if self.params.strict_staleness:
+                    # The hard safety oracle: die loudly at the first
+                    # unsafe answer, with the full conviction trace.
+                    raise StalenessViolation(
+                        client_id=self.client_id,
+                        item=item,
+                        entry_version=entry.version,
+                        entry_ts=entry.ts,
+                        effective_ts=self.cache.effective_ts(entry),
+                        tlb=self.tlb,
+                        certified_floor=self.cache.certified_floor,
+                        epoch=self._report_epoch,
+                        now=self.env.now,
+                        update_times=self.update_log.updates_of(item),
+                    )
             return 1
         self._m_cache_misses.add()
         if self.timeseries is not None:
@@ -476,7 +561,8 @@ class MobileClient:
             delay *= 1.0 + params.backoff_jitter * self._retry_stream.uniform(
                 -1.0, 1.0
             )
-        return delay
+        # Retry timers run on the local (possibly drifting) clock.
+        return delay * self._clock_rate
 
     def _fetch(self, item: int):
         """Request *item* over the uplink; wait for the broadcast response.

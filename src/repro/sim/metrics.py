@@ -44,6 +44,15 @@ NACKS_RECEIVED = "server.nacks_received"
 IR_REPEATS = "server.ir_repeats"              # extra report copies broadcast
 EST_LOSS = "server.est_loss"                  # final smoothed loss estimate
 W_EFF = "adaptive.w_eff"                      # tally: w_eff trajectory
+# Chaos injection + safety oracle (all zero / trivially true with chaos off).
+SERVER_CRASHES = "chaos.server_crashes"
+SERVER_RESTARTS = "chaos.server_restarts"
+SERVER_DOWNTIME = "chaos.server_downtime_s"
+CLIENT_CRASHES = "chaos.client_crashes"
+EPOCH_PURGES = "chaos.epoch_purges"           # clients reacting to a new epoch
+UPLINK_SHED_CRASHED = "server.uplink_shed_crashed"
+ORACLE_PENDING = "oracle.queries_pending"     # generated - answered at horizon
+ORACLE_LIVENESS_OK = "oracle.liveness_ok"     # 1.0 when the ledger balances
 
 REPORT_COUNT_PREFIX = "reports."   # + ReportKind.value
 
@@ -127,6 +136,33 @@ class SimulationResult:
     def mean_effective_window(self) -> float:
         """Mean ``w_eff`` over the run (0 when loss adaptation is off)."""
         return self.raw.get(f"{W_EFF}.mean", 0.0)
+
+    @property
+    def server_crashes(self) -> float:
+        """Server crash–recovery cycles the chaos layer injected."""
+        return self.counter(SERVER_CRASHES)
+
+    @property
+    def epoch_purges(self) -> float:
+        """Client purges triggered by an incarnation-epoch change."""
+        return self.counter(EPOCH_PURGES)
+
+    @property
+    def queries_pending(self) -> float:
+        """Queries still in flight at the horizon (issued - answered)."""
+        return self.counter(QUERIES_GENERATED) - self.counter(QUERIES_ANSWERED)
+
+    @property
+    def liveness_ok(self) -> bool:
+        """Whether the run's query ledger balanced (see repro.chaos)."""
+        return self.raw.get(ORACLE_LIVENESS_OK, 1.0) == 1.0
+
+    @property
+    def oracle_verdict(self) -> str:
+        """One-token safety/liveness verdict (SAFE / STALE(n) / STUCK(p))."""
+        from ..chaos.oracle import oracle_verdict
+
+        return oracle_verdict(self)
 
     @property
     def goodput_ratio(self) -> float:

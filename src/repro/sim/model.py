@@ -134,9 +134,24 @@ class SimulationModel:
             for cid in range(params.n_clients)
         ]
 
+        #: Endpoint-failure injection (None with chaos off — zero cost).
+        self.chaos = None
+        if params.chaos is not None and not params.chaos.is_null:
+            # Lazy import: repro.chaos.injector imports repro.sim.
+            from ..chaos.injector import ChaosInjector
+
+            self.chaos = ChaosInjector(self, params.chaos)
+
     def _on_item_update(self, item: int, now: float):
+        server = self.server
+        if server.crashed:
+            # A dead process observes nothing: the update reaches the
+            # durable database (the generator already committed it) but
+            # no in-memory policy state — exactly the knowledge the
+            # restarted incarnation must NOT pretend to have.
+            return
         new_version = int(self.db.version[item])
-        self.server_policy.on_item_update(item, new_version - 1, new_version)
+        server.policy.on_item_update(item, new_version - 1, new_version)
 
     def run(self) -> SimulationResult:
         """Run to ``params.simulation_time`` and snapshot the metrics."""
@@ -172,8 +187,16 @@ class SimulationModel:
             result.raw[f"{channel.name}.fault_dropped_bits"] = stats.dropped_bits
             result.raw[f"{channel.name}.fault_corrupted_bits"] = stats.corrupted_bits
             result.raw[f"{channel.name}.fault_bursts"] = float(stats.bursts)
-        # Bounded salvage-state telemetry (adaptive schemes only).
-        buffer = getattr(self.server_policy, "tlb_buffer", None)
+        # Liveness accounting (the safety oracle's second half): emitted
+        # unconditionally so chaos-off comparisons carry the same keys.
+        from ..chaos.oracle import account_liveness
+
+        ledger = account_liveness(result, self.params.n_clients)
+        result.raw["oracle.queries_pending"] = float(ledger.pending)
+        result.raw["oracle.liveness_ok"] = 1.0 if ledger.ok else 0.0
+        # Bounded salvage-state telemetry (adaptive schemes only).  Read
+        # through the server: a chaos restart swaps the policy instance.
+        buffer = getattr(self.server.policy, "tlb_buffer", None)
         if buffer is not None:
             result.raw["server.tlb_duplicates"] = float(buffer.duplicates)
             result.raw["server.tlb_overflow"] = float(buffer.overflows)

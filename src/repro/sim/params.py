@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from ..chaos.schedule import ChaosConfig
 from ..net.faults import FaultConfig
 from ..reports.sizes import DEFAULT_TIMESTAMP_BITS
 from ..schemes.loss_adaptive import LossAdaptationConfig
@@ -103,6 +104,17 @@ class SystemParams:
     #: ``repeat`` times.  ``None`` (the default) disables the whole loop —
     #: bit-identical to the paper-faithful seed behaviour.
     loss_adaptation: Optional[LossAdaptationConfig] = None
+    #: Deterministic endpoint-failure injection (see :mod:`repro.chaos`):
+    #: seeded server crash–recovery cycles (with incarnation epochs),
+    #: client crashes, and per-client clock skew/drift.  ``None`` (the
+    #: default) injects nothing and is bit-identical to the seed; an
+    #: all-zero :class:`ChaosConfig` is equally inert.
+    chaos: Optional[ChaosConfig] = None
+    #: Promote staleness tracking into a hard safety oracle: any stale
+    #: cache hit raises :class:`repro.chaos.StalenessViolation` with a
+    #: full diagnostic trace instead of merely incrementing the counter.
+    #: Requires ``track_staleness``.
+    strict_staleness: bool = False
 
     def __post_init__(self):
         if self.simulation_time <= 0:
@@ -156,6 +168,19 @@ class SystemParams:
                 )
             if self.loss_adaptation.w_max < self.window_intervals:
                 raise ValueError("loss_adaptation.w_max must be >= window_intervals")
+        if self.chaos is not None:
+            if not isinstance(self.chaos, ChaosConfig):
+                raise ValueError("chaos must be a ChaosConfig or None")
+            if self.chaos.crashes_server and self.uplink_timeout is None:
+                # Uplink requests sent into a crashed server are shed;
+                # without the timeout/retry lifecycle a client waiting on
+                # a validity/rescue reply would hang until the horizon.
+                raise ValueError(
+                    "server-crash chaos requires uplink_timeout (the retry "
+                    "layer) so shed uplink requests are retransmitted"
+                )
+        if self.strict_staleness and not self.track_staleness:
+            raise ValueError("strict_staleness requires track_staleness")
 
     # -- derived quantities ---------------------------------------------------
 

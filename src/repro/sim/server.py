@@ -63,6 +63,13 @@ class Server:
         #: Widened window span advertised to window-based scheme policies
         #: (None = use ``params.window_seconds``; see schemes.base).
         self.effective_window_seconds: Optional[float] = None
+        #: Incarnation epoch, stamped into every broadcast report; bumped
+        #: by :meth:`restart` so clients can detect that the history
+        #: behind their ``Tlb`` no longer exists (see docs/PROTOCOLS.md).
+        self.epoch = 0
+        #: True while the chaos layer holds the server down: broadcasts
+        #: are skipped and uplink arrivals are shed.
+        self.crashed = False
         #: item -> queued DATA_ITEM message (coalescing window).
         self._pending_data: Dict[int, Message] = {}
         # Hot-path metric handles, resolved once (docs/PERFORMANCE.md).
@@ -96,6 +103,12 @@ class Server:
             # LOW priority: same-instant database updates commit first, so
             # the report reflects every update with ts <= Ti.
             yield env.timeout(tick * interval - env.now, priority=LOW)
+            if self.crashed:
+                # Down: no report this tick.  The loop keeps counting
+                # ticks so the broadcast timeline (i * L instants) is
+                # preserved across the outage — a restarted server
+                # resumes the exact cadence clients expect.
+                continue
             if self.loss_controller is not None:
                 # Fold last interval's loss evidence into the estimate and
                 # advertise the (possibly widened) window to the policy.
@@ -105,6 +118,7 @@ class Server:
                 )
                 self.metrics.tally(m.W_EFF).observe(float(w_eff))
             report = self.policy.build_report(self, env.now)
+            report.epoch = self.epoch
             self.metrics.counter(
                 f"{m.REPORT_COUNT_PREFIX}{report.kind.value}"
             ).add()
@@ -156,9 +170,54 @@ class Server:
             self.metrics.counter(m.PUBLISH_BITS).add(msg.size_bits)
             self.downlink.send(msg)
 
+    # -- crash-recovery (driven by repro.chaos.ChaosInjector) -------------------
+
+    def crash(self, now: float):
+        """Take the process down: volatile state is gone, nothing answers.
+
+        The broadcast loop keeps ticking (and skipping) so the ``i * L``
+        timeline survives the outage; uplink arrivals are shed in
+        :meth:`_on_uplink`.  In-flight downlink transmissions complete —
+        those bits already left the antenna.
+        """
+        self.crashed = True
+        # The coalescing windows die with the process: requests folded
+        # into a queued-but-unsent response will never be re-answered, so
+        # their clients' retry timers must do the recovering.
+        self._pending_data.clear()
+
+    def restart(self, now: float, policy):
+        """Bring a fresh incarnation up at *now* with a rebuilt *policy*.
+
+        Everything in-memory is rebuilt from the durable database: update
+        *times* are gone (``db.forget_history``), so the new incarnation
+        treats *now* as its history floor; the epoch bump tells clients
+        their old ``Tlb`` certifications are void.
+        """
+        self.db.forget_history(now)
+        self.policy = policy
+        self.epoch += 1
+        self.crashed = False
+        if self.params.loss_adaptation is not None:
+            # The loss estimator restarts cold, like any in-memory EWMA.
+            self.loss_controller = LossAdaptiveController(
+                self.params.loss_adaptation,
+                window_intervals=self.params.window_intervals,
+                broadcast_interval=self.params.broadcast_interval,
+                expected_listeners=self.params.n_clients,
+            )
+        self.effective_window_seconds = None
+        self._publish_cursor = 0
+
     # -- uplink handling ---------------------------------------------------------
 
     def _on_uplink(self, msg: Message, now: float):
+        if self.crashed:
+            # A dead process answers nothing: shed the arrival so the
+            # client's timeout/retry lifecycle engages instead of the
+            # request queueing forever against a dead receiver.
+            self.metrics.counter(m.UPLINK_SHED_CRASHED).add()
+            return
         if msg.corrupted or not self._well_formed(msg):
             # Bit errors on the uplink (or garbage from a buggy client)
             # must never crash the cell's single server: count and shed.

@@ -1,0 +1,108 @@
+"""Unit tests for the safety oracle: liveness ledger + violation trace."""
+
+import pytest
+
+from repro.chaos import (
+    LivenessReport,
+    StalenessViolation,
+    account_liveness,
+    oracle_verdict,
+)
+from repro.sim.metrics import SimulationResult
+
+
+def result_with(**counters):
+    return SimulationResult(scheme="ts", workload="uniform", sim_time=100.0,
+                            raw=dict(counters))
+
+
+class TestLivenessAccounting:
+    def test_balanced_ledger(self):
+        r = result_with(**{"queries.generated": 100.0, "queries.answered": 97.0})
+        report = account_liveness(r, n_clients=5)
+        assert report.ok
+        assert report.pending == 3
+        assert "balanced" in str(report)
+
+    def test_every_query_answered(self):
+        r = result_with(**{"queries.generated": 50.0, "queries.answered": 50.0})
+        assert account_liveness(r, n_clients=1).ok
+
+    def test_vanished_queries_break_the_ledger(self):
+        r = result_with(**{"queries.generated": 100.0, "queries.answered": 80.0})
+        report = account_liveness(r, n_clients=5)
+        assert not report.ok
+        assert report.pending == 20
+        assert "unanswered" in report.reason
+        assert "BROKEN" in str(report)
+
+    def test_overcounted_answers_break_the_ledger(self):
+        r = result_with(**{"queries.generated": 10.0, "queries.answered": 11.0})
+        report = account_liveness(r, n_clients=5)
+        assert not report.ok
+        assert "more answers" in report.reason
+
+    def test_abandoned_fetches_are_a_cause_not_a_subtraction(self):
+        # A failed fetch leaves its item unserved but the query still
+        # terminates: the ledger must balance without special-casing.
+        r = result_with(**{
+            "queries.generated": 100.0,
+            "queries.answered": 100.0,
+            "client.fetch_failures": 7.0,
+        })
+        report = account_liveness(r, n_clients=5)
+        assert report.ok
+        assert report.abandoned_fetches == 7
+
+    def test_report_is_frozen(self):
+        report = LivenessReport(generated=1, answered=1, abandoned_fetches=0,
+                                pending=0, n_clients=1, ok=True)
+        with pytest.raises(AttributeError):
+            report.ok = False
+
+
+class TestOracleVerdict:
+    def test_safe(self):
+        r = result_with(**{"queries.generated": 10.0, "queries.answered": 8.0})
+        assert oracle_verdict(r, n_clients=4) == "SAFE"
+
+    def test_stale_dominates(self):
+        r = result_with(**{"cache.stale_hits": 3.0,
+                           "queries.generated": 100.0,
+                           "queries.answered": 1.0})
+        assert oracle_verdict(r, n_clients=4) == "STALE(3)"
+
+    def test_stuck(self):
+        r = result_with(**{"queries.generated": 100.0, "queries.answered": 90.0})
+        assert oracle_verdict(r, n_clients=4) == "STUCK(10)"
+
+    def test_falls_back_to_recorded_audit_without_n_clients(self):
+        r = result_with(**{
+            "oracle.liveness_ok": 0.0,
+            "oracle.queries_pending": 12.0,
+        })
+        assert oracle_verdict(r) == "STUCK(12)"
+        assert oracle_verdict(result_with()) == "SAFE"
+
+
+class TestStalenessViolation:
+    def test_carries_the_full_trace(self):
+        exc = StalenessViolation(
+            client_id=3, item=42, entry_version=7, entry_ts=100.0,
+            effective_ts=110.0, tlb=140.0, certified_floor=120.0,
+            epoch=2, now=150.5, update_times=(105.0, 130.0),
+        )
+        assert isinstance(exc, AssertionError)
+        assert exc.client_id == 3 and exc.item == 42
+        assert exc.update_times == (105.0, 130.0)
+        message = str(exc)
+        for fragment in ("client 3", "item 42", "version 7", "epoch 2",
+                         "105.000", "130.000", "Tlb=140.000"):
+            assert fragment in message
+
+    def test_unknown_ground_truth_renders(self):
+        exc = StalenessViolation(
+            client_id=0, item=0, entry_version=0, entry_ts=0.0,
+            effective_ts=0.0, tlb=0.0, certified_floor=0.0, epoch=0, now=0.0,
+        )
+        assert "[?]" in str(exc)

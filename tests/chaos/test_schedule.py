@@ -1,0 +1,144 @@
+"""Unit tests for the deterministic chaos schedule expansion."""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos import MIN_DOWNTIME, ChaosConfig, ChaosSchedule, ClockModel
+from repro.des import RandomStreams
+
+HORIZON = 10_000.0
+N_CLIENTS = 12
+
+
+def build(config, horizon=HORIZON, n_clients=N_CLIENTS, master_seed=0):
+    return ChaosSchedule.build(
+        config, horizon=horizon, n_clients=n_clients,
+        streams=RandomStreams(master_seed),
+    )
+
+
+class TestDeterminism:
+    def test_same_config_same_plan(self):
+        cfg = ChaosConfig(
+            seed=5, server_crash_mtbf=1000.0, client_crash_mtbf=3000.0,
+            clock_skew_max=8.0, clock_drift_max=0.1,
+        )
+        a, b = build(cfg), build(cfg)
+        assert a.server_outages == b.server_outages
+        assert a.client_crashes == b.client_crashes
+        assert a.clocks == b.clocks
+
+    def test_different_chaos_seed_different_plan(self):
+        base = dict(server_crash_mtbf=1000.0, client_crash_mtbf=3000.0)
+        a = build(ChaosConfig(seed=1, **base))
+        b = build(ChaosConfig(seed=2, **base))
+        assert a.server_outages != b.server_outages
+        assert a.client_crashes != b.client_crashes
+
+    def test_chaos_streams_do_not_touch_simulation_streams(self):
+        # Drawing the chaos plan must not perturb any named simulation
+        # stream (common random numbers across chaos on/off).
+        streams = RandomStreams(0)
+        before = streams.stream("client-0/think").exponential(10.0)
+        streams2 = RandomStreams(0)
+        ChaosSchedule.build(
+            ChaosConfig(seed=3, server_crash_mtbf=500.0, clock_skew_max=4.0),
+            horizon=HORIZON, n_clients=N_CLIENTS, streams=streams2,
+        )
+        after = streams2.stream("client-0/think").exponential(10.0)
+        assert before == after
+
+
+class TestServerOutages:
+    def test_sampled_outages_ordered_nonoverlapping_within_horizon(self):
+        plan = build(ChaosConfig(seed=9, server_crash_mtbf=800.0,
+                                 server_downtime_mean=200.0))
+        assert plan.server_outages
+        prev_end = 0.0
+        for crash_at, restart_at in plan.server_outages:
+            assert 0.0 < crash_at < HORIZON
+            assert crash_at >= prev_end
+            assert crash_at + MIN_DOWNTIME <= restart_at <= HORIZON
+            prev_end = restart_at
+
+    def test_explicit_schedule_is_used_verbatim(self):
+        cfg = ChaosConfig(server_crashes_at=(100.0, 400.0), server_downtime=50.0)
+        plan = build(cfg)
+        assert plan.server_outages == ((100.0, 150.0), (400.0, 450.0))
+
+    def test_explicit_schedule_clips_and_drops_overlaps(self):
+        cfg = ChaosConfig(
+            server_crashes_at=(100.0, 120.0, HORIZON + 1.0),
+            server_downtime=50.0,
+        )
+        plan = build(cfg)
+        # 120 lands inside the first outage; HORIZON+1 is past the end.
+        assert plan.server_outages == ((100.0, 150.0),)
+
+
+class TestClientsAndClocks:
+    def test_client_crashes_sorted_and_bounded(self):
+        plan = build(ChaosConfig(seed=2, client_crash_mtbf=2000.0))
+        assert plan.client_crashes
+        times = [t for t, _cid in plan.client_crashes]
+        assert times == sorted(times)
+        assert all(0.0 < t < HORIZON for t in times)
+        assert all(0 <= cid < N_CLIENTS for _t, cid in plan.client_crashes)
+
+    def test_explicit_client_crashes_merge_with_sampled(self):
+        plan = build(ChaosConfig(client_crashes_at=((3, 500.0), (0, 100.0))))
+        assert plan.client_crashes == ((100.0, 0), (500.0, 3))
+
+    def test_clock_models_bounded(self):
+        cfg = ChaosConfig(seed=4, clock_skew_max=10.0, clock_drift_max=0.2)
+        plan = build(cfg)
+        assert len(plan.clocks) == N_CLIENTS
+        for clock in plan.clocks:
+            assert -10.0 <= clock.skew <= 10.0
+            assert 0.8 <= clock.rate <= 1.2
+        assert plan.clock_for(0) is plan.clocks[0]
+
+    def test_no_clocks_when_disabled(self):
+        plan = build(ChaosConfig(seed=4, server_crash_mtbf=500.0))
+        assert plan.clocks == ()
+        assert plan.clock_for(0) is None
+
+    def test_clock_model_semantics(self):
+        clock = ClockModel(skew=-3.0, rate=1.5)
+        assert clock.start_offset == 0.0       # negative skew clamps
+        assert ClockModel(skew=2.0).start_offset == 2.0
+        assert clock.local_duration(10.0) == 15.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field, value", [
+        ("server_crash_mtbf", -1.0),
+        ("server_downtime_mean", -1.0),
+        ("server_downtime", -0.5),
+        ("client_crash_mtbf", -2.0),
+        ("clock_skew_max", -1.0),
+        ("clock_drift_max", 1.0),
+        ("server_crashes_at", (0.0,)),
+        ("client_crashes_at", ((-1, 5.0),)),
+        ("client_crashes_at", ((0, 0.0),)),
+    ])
+    def test_bad_config_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ChaosConfig(**{field: value})
+
+    def test_bad_build_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            build(ChaosConfig(), horizon=0.0)
+        with pytest.raises(ValueError):
+            build(ChaosConfig(), n_clients=0)
+
+    def test_null_detection(self):
+        assert ChaosConfig().is_null
+        assert not ChaosConfig(server_crash_mtbf=1.0).is_null
+        assert not ChaosConfig(client_crashes_at=((0, 1.0),)).is_null
+        assert not ChaosConfig(clock_drift_max=0.1).is_null
+
+    def test_config_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ChaosConfig().seed = 1

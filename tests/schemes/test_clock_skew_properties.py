@@ -1,0 +1,132 @@
+"""Property suite: certification safety under bounded clock skew.
+
+A client whose clock runs up to ``±eps`` seconds off the server's
+records cache-entry coherence timestamps that are wrong by at most
+``eps``.  The window invalidation test (Figure 1's ``t_c < t_j``)
+compares those skewed timestamps against the server's true update
+times, so a skewed-but-bounded clock can keep an entry at most ``eps``
+seconds past its own knowledge — never more:
+
+* any update a surviving entry *missed* happened within ``eps`` of the
+  entry's true coherence time;
+* hence a surviving stale entry's certified true age is below
+  ``w + eps`` (updates older than the window are the coverage
+  precondition's job, handled by earlier reports);
+* with a perfect clock (``eps = 0``) survivors are exactly the
+  never-stale entries — the classic invariant this suite generalises.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache import CacheEntry, ClientCache
+from repro.reports.window import WindowReport
+from repro.schemes.base import apply_window_report
+
+#: Report timestamp; everything else is placed relative to this.
+T = 1000.0
+N_ITEMS = 32
+
+
+@st.composite
+def skewed_cells(draw, max_eps=10.0):
+    """One report's worth of ground truth plus a skewed client cache.
+
+    Returns ``(eps, window, updates, entries)`` where ``updates`` maps
+    item -> true last-update time inside the window ``(T - w, T]`` and
+    ``entries`` is a list of ``(item, true_coherence, recorded_ts)``
+    with ``|recorded_ts - true_coherence| <= eps``.
+    """
+    eps = draw(st.floats(min_value=0.0, max_value=max_eps))
+    window = draw(st.floats(min_value=50.0, max_value=500.0))
+    window_start = T - window
+    updates = draw(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=N_ITEMS - 1),
+            st.floats(min_value=window_start, max_value=T, exclude_min=True),
+            max_size=16,
+        )
+    )
+    raw_entries = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=N_ITEMS - 1),
+                st.floats(min_value=0.0, max_value=T),   # true coherence
+                st.floats(min_value=-1.0, max_value=1.0),  # skew, in eps
+            ),
+            max_size=16,
+            unique_by=lambda e: e[0],
+        )
+    )
+    entries = [
+        (item, true_ts, true_ts + fraction * eps)
+        for item, true_ts, fraction in raw_entries
+    ]
+    return eps, window, updates, entries
+
+
+def certify_skewed_cache(updates, entries, window):
+    """Build the cache and report, apply, and return the survivors."""
+    cache = ClientCache(N_ITEMS)
+    for item, _true_ts, recorded_ts in entries:
+        cache.insert(CacheEntry(item=item, version=1, ts=recorded_ts))
+    report = WindowReport(
+        timestamp=T,
+        window_start=T - window,
+        items=dict(updates),
+        n_items=N_ITEMS,
+    )
+    apply_window_report(cache, report)
+    return {
+        item: true_ts
+        for item, true_ts, _recorded in entries
+        if cache.peek(item) is not None
+    }
+
+
+class TestSkewBoundedCertification:
+    @given(cell=skewed_cells())
+    def test_missed_updates_are_within_eps_of_true_coherence(self, cell):
+        eps, window, updates, entries = cell
+        survivors = certify_skewed_cache(updates, entries, window)
+        for item, true_ts in survivors.items():
+            update = updates.get(item)
+            if update is not None and update > true_ts:
+                # The entry certified through an update it never saw:
+                # only a clock error could do that, and it is bounded.
+                assert update - true_ts <= eps
+
+    @given(cell=skewed_cells())
+    def test_certified_true_age_is_below_w_plus_eps(self, cell):
+        eps, window, updates, entries = cell
+        survivors = certify_skewed_cache(updates, entries, window)
+        for item, true_ts in survivors.items():
+            update = updates.get(item)
+            if update is not None and update > true_ts:
+                # A *stale* survivor is still young: its true coherence
+                # lies inside the (eps-padded) window.
+                assert T - true_ts < window + eps
+
+    @given(cell=skewed_cells(max_eps=0.0))
+    def test_perfect_clock_never_certifies_stale(self, cell):
+        _eps, window, updates, entries = cell
+        survivors = certify_skewed_cache(updates, entries, window)
+        for item, true_ts in survivors.items():
+            update = updates.get(item)
+            assert update is None or update <= true_ts
+
+    @given(cell=skewed_cells())
+    def test_fresh_entries_always_survive(self, cell):
+        # Liveness side: skew must not invalidate an entry that already
+        # reflects the item's newest state (recorded >= true update and
+        # true coherence >= update means the value is current).
+        eps, window, updates, entries = cell
+        current = {
+            item
+            for item, true_ts, recorded in entries
+            if (up := updates.get(item)) is not None
+            and true_ts >= up
+            and recorded >= up
+        }
+        survivors = certify_skewed_cache(updates, entries, window)
+        assert current <= set(survivors)

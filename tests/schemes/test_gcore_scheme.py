@@ -92,9 +92,16 @@ class TestRegistry:
         from repro.schemes import Scheme, get_scheme, register_scheme
         import pytest
 
+        from repro.schemes.registry import _REGISTRY
+
         dummy = Scheme("dummy-test", lambda **kw: None, lambda **kw: None)
-        register_scheme(dummy)
-        assert get_scheme("dummy-test") is dummy
-        with pytest.raises(ValueError):
+        try:
             register_scheme(dummy)
-        register_scheme(dummy, overwrite=True)  # allowed explicitly
+            assert get_scheme("dummy-test") is dummy
+            with pytest.raises(ValueError):
+                register_scheme(dummy)
+            register_scheme(dummy, overwrite=True)  # allowed explicitly
+        finally:
+            # The registry is process-global: leaving the dummy behind
+            # would leak into every later available_schemes() caller.
+            _REGISTRY.pop("dummy-test", None)

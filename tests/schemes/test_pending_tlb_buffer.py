@@ -1,0 +1,124 @@
+"""The bounded ``PendingTlbBuffer``: order, dedup, shedding, w_eff.
+
+The adaptive servers (AFW/AAW) keep at most ``max_pending_tlbs``
+distinct clients' salvage state per interval.  These tests pin the
+buffer's contract — arrival order on drain, retransmissions refresh
+instead of grow, full means shed-and-count — and its interaction with
+the loss-adaptive widened window through ``AFWServerPolicy``.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.reports import ReportKind
+from repro.schemes import AFWServerPolicy
+from repro.schemes.base import PendingTlbBuffer
+
+from .test_adaptive import fill_updates
+
+
+class TestBufferContract:
+    def test_drain_returns_arrival_order(self):
+        buf = PendingTlbBuffer()
+        for client, tlb in [(3, 30.0), (1, 10.0), (2, 20.0)]:
+            assert buf.add(client, tlb)
+        assert buf.drain() == [30.0, 10.0, 20.0]
+
+    def test_drain_empties_the_buffer(self):
+        buf = PendingTlbBuffer()
+        buf.add(0, 5.0)
+        buf.drain()
+        assert len(buf) == 0
+        assert buf.drain() == []
+
+    def test_retransmission_refreshes_slot_in_place(self):
+        # The retry layer re-sends a lost upload: same client, same
+        # interval.  The slot updates (keeping its arrival position)
+        # rather than consuming a second one.
+        buf = PendingTlbBuffer(capacity=2)
+        buf.add(7, 70.0)
+        buf.add(8, 80.0)
+        assert buf.add(7, 71.0)  # retransmission, buffer full
+        assert buf.duplicates == 1
+        assert buf.overflows == 0
+        assert len(buf) == 2
+        assert buf.drain() == [71.0, 80.0]
+
+    def test_full_buffer_sheds_and_counts(self):
+        buf = PendingTlbBuffer(capacity=2)
+        assert buf.add(0, 1.0)
+        assert buf.add(1, 2.0)
+        assert not buf.add(2, 3.0)
+        assert buf.overflows == 1
+        # Earlier arrivals keep their slots: shedding, not eviction.
+        assert buf.drain() == [1.0, 2.0]
+
+    def test_unbounded_by_default(self):
+        buf = PendingTlbBuffer()
+        for client in range(1000):
+            assert buf.add(client, float(client))
+        assert buf.overflows == 0
+
+    @pytest.mark.parametrize("capacity", [0, -1])
+    def test_capacity_must_be_positive(self, capacity):
+        with pytest.raises(ValueError):
+            PendingTlbBuffer(capacity=capacity)
+
+
+class TestShedFallback:
+    """A shed upload degrades to drop-all; the next interval can salvage."""
+
+    def test_shed_client_is_not_rescued_this_interval(self, params, db):
+        fill_updates(db, 5)
+        server = AFWServerPolicy(params=params.with_(max_pending_tlbs=1), db=db)
+        server.on_tlb(None, client_id=0, tlb=30.0, now=388.0)
+        server.on_tlb(None, client_id=1, tlb=40.0, now=390.0)  # shed
+        assert server.tlb_buffer.overflows == 1
+        # The buffered client still triggers the BS rescue broadcast.
+        assert server.build_report(None, now=400.0).kind is ReportKind.BIT_SEQUENCES
+
+    def test_shed_client_salvaged_after_the_drain(self, params, db):
+        # The interval's drain frees the slot: when the shed client's
+        # retry re-uploads next period, the rescue goes through.
+        fill_updates(db, 5)
+        server = AFWServerPolicy(params=params.with_(max_pending_tlbs=1), db=db)
+        server.on_tlb(None, 0, 30.0, 388.0)
+        server.on_tlb(None, 1, 40.0, 390.0)  # shed this interval
+        server.build_report(None, 400.0)  # drains client 0's slot
+        server.on_tlb(None, 1, 40.0, 410.0)  # retry lands in a free buffer
+        assert server.tlb_buffer.overflows == 1  # no new shed
+        assert server.build_report(None, 420.0).kind is ReportKind.BIT_SEQUENCES
+        assert server.bs_broadcasts == 2
+
+
+class TestWidenedWindowInteraction:
+    """Loss-adaptive ``w_eff`` absorbs pending Tlbs the window now covers."""
+
+    def widened_ctx(self, seconds):
+        # The loss-adaptive controller advertises the widened span on the
+        # server context each tick; a bare namespace stands in for it.
+        return SimpleNamespace(effective_window_seconds=seconds)
+
+    def test_tlb_inside_widened_window_needs_no_rescue(self, params, db):
+        fill_updates(db, 5)
+        server = AFWServerPolicy(params=params, db=db)
+        # tlb=150 at now=400: outside the base 200 s window (start 200),
+        # inside a widened 300 s one (start 100).
+        server.on_tlb(None, 0, 150.0, 390.0)
+        report = server.build_report(self.widened_ctx(300.0), now=400.0)
+        assert report.kind is ReportKind.WINDOW
+        assert server.bs_broadcasts == 0
+
+    def test_same_tlb_without_widening_is_rescued(self, params, db):
+        fill_updates(db, 5)
+        server = AFWServerPolicy(params=params, db=db)
+        server.on_tlb(None, 0, 150.0, 390.0)
+        assert server.build_report(None, now=400.0).kind is ReportKind.BIT_SEQUENCES
+
+    def test_tlb_beyond_widened_window_still_rescued(self, params, db):
+        fill_updates(db, 5)
+        server = AFWServerPolicy(params=params, db=db)
+        server.on_tlb(None, 0, 50.0, 390.0)  # before even the widened start
+        report = server.build_report(self.widened_ctx(300.0), now=400.0)
+        assert report.kind is ReportKind.BIT_SEQUENCES
