@@ -28,8 +28,18 @@ from .lru import LRUCache
 class ClientCache:
     """LRU cache of :class:`CacheEntry` plus epoch-aware certification."""
 
-    def __init__(self, capacity: int):
-        self._lru = LRUCache(capacity)
+    __slots__ = (
+        "_lru",
+        "certified_floor",
+        "_epoch",
+        "unreconciled",
+        "insertions",
+        "invalidations",
+        "full_drops",
+    )
+
+    def __init__(self, capacity: int) -> None:
+        self._lru: LRUCache[int, CacheEntry] = LRUCache(capacity)
         #: Entries present at the last certification are valid as of this.
         self.certified_floor = float("-inf")
         self._epoch = 0
@@ -40,10 +50,10 @@ class ClientCache:
         self.invalidations = 0
         self.full_drops = 0
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self._lru)
 
-    def __contains__(self, item: int) -> bool:
+    def __contains__(self, item: object) -> bool:
         return item in self._lru
 
     @property
@@ -69,7 +79,7 @@ class ClientCache:
         """Return the entry without touching LRU recency."""
         return self._lru.peek(item)
 
-    def insert(self, entry: CacheEntry, suspect: bool = False):
+    def insert(self, entry: CacheEntry, suspect: bool = False) -> None:
         """Add a freshly fetched entry (may evict the LRU one).
 
         *suspect* marks an entry whose coherence time predates the
@@ -112,7 +122,7 @@ class ClientCache:
         Items evicted since being marked are pruned on the way.
         """
         out: List[CacheEntry] = []
-        stale_marks = []
+        stale_marks: List[int] = []
         for item in self.unreconciled:
             entry = self._lru.peek(item)
             if entry is None:
@@ -123,7 +133,7 @@ class ClientCache:
             self.unreconciled.discard(item)
         return out
 
-    def certify(self, report_time: float):
+    def certify(self, report_time: float) -> None:
         """Certify every current entry as valid as of *report_time*.
 
         The caller (scheme code) must have invalidated or reconciled
@@ -134,7 +144,7 @@ class ClientCache:
         self._epoch += 1
         self.unreconciled.clear()
 
-    def drop_all(self):
+    def drop_all(self) -> None:
         """Discard the entire cache (long-disconnection path)."""
         count = len(self._lru)
         self._lru.clear()

@@ -1,0 +1,46 @@
+"""repro.checks — simulation-invariant static analysis.
+
+A small AST-based lint engine encoding this repository's *semantic*
+invariants — the ones generic linters cannot know about:
+
+* protocol code must be deterministic (no wall clock, no unseeded
+  randomness, no iteration-order hazards) so seeded runs replay
+  bit-identically and golden tests stay meaningful;
+* the hot-path classes inventoried in ``docs/PERFORMANCE.md`` must keep
+  their ``__slots__`` optimisation;
+* the package layering DAG (``des -> net -> reports -> schemes -> sim ->
+  chaos -> experiments``) must hold, with no import cycles;
+* every registered invalidation scheme must implement the policy hook
+  surface declared in :mod:`repro.schemes.base`.
+
+Run it with ``python -m repro.checks src`` (or the ``repro-checks``
+console script).  See ``docs/STATIC_ANALYSIS.md`` for the rule catalog,
+the ``# checks: ignore[CODE]`` suppression syntax, and the baseline
+workflow for grandfathered findings.
+"""
+
+from .baseline import Baseline
+from .engine import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    Severity,
+    all_rules,
+    get_rule,
+    register_rule,
+    run_checks,
+)
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+    "run_checks",
+]

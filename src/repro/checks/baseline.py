@@ -1,0 +1,70 @@
+"""Baseline file: grandfathered findings the gate tolerates.
+
+The baseline is a checked-in JSON file mapping each tolerated finding to
+its fingerprint ``(path, code, message)`` — line numbers are excluded on
+purpose so edits elsewhere in a file do not churn the baseline.  The
+workflow (see ``docs/STATIC_ANALYSIS.md``):
+
+* ``python -m repro.checks src --write-baseline`` records every current
+  finding and exits 0;
+* subsequent runs stay silent for baselined findings and fail only on
+  *new* ones;
+* fixing a baselined finding leaves a stale entry behind — prune with
+  ``--write-baseline`` again (the file is rewritten from scratch).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, List, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with engine
+    from .engine import Finding
+
+DEFAULT_BASELINE_NAME = "checks-baseline.json"
+
+_Fingerprint = Tuple[str, str, str]
+
+
+class Baseline:
+    """A set of finding fingerprints with JSON round-tripping."""
+
+    __slots__ = ("_fingerprints",)
+
+    def __init__(self, fingerprints: Iterable[_Fingerprint] = ()):
+        self._fingerprints: Set[_Fingerprint] = set(fingerprints)
+
+    def __contains__(self, fingerprint: _Fingerprint) -> bool:
+        return fingerprint in self._fingerprints
+
+    def __len__(self) -> int:
+        return len(self._fingerprints)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable["Finding"]) -> "Baseline":
+        return cls(f.fingerprint for f in findings)
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != 1:
+            raise ValueError(f"{path}: not a version-1 checks baseline")
+        entries = data.get("findings", [])
+        fingerprints: List[_Fingerprint] = []
+        for entry in entries:
+            fingerprints.append(
+                (str(entry["path"]), str(entry["code"]), str(entry["message"]))
+            )
+        return cls(fingerprints)
+
+    def save(self, path: "str | Path") -> None:
+        entries = [
+            {"path": p, "code": c, "message": m}
+            for (p, c, m) in sorted(self._fingerprints)
+        ]
+        payload = {"version": 1, "findings": entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

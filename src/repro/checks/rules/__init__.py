@@ -1,0 +1,5 @@
+"""Built-in rule set.  Importing this package registers every rule."""
+
+from . import api, architecture, determinism, performance
+
+__all__ = ["api", "architecture", "determinism", "performance"]

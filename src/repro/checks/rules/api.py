@@ -1,0 +1,274 @@
+"""API001: every registered scheme implements the policy hook surface.
+
+:mod:`repro.schemes.base` declares the contract by convention:
+
+* a method whose body is a bare ``raise NotImplementedError`` (no
+  message) is a **required hook** — every concrete policy must override
+  it somewhere in its class chain;
+* a ``raise NotImplementedError("...")`` *with* a message is an optional
+  capability (e.g. ``on_tlb`` — only adaptive schemes answer uploads);
+* any other body is a default implementation.
+
+The rule statically resolves each ``*_SCHEME = Scheme(...)`` the
+registry imports, walks the factory classes' bases across the package,
+and checks (a) required hooks are overridden and (b) no subclass defines
+an ``on_*``/``build_*`` method the base surface does not know (typo
+guard: a misspelled hook silently never fires).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..engine import Finding, ModuleInfo, Project, Rule, Severity, register_rule
+
+REGISTRY_PATH = "repro/schemes/registry.py"
+BASE_PATH = "repro/schemes/base.py"
+_POLICY_BASES = ("ServerPolicy", "ClientPolicy")
+_HOOK_PREFIXES = ("on_", "build_")
+
+
+def _is_bare_not_implemented(stmt: ast.stmt) -> Optional[bool]:
+    """True = bare raise (required), False = messaged raise (optional),
+    None = not a NotImplementedError raise."""
+    if not isinstance(stmt, ast.Raise) or stmt.exc is None:
+        return None
+    exc = stmt.exc
+    if isinstance(exc, ast.Name) and exc.id == "NotImplementedError":
+        return True
+    if (
+        isinstance(exc, ast.Call)
+        and isinstance(exc.func, ast.Name)
+        and exc.func.id == "NotImplementedError"
+    ):
+        return not exc.args and not exc.keywords
+    return None
+
+
+def _method_defs(cls: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _hook_surface(cls: ast.ClassDef) -> Tuple[Set[str], Set[str]]:
+    """(all public hooks, required hooks) of one base policy class."""
+    surface: Set[str] = set()
+    required: Set[str] = set()
+    for name, fn in _method_defs(cls).items():
+        if name.startswith("_"):
+            continue
+        surface.add(name)
+        body = [
+            s
+            for s in fn.body
+            if not (
+                isinstance(s, ast.Expr) and isinstance(s.value, ast.Constant)
+            )
+        ]
+        if len(body) == 1:
+            kind = _is_bare_not_implemented(body[0])
+            if kind is True:
+                required.add(name)
+    return surface, required
+
+
+class _ClassIndex:
+    """All class definitions under ``repro/schemes``, with enough import
+    resolution to follow ``from .afw import AdaptiveClientPolicy``."""
+
+    def __init__(self, project: Project):
+        # (module path, class name) -> ClassDef; plus per-module alias
+        # maps for names imported from sibling scheme modules.
+        self.classes: Dict[Tuple[str, str], ast.ClassDef] = {}
+        self.imports: Dict[Tuple[str, str], Tuple[str, str]] = {}
+        for module in project.modules:
+            if not module.path.startswith("repro/schemes/"):
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    self.classes[(module.path, node.name)] = node
+            for node in module.tree.body:
+                if isinstance(node, ast.ImportFrom) and node.level == 1 and node.module:
+                    target = f"repro/schemes/{node.module.split('.')[0]}.py"
+                    for alias in node.names:
+                        self.imports[(module.path, alias.asname or alias.name)] = (
+                            target,
+                            alias.name,
+                        )
+
+    def resolve(
+        self, module_path: str, name: str
+    ) -> Optional[Tuple[str, ast.ClassDef]]:
+        cls = self.classes.get((module_path, name))
+        if cls is not None:
+            return module_path, cls
+        imported = self.imports.get((module_path, name))
+        if imported is not None:
+            return self.resolve(*imported)
+        return None
+
+    def mro_methods(
+        self, module_path: str, name: str
+    ) -> Tuple[Set[str], Set[str]]:
+        """(methods defined along the chain below the policy base,
+        policy base names reached)."""
+        methods: Set[str] = set()
+        bases_reached: Set[str] = set()
+        seen: Set[Tuple[str, str]] = set()
+
+        def walk(mod: str, cls_name: str) -> None:
+            if cls_name in _POLICY_BASES:
+                bases_reached.add(cls_name)
+                return
+            key = (mod, cls_name)
+            if key in seen:
+                return
+            seen.add(key)
+            resolved = self.resolve(mod, cls_name)
+            if resolved is None:
+                return
+            rmod, cls = resolved
+            methods.update(
+                n for n in _method_defs(cls) if not n.startswith("_")
+            )
+            for base in cls.bases:
+                if isinstance(base, ast.Name):
+                    walk(rmod, base.id)
+
+        walk(module_path, name)
+        return methods, bases_reached
+
+
+def _registered_scheme_modules(registry: ModuleInfo) -> List[str]:
+    out: List[str] = []
+    for node in registry.tree.body:
+        if isinstance(node, ast.ImportFrom) and node.level == 1 and node.module:
+            if any(a.name.endswith("_SCHEME") for a in node.names):
+                out.append(f"repro/schemes/{node.module.split('.')[0]}.py")
+    return out
+
+
+def _scheme_factories(
+    module: ModuleInfo,
+) -> List[Tuple[str, str, str, int]]:
+    """``(scheme name, server factory, client factory, line)`` for each
+    ``*_SCHEME = Scheme(...)`` assignment (class-name factories only)."""
+    out = []
+    for node in module.tree.body:
+        if not (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id.endswith("_SCHEME")
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id == "Scheme"
+        ):
+            continue
+        call = node.value
+        args: Dict[str, ast.expr] = {}
+        positional = ("name", "server_factory", "client_factory", "description")
+        for i, a in enumerate(call.args[: len(positional)]):
+            args[positional[i]] = a
+        for kw in call.keywords:
+            if kw.arg:
+                args[kw.arg] = kw.value
+        name_node = args.get("name")
+        scheme_name = (
+            name_node.value
+            if isinstance(name_node, ast.Constant) and isinstance(name_node.value, str)
+            else node.targets[0].id
+        )
+        factories = {}
+        for role in ("server_factory", "client_factory"):
+            expr = args.get(role)
+            factories[role] = expr.id if isinstance(expr, ast.Name) else ""
+        out.append(
+            (scheme_name, factories["server_factory"], factories["client_factory"], node.lineno)
+        )
+    return out
+
+
+@register_rule
+class SchemeSurfaceRule(Rule):
+    """API001: registered schemes implement the base.py hook surface."""
+
+    code = "API001"
+    name = "scheme-hook-surface"
+    description = "registered scheme missing or misspelling a policy hook"
+    severity = Severity.ERROR
+    include = ("repro/schemes/*",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        registry = project.module(REGISTRY_PATH)
+        base = project.module(BASE_PATH)
+        if registry is None or base is None:
+            return []
+        surfaces: Dict[str, Tuple[Set[str], Set[str]]] = {}
+        for node in ast.walk(base.tree):
+            if isinstance(node, ast.ClassDef) and node.name in _POLICY_BASES:
+                surfaces[node.name] = _hook_surface(node)
+        if set(surfaces) != set(_POLICY_BASES):
+            return []  # base.py reshaped beyond this rule's model
+        index = _ClassIndex(project)
+        findings: List[Finding] = []
+        role_base = {"server_factory": "ServerPolicy", "client_factory": "ClientPolicy"}
+        for mod_path in _registered_scheme_modules(registry):
+            module = project.module(mod_path)
+            if module is None:
+                findings.append(
+                    Finding(
+                        code=self.code,
+                        path=registry.path,
+                        line=1,
+                        message=f"registry imports {mod_path} but it was not scanned",
+                        severity=self.severity,
+                    )
+                )
+                continue
+            for scheme_name, server_cls, client_cls, line in _scheme_factories(module):
+                for role, cls_name in (
+                    ("server_factory", server_cls),
+                    ("client_factory", client_cls),
+                ):
+                    base_name = role_base[role]
+                    surface, required = surfaces[base_name]
+                    if not cls_name:
+                        continue  # lambda/partial factory: not checkable
+                    methods, bases_reached = index.mro_methods(mod_path, cls_name)
+                    if base_name not in bases_reached:
+                        findings.append(
+                            self.finding(
+                                module,
+                                line,
+                                f"scheme {scheme_name!r}: {role} {cls_name} "
+                                f"does not subclass {base_name}",
+                            )
+                        )
+                        continue
+                    for hook in sorted(required - methods):
+                        findings.append(
+                            self.finding(
+                                module,
+                                line,
+                                f"scheme {scheme_name!r}: {role} {cls_name} "
+                                f"never implements required hook {hook}()",
+                            )
+                        )
+                    # Typo guard on the class chain's own hook-shaped names.
+                    for name in sorted(methods):
+                        if name.startswith(_HOOK_PREFIXES) and name not in surface:
+                            findings.append(
+                                self.finding(
+                                    module,
+                                    line,
+                                    f"scheme {scheme_name!r}: {cls_name} defines "
+                                    f"{name}(), which is not a {base_name} hook "
+                                    "(typo? it will never be called)",
+                                )
+                            )
+        return findings

@@ -1,0 +1,325 @@
+"""Determinism rules: DET001 (wall clock), DET002 (bare randomness),
+DET003 (set-iteration ordering hazards).
+
+The simulation's whole correctness story rests on replayability: a
+seeded run must be bit-identical across processes and Python versions
+(golden tests, parallel==serial pinning, chaos conviction traces).  Wall
+clock and unseeded randomness break that silently; set iteration order
+is stable only *within* one process, so any set that feeds event
+scheduling is a cross-run hazard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..engine import Finding, ModuleInfo, Rule, Severity, register_rule
+
+#: Subpackages that hold protocol/simulation logic.  ``experiments`` is
+#: deliberately exempt *by path*: wall-clock timing of a sweep is fine.
+PROTOCOL_PACKAGES = (
+    "des",
+    "sim",
+    "net",
+    "schemes",
+    "reports",
+    "cache",
+    "db",
+    "chaos",
+)
+
+_PROTOCOL_GLOBS = tuple(f"repro/{pkg}/*" for pkg in PROTOCOL_PACKAGES)
+
+#: ``time`` module attributes that read the wall/CPU clock.
+_BANNED_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "clock",
+    }
+)
+
+#: ``datetime.datetime`` / ``datetime.date`` constructors that read the
+#: wall clock.
+_BANNED_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+def _module_aliases(tree: ast.AST, target: str) -> Set[str]:
+    """Names that refer to module *target* (handles ``import x as y``)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == target:
+                    aliases.add(alias.asname or alias.name)
+                elif alias.name.startswith(target + ".") and alias.asname is None:
+                    # ``import numpy.random`` binds ``numpy``.
+                    aliases.add(target)
+    return aliases
+
+
+@register_rule
+class WallClockRule(Rule):
+    """DET001: no wall-clock reads inside protocol/simulation code.
+
+    Protocol time is ``env.now`` — the event loop's virtual clock.  Any
+    ``time.time()``/``datetime.now()``-style read couples behaviour to
+    the host machine and destroys replay.
+    """
+
+    code = "DET001"
+    name = "no-wall-clock"
+    description = "wall-clock read inside protocol/simulation code"
+    severity = Severity.ERROR
+    include = _PROTOCOL_GLOBS
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        tree = module.tree
+        time_aliases = _module_aliases(tree, "time")
+        datetime_mod_aliases = _module_aliases(tree, "datetime")
+        # Classes imported straight from the datetime module.
+        datetime_class_aliases: Set[str] = set()
+        from_time_names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _BANNED_TIME_ATTRS:
+                            from_time_names[alias.asname or alias.name] = alias.name
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            datetime_class_aliases.add(alias.asname or alias.name)
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute):
+                value = node.value
+                # time.<banned> via a module alias
+                if (
+                    isinstance(value, ast.Name)
+                    and value.id in time_aliases
+                    and node.attr in _BANNED_TIME_ATTRS
+                ):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.lineno,
+                            f"wall-clock read time.{node.attr}: use the "
+                            "simulation clock (env.now)",
+                        )
+                    )
+                # datetime.<class>.<banned> or <class-alias>.<banned>
+                elif node.attr in _BANNED_DATETIME_ATTRS:
+                    if (
+                        isinstance(value, ast.Name)
+                        and value.id in datetime_class_aliases
+                    ) or (
+                        isinstance(value, ast.Attribute)
+                        and isinstance(value.value, ast.Name)
+                        and value.value.id in datetime_mod_aliases
+                        and value.attr in ("datetime", "date")
+                    ):
+                        findings.append(
+                            self.finding(
+                                module,
+                                node.lineno,
+                                f"wall-clock read datetime...{node.attr}(): use "
+                                "the simulation clock (env.now)",
+                            )
+                        )
+            elif isinstance(node, ast.Name) and node.id in from_time_names:
+                if isinstance(node.ctx, ast.Load):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.lineno,
+                            f"wall-clock read {from_time_names[node.id]}() "
+                            "(imported from time): use the simulation clock",
+                        )
+                    )
+        return findings
+
+
+@register_rule
+class BareRandomnessRule(Rule):
+    """DET002: randomness must flow through ``repro.des.rng`` streams.
+
+    Named streams give every stochastic component an independent,
+    seed-derived generator (common random numbers across schemes; one
+    component's draw count cannot perturb another's).  Bare ``random.*``
+    or ``numpy.random.*`` calls bypass both properties.
+    """
+
+    code = "DET002"
+    name = "no-bare-randomness"
+    description = "randomness outside repro.des.rng named streams"
+    severity = Severity.ERROR
+    include = _PROTOCOL_GLOBS
+    # The stream implementation itself is the one sanctioned numpy.random
+    # call site.
+    exclude = ("repro/des/rng.py",)
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        tree = module.tree
+        findings: List[Finding] = []
+        numpy_aliases = _module_aliases(tree, "numpy")
+        random_aliases: Set[str] = set()
+        numpy_random_aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        findings.append(
+                            self.finding(
+                                module,
+                                node.lineno,
+                                "import of stdlib random: draw from a "
+                                "repro.des.rng named stream instead",
+                            )
+                        )
+                        random_aliases.add(alias.asname or alias.name)
+                    elif alias.name == "numpy.random":
+                        findings.append(
+                            self.finding(
+                                module,
+                                node.lineno,
+                                "import of numpy.random: draw from a "
+                                "repro.des.rng named stream instead",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.lineno,
+                            "import from stdlib random: draw from a "
+                            "repro.des.rng named stream instead",
+                        )
+                    )
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            findings.append(
+                                self.finding(
+                                    module,
+                                    node.lineno,
+                                    "import of numpy.random: draw from a "
+                                    "repro.des.rng named stream instead",
+                                )
+                            )
+                            numpy_random_aliases.add(alias.asname or alias.name)
+                elif node.module == "numpy.random":
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.lineno,
+                            "import from numpy.random: draw from a "
+                            "repro.des.rng named stream instead",
+                        )
+                    )
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute):
+                value = node.value
+                # random.<anything>(...) via stdlib alias
+                if isinstance(value, ast.Name) and value.id in random_aliases:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.lineno,
+                            f"bare random.{node.attr}: draw from a "
+                            "repro.des.rng named stream instead",
+                        )
+                    )
+                # np.random.<anything>
+                elif (
+                    isinstance(value, ast.Attribute)
+                    and value.attr == "random"
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id in numpy_aliases
+                ):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.lineno,
+                            f"bare numpy.random.{node.attr}: draw from a "
+                            "repro.des.rng named stream instead",
+                        )
+                    )
+                # <numpy-random-alias>.<anything> from ``from numpy import random``
+                elif (
+                    isinstance(value, ast.Name)
+                    and value.id in numpy_random_aliases
+                ):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.lineno,
+                            f"bare numpy.random.{node.attr}: draw from a "
+                            "repro.des.rng named stream instead",
+                        )
+                    )
+        return findings
+
+
+@register_rule
+class SetIterationRule(Rule):
+    """DET003: iteration over sets in event-scheduling code is a replay
+    hazard.
+
+    Set iteration order depends on insertion history and hash seeds of
+    the *process*; two runs that schedule events from a set walk can
+    diverge even with identical RNG streams.  Iterate a list/tuple, or
+    ``sorted(...)`` the set first.
+    """
+
+    code = "DET003"
+    name = "no-set-iteration"
+    description = "iteration over a set where ordering feeds scheduling"
+    severity = Severity.WARNING
+    include = ("repro/des/*", "repro/sim/*", "repro/net/*")
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        seen: Set[Tuple[int, int]] = set()
+
+        def flag(it: ast.expr) -> None:
+            key = (it.lineno, it.col_offset)
+            if key in seen:
+                return
+            seen.add(key)
+            findings.append(
+                self.finding(
+                    module,
+                    it.lineno,
+                    "iterating a set: ordering is process-dependent; "
+                    "iterate a list/tuple or sorted(...) instead",
+                )
+            )
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and self._is_set_expr(
+                node.iter
+            ):
+                flag(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    if self._is_set_expr(gen.iter):
+                        flag(gen.iter)
+        return findings

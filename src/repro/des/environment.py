@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable, Optional, Union
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple, Union
 
 from .errors import EmptySchedule, StopSimulation
 from .event import AllOf, AnyOf, Event, NORMAL, Timeout, _Wakeup
@@ -24,14 +24,18 @@ class Environment:
         Simulation clock value at construction (default 0.0).
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    __slots__ = ("_now", "_heap", "_eid", "_active_process", "_tracer")
+
+    def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._heap: list = []
+        # Entries are (time, priority, eid, Event-or-_Wakeup); the payload
+        # stays Any because the wakeup fast lane only duck-types Event.
+        self._heap: List[Tuple[float, int, int, Any]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
-        self._tracer = None
+        self._tracer: Optional[Callable[[float, Any], None]] = None
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<Environment now={self._now} pending={len(self._heap)}>"
 
     @property
@@ -49,7 +53,7 @@ class Environment:
         """The process currently executing, if any."""
         return self._active_process
 
-    def set_tracer(self, tracer) -> None:
+    def set_tracer(self, tracer: Optional[Callable[[float, Any], None]]) -> None:
         """Install (or remove, with None) an event tracer.
 
         The tracer is called as ``tracer(time, event)`` for every
@@ -82,7 +86,7 @@ class Environment:
         """
         return float(delay)
 
-    def process(self, generator: Generator, name: str = "") -> Process:
+    def process(self, generator: Generator[Any, Any, Any], name: str = "") -> Process:
         """Start a new :class:`Process` from *generator*."""
         return Process(self, generator, name=name)
 
@@ -96,7 +100,7 @@ class Environment:
 
     # -- scheduling & run loop ----------------------------------------------
 
-    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL):
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         """Put a triggered *event* onto the heap *delay* seconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -107,7 +111,7 @@ class Environment:
         """Time of the next scheduled event, or +inf if none."""
         return self._heap[0][0] if self._heap else Infinity
 
-    def step(self):
+    def step(self) -> None:
         """Process the single next event.
 
         Raises
@@ -157,7 +161,8 @@ class Environment:
             stop_at = Infinity
             if until_event.processed:
                 return until_event.value
-            until_event.callbacks.append(_StopCallback())
+            # Unprocessed events always carry a callback list.
+            until_event.callbacks.append(_StopCallback())  # type: ignore[union-attr]
         else:
             stop_at = float(until)
             if stop_at < self._now:
@@ -210,7 +215,9 @@ class Environment:
 class _StopCallback:
     """Callback object that unwinds :meth:`Environment.run`."""
 
-    def __call__(self, event: Event):
+    __slots__ = ()
+
+    def __call__(self, event: Event) -> None:
         if event.ok:
             raise StopSimulation(event.value)
         raise event.value

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 
 class SimulationError(Exception):
     """Base class for errors raised by the simulation kernel itself."""
@@ -18,7 +20,7 @@ class StopSimulation(Exception):
     Carries the value of the event that terminated the run.
     """
 
-    def __init__(self, value=None):
+    def __init__(self, value: Any = None) -> None:
         super().__init__(value)
         self.value = value
 
@@ -32,6 +34,6 @@ class Interrupt(Exception):
     """
 
     @property
-    def cause(self):
+    def cause(self) -> Any:
         """The cause passed to :meth:`Process.interrupt`."""
         return self.args[0]

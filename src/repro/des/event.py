@@ -11,7 +11,11 @@ library only relies on the small surface defined here.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, List, Optional
+
+if TYPE_CHECKING:
+    from .environment import Environment
+    from .process import Process
 
 # Scheduling priorities.  Lower values are popped first among events that
 # share a timestamp.  URGENT is used for interrupts and kernel-internal
@@ -36,7 +40,7 @@ class Event:
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused")
 
-    def __init__(self, env):
+    def __init__(self, env: Environment) -> None:
         self.env = env
         #: Callables invoked with this event when it is processed.
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -46,7 +50,7 @@ class Event:
         #: Set True to suppress the unhandled-failure check for this event.
         self._defused = False
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         state = (
             "processed"
             if self._processed
@@ -110,7 +114,7 @@ class Event:
         self.env.schedule(self, priority=priority)
         return self
 
-    def _mark_processed(self):
+    def _mark_processed(self) -> None:
         self._processed = True
         self.callbacks = None
 
@@ -124,7 +128,13 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, env, delay: float, value: Any = None, priority: int = NORMAL):
+    def __init__(
+        self,
+        env: Environment,
+        delay: float,
+        value: Any = None,
+        priority: int = NORMAL,
+    ) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         super().__init__(env)
@@ -133,7 +143,7 @@ class Timeout(Event):
         self._value = value
         env.schedule(self, delay=delay, priority=priority)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<Timeout delay={self.delay} at {id(self):#x}>"
 
 
@@ -159,10 +169,10 @@ class _Wakeup:
     value = None
     _defused = True
 
-    def __init__(self, proc):
-        self.proc = proc
+    def __init__(self, proc: Process) -> None:
+        self.proc: Optional[Process] = proc
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<_Wakeup for {self.proc!r}>"
 
 
@@ -175,28 +185,28 @@ class ConditionValue:
 
     __slots__ = ("_events",)
 
-    def __init__(self, events):
-        self._events = list(events)
+    def __init__(self, events: Iterable[Event]) -> None:
+        self._events: List[Event] = list(events)
 
-    def __getitem__(self, event):
+    def __getitem__(self, event: Event) -> Any:
         if event not in self._events:
             raise KeyError(event)
         return event.value
 
-    def __contains__(self, event):
+    def __contains__(self, event: object) -> bool:
         return event in self._events
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self._events)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Event]:
         return iter(self._events)
 
-    def values(self):
+    def values(self) -> List[Any]:
         """Values of the fired events, in observation order."""
         return [e.value for e in self._events]
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<ConditionValue {self.values()!r}>"
 
 
@@ -210,11 +220,16 @@ class Condition(Event):
 
     __slots__ = ("_events", "_evaluate", "_fired")
 
-    def __init__(self, env, evaluate, events: Iterable[Event]):
+    def __init__(
+        self,
+        env: Environment,
+        evaluate: Callable[[List[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
         super().__init__(env)
-        self._events = list(events)
+        self._events: List[Event] = list(events)
         self._evaluate = evaluate
-        self._fired = []
+        self._fired: List[Event] = []
         for event in self._events:
             if event.env is not env:
                 raise ValueError("events of a condition must share one environment")
@@ -224,13 +239,11 @@ class Condition(Event):
         for event in self._events:
             if event.processed:
                 self._check(event)
-            elif event.triggered:
-                # Already scheduled; observe it when it is processed.
-                event.callbacks.append(self._check)
             else:
-                event.callbacks.append(self._check)
+                # Unprocessed events always carry a callback list.
+                event.callbacks.append(self._check)  # type: ignore[union-attr]
 
-    def _check(self, event: Event):
+    def _check(self, event: Event) -> None:
         if self._value is not PENDING:
             return
         if not event.ok:
@@ -241,12 +254,12 @@ class Condition(Event):
             self.succeed(ConditionValue(self._fired))
 
     @staticmethod
-    def all_events(events, count):
+    def all_events(events: List[Event], count: int) -> bool:
         """Evaluator: every child fired."""
         return len(events) == count
 
     @staticmethod
-    def any_events(events, count):
+    def any_events(events: List[Event], count: int) -> bool:
         """Evaluator: at least one child fired (vacuously true if empty)."""
         return count > 0 or len(events) == 0
 
@@ -254,12 +267,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition that succeeds when *all* child events have succeeded."""
 
-    def __init__(self, env, events):
+    __slots__ = ()
+
+    def __init__(self, env: Environment, events: Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Condition that succeeds when *any* child event has succeeded."""
 
-    def __init__(self, env, events):
+    __slots__ = ()
+
+    def __init__(self, env: Environment, events: Iterable[Event]) -> None:
         super().__init__(env, Condition.any_events, events)

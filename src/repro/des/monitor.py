@@ -20,17 +20,17 @@ class Counter:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str = "counter"):
+    def __init__(self, name: str = "counter") -> None:
         self.name = name
         self.value = 0.0
 
-    def add(self, amount: float = 1.0):
+    def add(self, amount: float = 1.0) -> None:
         """Increase the counter; negative increments are rejected."""
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
         self.value += amount
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<Counter {self.name}={self.value}>"
 
 
@@ -39,7 +39,7 @@ class Tally:
 
     __slots__ = ("name", "count", "_mean", "_m2", "min", "max")
 
-    def __init__(self, name: str = "tally"):
+    def __init__(self, name: str = "tally") -> None:
         self.name = name
         self.count = 0
         self._mean = 0.0
@@ -47,7 +47,7 @@ class Tally:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
 
-    def observe(self, value: float):
+    def observe(self, value: float) -> None:
         """Record one sample."""
         self.count += 1
         delta = value - self._mean
@@ -73,7 +73,7 @@ class Tally:
         """Sample standard deviation."""
         return math.sqrt(self.variance)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<Tally {self.name} n={self.count} mean={self.mean:.4g}>"
 
 
@@ -82,7 +82,9 @@ class TimeWeighted:
 
     __slots__ = ("name", "_level", "_last_time", "_area", "_start")
 
-    def __init__(self, env_now: float = 0.0, level: float = 0.0, name: str = "level"):
+    def __init__(
+        self, env_now: float = 0.0, level: float = 0.0, name: str = "level"
+    ) -> None:
         self.name = name
         self._level = level
         self._last_time = env_now
@@ -94,7 +96,7 @@ class TimeWeighted:
         """Current level."""
         return self._level
 
-    def set(self, level: float, now: float):
+    def set(self, level: float, now: float) -> None:
         """Change the level at time *now* (accumulates the closed interval)."""
         if now < self._last_time:
             raise ValueError("time went backwards")
@@ -102,7 +104,7 @@ class TimeWeighted:
         self._last_time = now
         self._level = level
 
-    def adjust(self, delta: float, now: float):
+    def adjust(self, delta: float, now: float) -> None:
         """Shift the level by *delta* at time *now*."""
         self.set(self._level + delta, now)
 
@@ -113,7 +115,7 @@ class TimeWeighted:
             return 0.0
         return (self._area + self._level * (now - self._last_time)) / span
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<TimeWeighted {self.name} level={self._level}>"
 
 
@@ -127,7 +129,7 @@ class Histogram:
 
     __slots__ = ("name", "base", "_counts", "_underflow", "count", "_tally")
 
-    def __init__(self, base: float = 0.001, name: str = "histogram"):
+    def __init__(self, base: float = 0.001, name: str = "histogram") -> None:
         if base <= 0:
             raise ValueError("base must be positive")
         self.name = name
@@ -137,7 +139,7 @@ class Histogram:
         self.count = 0
         self._tally = Tally(name)
 
-    def observe(self, value: float):
+    def observe(self, value: float) -> None:
         """Record one sample (negative values are rejected)."""
         if value < 0:
             raise ValueError("histogram samples must be non-negative")
@@ -177,12 +179,12 @@ class Histogram:
 
     def buckets(self) -> Dict[float, int]:
         """``{bucket lower edge: count}`` including the underflow bucket."""
-        out = {0.0: self._underflow} if self._underflow else {}
+        out: Dict[float, int] = {0.0: self._underflow} if self._underflow else {}
         for bucket in sorted(self._counts):
             out[self.base * 2.0**bucket] = self._counts[bucket]
         return out
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<Histogram {self.name} n={self.count}>"
 
 
@@ -193,7 +195,9 @@ class MetricSet:
     without pre-registration; the runner snapshots everything at the end.
     """
 
-    def __init__(self):
+    __slots__ = ("counters", "tallies", "levels", "histograms")
+
+    def __init__(self) -> None:
         self.counters: Dict[str, Counter] = {}
         self.tallies: Dict[str, Tally] = {}
         self.levels: Dict[str, TimeWeighted] = {}

@@ -8,10 +8,13 @@ value once it is processed (or has the failure exception thrown in).
 from __future__ import annotations
 
 from heapq import heappush
-from typing import Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from .errors import Interrupt
 from .event import Event, NORMAL, PENDING, URGENT, _Wakeup
+
+if TYPE_CHECKING:
+    from .environment import Environment
 
 
 class _Failure:
@@ -21,7 +24,7 @@ class _Failure:
 
     ok = False
 
-    def __init__(self, exc: BaseException):
+    def __init__(self, exc: BaseException) -> None:
         self.value = exc
 
 
@@ -35,7 +38,12 @@ class Process(Event):
 
     __slots__ = ("_generator", "_target", "name")
 
-    def __init__(self, env, generator: Generator[Event, Any, Any], name: str = ""):
+    def __init__(
+        self,
+        env: Environment,
+        generator: Generator[Any, Any, Any],
+        name: str = "",
+    ) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
@@ -48,10 +56,10 @@ class Process(Event):
         init = Event(env)
         init._ok = True
         init._value = None
-        init.callbacks.append(self._resume)
+        init.callbacks.append(self._resume)  # type: ignore[union-attr]
         env.schedule(init, priority=URGENT)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<Process {self.name!r} at {id(self):#x}>"
 
     @property
@@ -64,7 +72,7 @@ class Process(Event):
         """The event the process is currently suspended on, if any."""
         return self._target
 
-    def interrupt(self, cause: Any = None):
+    def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at its current yield.
 
         The process stops waiting for its current target (the target event
@@ -77,7 +85,9 @@ class Process(Event):
             raise RuntimeError(f"{self!r} is not suspended; cannot interrupt")
         # Detach from the current target so its eventual processing does not
         # resume us a second time.
-        target = self._target
+        # _target may hold a fast-lane _Wakeup token standing in for an
+        # Event; treat it opaquely here so the narrow checks stay honest.
+        target: Any = self._target
         if type(target) is _Wakeup:
             # Fast-lane sleep: tombstone the heap token.
             target.proc = None
@@ -87,13 +97,18 @@ class Process(Event):
         wakeup = Event(self.env)
         wakeup._ok = False
         wakeup._value = Interrupt(cause)
-        wakeup.callbacks.append(self._resume)
+        wakeup.callbacks.append(self._resume)  # type: ignore[union-attr]
         self.env.schedule(wakeup, priority=URGENT)
 
     # -- kernel plumbing ---------------------------------------------------
 
-    def _resume(self, event: Event):
-        """Advance the generator with *event*'s outcome."""
+    def _resume(self, event: Any) -> None:
+        """Advance the generator with *event*'s outcome.
+
+        *event* is an :class:`Event`, a :class:`_Wakeup` token, or a
+        :class:`_Failure` stand-in — only the ``ok``/``value`` duck
+        surface is touched, hence the ``Any``.
+        """
         self.env._active_process = self
         self._target = None
         while True:
@@ -129,7 +144,7 @@ class Process(Event):
                         # Already processed: resume synchronously.
                         event = next_target
                         continue
-                    next_target.callbacks.append(self._resume)
+                    next_target.callbacks.append(self._resume)  # type: ignore[union-attr]
                     self._target = next_target
                     self.env._active_process = None
                     return
@@ -151,7 +166,8 @@ class Process(Event):
                 continue
             env = self.env
             env._eid += 1
-            self._target = wakeup = _Wakeup(self)
+            # The wakeup token ducks as the target event (see _Wakeup).
+            self._target = wakeup = _Wakeup(self)  # type: ignore[assignment]
             heappush(env._heap, (env._now + next_target, NORMAL, env._eid, wakeup))
             env._active_process = None
             return

@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, List
 
-from .event import Event, NORMAL
+from .event import Event
+
+if TYPE_CHECKING:
+    from .environment import Environment
 
 Infinity = float("inf")
 
@@ -22,7 +25,7 @@ class StorePut(Event):
 
     __slots__ = ("item",)
 
-    def __init__(self, store: "Store", item: Any):
+    def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.env)
         self.item = item
         store._put_queue.append(self)
@@ -34,7 +37,7 @@ class StoreGet(Event):
 
     __slots__ = ()
 
-    def __init__(self, store: "Store"):
+    def __init__(self, store: "Store") -> None:
         super().__init__(store.env)
         store._get_queue.append(self)
         store._trigger()
@@ -45,7 +48,7 @@ class FilterStoreGet(StoreGet):
 
     __slots__ = ("filter",)
 
-    def __init__(self, store: "FilterStore", filter: Callable[[Any], bool]):
+    def __init__(self, store: "FilterStore", filter: Callable[[Any], bool]) -> None:
         self.filter = filter
         super().__init__(store)
 
@@ -62,7 +65,9 @@ class Store:
         (default: unbounded).
     """
 
-    def __init__(self, env, capacity: float = Infinity):
+    __slots__ = ("env", "capacity", "items", "_put_queue", "_get_queue")
+
+    def __init__(self, env: Environment, capacity: float = Infinity) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.env = env
@@ -71,14 +76,14 @@ class Store:
         self._put_queue: List[StorePut] = []
         self._get_queue: List[StoreGet] = []
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.items)
 
     def put(self, item: Any) -> StorePut:
         """Queue *item*; the returned event fires once it is accepted."""
         return StorePut(self, item)
 
-    def put_nowait(self, item: Any):
+    def put_nowait(self, item: Any) -> None:
         """Store *item* immediately, without allocating a put event.
 
         For fire-and-forget producers on effectively unbounded stores
@@ -110,13 +115,13 @@ class Store:
             return True
         return False
 
-    def _store_item(self, item: Any):
+    def _store_item(self, item: Any) -> None:
         self.items.append(item)
 
     def _take_item(self, event: StoreGet) -> Any:
         return self.items.pop(0)
 
-    def _trigger(self):
+    def _trigger(self) -> None:
         """Match as many pending puts/gets as possible."""
         progress = True
         while progress:
@@ -145,7 +150,7 @@ class Store:
                     idx += 1
 
 
-@dataclass
+@dataclass(slots=True)
 class PriorityItem:
     """Wrapper giving an arbitrary payload a sort key for a PriorityStore.
 
@@ -173,7 +178,9 @@ class PriorityStore(Store):
     responsibility (``PriorityItem.seq`` provides it).
     """
 
-    def _store_item(self, item: Any):
+    __slots__ = ()
+
+    def _store_item(self, item: Any) -> None:
         heapq.heappush(self.items, item)
 
     def _take_item(self, event: StoreGet) -> Any:
@@ -187,6 +194,8 @@ class PriorityStore(Store):
 class FilterStore(Store):
     """Store whose consumers may wait for items matching a predicate."""
 
+    __slots__ = ()
+
     def get(self, filter: Callable[[Any], bool] = lambda item: True) -> FilterStoreGet:
         """Request the first stored item for which *filter* returns True."""
         return FilterStoreGet(self, filter)
@@ -199,7 +208,7 @@ class FilterStore(Store):
                 return True
         return False
 
-    def _trigger(self):
+    def _trigger(self) -> None:
         # Unlike the FIFO store, a non-matching head must not block later
         # getters, so every pending getter is offered every item.
         idx = 0

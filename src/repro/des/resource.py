@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from .event import Event
+
+if TYPE_CHECKING:
+    from types import TracebackType
+
+    from .environment import Environment
+    from .process import Process
 
 
 class Request(Event):
@@ -19,22 +25,27 @@ class Request(Event):
 
     __slots__ = ("resource", "priority", "seq", "owner")
 
-    def __init__(self, resource: "Resource", priority: float = 0.0):
+    def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
         super().__init__(resource.env)
         self.resource = resource
         self.priority = priority
         #: Requesting process (set by PreemptiveResource for evictions).
-        self.owner = None
+        self.owner: Optional[Process] = None
         resource._seq += 1
         self.seq = resource._seq
         resource._queue.append(self)
         resource._queue.sort(key=lambda r: (r.priority, r.seq))
         resource._grant()
 
-    def __enter__(self):
+    def __enter__(self) -> "Request":
         return self
 
-    def __exit__(self, exc_type, exc_val, exc_tb):
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc_val: Optional[BaseException],
+        exc_tb: Optional["TracebackType"],
+    ) -> bool:
         self.resource.release(self)
         return False
 
@@ -45,7 +56,9 @@ class Resource:
     Lower priority values are served first.
     """
 
-    def __init__(self, env, capacity: int = 1):
+    __slots__ = ("env", "capacity", "users", "_queue", "_seq")
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.env = env
@@ -68,7 +81,7 @@ class Resource:
         """Ask for a slot; the returned event fires when granted."""
         return Request(self, priority)
 
-    def release(self, request: Request):
+    def release(self, request: Request) -> None:
         """Return a slot.  Releasing an ungranted request cancels it."""
         if request in self.users:
             self.users.remove(request)
@@ -76,7 +89,7 @@ class Resource:
             self._queue.remove(request)
         self._grant()
 
-    def _grant(self):
+    def _grant(self) -> None:
         while self._queue and len(self.users) < self.capacity:
             nxt = self._queue.pop(0)
             self.users.append(nxt)
@@ -96,6 +109,8 @@ class PreemptiveResource(Resource):
     process that made the request).
     """
 
+    __slots__ = ()
+
     def request(self, priority: float = 0.0) -> Request:
         req = Request(self, priority)
         # The process to interrupt if this holder gets preempted.
@@ -104,7 +119,7 @@ class PreemptiveResource(Resource):
             self._try_preempt(req)
         return req
 
-    def _try_preempt(self, req: Request):
+    def _try_preempt(self, req: Request) -> None:
         holders = [u for u in self.users if getattr(u, "owner", None) is not None]
         if not holders:
             return
@@ -112,6 +127,8 @@ class PreemptiveResource(Resource):
         if (victim.priority, victim.seq) <= (req.priority, req.seq):
             return
         self.users.remove(victim)
+        # The holders filter above guarantees victim.owner is a process.
+        assert victim.owner is not None
         if victim.owner.is_alive and victim.owner.target is not None:
             victim.owner.interrupt(Preempted(by=req, resource=self))
         self._grant()
@@ -121,11 +138,13 @@ class Preempted:
     """Interrupt cause handed to a process evicted from a
     :class:`PreemptiveResource`."""
 
-    def __init__(self, by: Request, resource: "PreemptiveResource"):
+    __slots__ = ("by", "resource")
+
+    def __init__(self, by: Request, resource: "PreemptiveResource") -> None:
         self.by = by
         self.resource = resource
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<Preempted by priority {self.by.priority}>"
 
 
@@ -134,7 +153,7 @@ class ContainerPut(Event):
 
     __slots__ = ("amount",)
 
-    def __init__(self, container: "Container", amount: float):
+    def __init__(self, container: "Container", amount: float) -> None:
         if amount <= 0:
             raise ValueError("amount must be positive")
         super().__init__(container.env)
@@ -148,7 +167,7 @@ class ContainerGet(Event):
 
     __slots__ = ("amount",)
 
-    def __init__(self, container: "Container", amount: float):
+    def __init__(self, container: "Container", amount: float) -> None:
         if amount <= 0:
             raise ValueError("amount must be positive")
         super().__init__(container.env)
@@ -160,7 +179,11 @@ class ContainerGet(Event):
 class Container:
     """A continuous-quantity reservoir (e.g. battery energy, buffer bytes)."""
 
-    def __init__(self, env, capacity: float = float("inf"), init: float = 0.0):
+    __slots__ = ("env", "capacity", "_level", "_put_queue", "_get_queue")
+
+    def __init__(
+        self, env: Environment, capacity: float = float("inf"), init: float = 0.0
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         if not (0 <= init <= capacity):
@@ -184,7 +207,7 @@ class Container:
         """Remove *amount*; blocks while the level is insufficient."""
         return ContainerGet(self, amount)
 
-    def _trigger(self):
+    def _trigger(self) -> None:
         progress = True
         while progress:
             progress = False

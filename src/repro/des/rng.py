@@ -15,7 +15,7 @@ not depend on creation order.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -29,16 +29,18 @@ def _derive_entropy(seed: int, name: str) -> int:
 # SeedSequence costs ~60us, restoring a cached one ~25us, and sweeps
 # re-create the same few hundred streams for every scheme/cell run.
 # Capped so an unbounded seed sweep cannot balloon memory.
-_STATE_CACHE: Dict[tuple, dict] = {}
+_STATE_CACHE: Dict[Tuple[int, str], Dict[str, Any]] = {}
 _STATE_CACHE_MAX = 4096
-_pcg_template = None
+_pcg_template: Optional[np.random.PCG64] = None
 
 
-def _make_bitgen(seed: int, name: str):
+def _make_bitgen(seed: int, name: str) -> np.random.PCG64:
     global _pcg_template
     key = (seed, name)
     state = _STATE_CACHE.get(key)
     if state is not None:
+        # A cached state implies the template was set on first creation.
+        assert _pcg_template is not None
         bitgen = _pcg_template.jumped(0)  # cheap copy; state overwritten
         bitgen.state = state
         return bitgen
@@ -53,7 +55,9 @@ def _make_bitgen(seed: int, name: str):
 class RandomStream:
     """A single named stream with the distributions the model needs."""
 
-    def __init__(self, seed: int, name: str):
+    __slots__ = ("name", "_gen")
+
+    def __init__(self, seed: int, name: str) -> None:
         self.name = name
         self._gen = np.random.Generator(_make_bitgen(seed, name))
 
@@ -91,14 +95,21 @@ class RandomStream:
             raise ValueError("mean must be >= 1")
         return 1 + int(self._gen.poisson(mean - 1.0))
 
-    def choice_without_replacement(self, low: int, high: int, k: int) -> np.ndarray:
+    def choice_without_replacement(
+        self, low: int, high: int, k: int
+    ) -> "np.ndarray[Any, Any]":
         """*k* distinct integers from ``[low, high]`` inclusive."""
         span = high - low + 1
         if k > span:
             raise ValueError(f"cannot draw {k} distinct values from {span}")
-        return low + self._gen.choice(span, size=k, replace=False)
+        result: "np.ndarray[Any, Any]" = low + self._gen.choice(
+            span, size=k, replace=False
+        )
+        return result
 
-    def shuffled(self, values) -> np.ndarray:
+    def shuffled(
+        self, values: Union[Sequence[Any], "np.ndarray[Any, Any]"]
+    ) -> "np.ndarray[Any, Any]":
         """A shuffled copy of *values*."""
         arr = np.array(values)
         self._gen.shuffle(arr)
@@ -108,7 +119,9 @@ class RandomStream:
 class RandomStreams:
     """Factory and cache of named :class:`RandomStream` objects."""
 
-    def __init__(self, seed: int = 0):
+    __slots__ = ("seed", "_streams")
+
+    def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: Dict[str, RandomStream] = {}
 
@@ -121,5 +134,5 @@ class RandomStreams:
             self._streams[name] = stream
             return stream
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<RandomStreams seed={self.seed} open={len(self._streams)}>"

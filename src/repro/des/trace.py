@@ -24,7 +24,7 @@ from .event import PENDING, Event
 from .process import Process
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One processed event."""
 
@@ -34,7 +34,7 @@ class TraceRecord:
     ok: Optional[bool]
     value: Any
 
-    def __str__(self):
+    def __str__(self) -> str:
         status = "ok" if self.ok else ("FAILED" if self.ok is False else "?")
         return f"[{self.time:12.4f}] {self.kind:<12s} {self.name:<24s} {status}"
 
@@ -51,11 +51,13 @@ class TraceRecorder:
         events are recorded.
     """
 
+    __slots__ = ("limit", "predicate", "records", "dropped", "seen")
+
     def __init__(
         self,
         limit: int = 10_000,
         predicate: Optional[Callable[[Event], bool]] = None,
-    ):
+    ) -> None:
         if limit < 1:
             raise ValueError("limit must be positive")
         self.limit = limit
@@ -64,7 +66,7 @@ class TraceRecorder:
         self.dropped = 0
         self.seen = 0
 
-    def __call__(self, time: float, event: Event):
+    def __call__(self, time: float, event: Event) -> None:
         """Environment hook: record one processed event."""
         self.seen += 1
         if self.predicate is not None and not self.predicate(event):
@@ -84,7 +86,7 @@ class TraceRecorder:
             self.records.pop(0)
             self.dropped += 1
 
-    def clear(self):
+    def clear(self) -> None:
         """Forget everything recorded so far."""
         self.records.clear()
         self.dropped = 0

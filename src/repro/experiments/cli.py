@@ -98,7 +98,10 @@ def main(argv=None) -> int:
     print(format_legend())
     violations = []
     for fid in targets:
-        started = time.time()
+        # perf_counter: monotonic, immune to NTP/wall-clock steps.  (The
+        # experiments layer is exempt from DET001 by path, not because
+        # wall-clock reads are harmless in elapsed-time math.)
+        started = time.perf_counter()
         result = run_figure_parallel(
             fid, scale=scale, seed=args.seed, workers=args.workers
         )
@@ -109,7 +112,7 @@ def main(argv=None) -> int:
 
             print()
             print(chart_figure(result))
-        print(f"  [{time.time() - started:.1f} s wall]")
+        print(f"  [{time.perf_counter() - started:.1f} s wall]")
         if args.output:
             from .io import save_figure_result
 

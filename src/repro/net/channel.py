@@ -52,6 +52,15 @@ class _Receiver:
 class ChannelStats:
     """Byte-counting telemetry for one channel."""
 
+    __slots__ = (
+        "bits_enqueued",
+        "bits_delivered",
+        "messages_delivered",
+        "bits_by_kind",
+        "busy",
+        "preemptions",
+    )
+
     def __init__(self, now: float = 0.0):
         self.bits_enqueued = 0.0
         self.bits_delivered = 0.0
@@ -86,6 +95,26 @@ class Channel:
         delivery to each non-wired receiver (drop / corrupt / deliver).
         ``None`` (the default) keeps the channel lossless.
     """
+
+    __slots__ = (
+        "env",
+        "bandwidth_bps",
+        "name",
+        "preempt_threshold",
+        "faults",
+        "stats",
+        "_queue",
+        "_receivers",
+        "_by_cb",
+        "_by_dest",
+        "_promiscuous",
+        "_listening",
+        "_next_receiver_key",
+        "_seq",
+        "_current",
+        "_done_events",
+        "_proc",
+    )
 
     def __init__(
         self,

@@ -1,7 +1,7 @@
 """Invalidation-report data structures and bit-size accounting."""
 
 from .amnesic import AmnesicReport, build_amnesic_report
-from .base import Invalidation, Report, ReportKind
+from .base import Invalidation, Report, ReportKind, UpdateLog
 from .bitseq import (
     BitSequenceReport,
     build_bitseq_report,
@@ -50,6 +50,7 @@ __all__ = [
     "ReportKind",
     "SignatureReport",
     "SignatureScheme",
+    "UpdateLog",
     "WindowReport",
     "WindowReportCache",
     "amnesic_report_bits",

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable
 
-from .base import Invalidation, Report, ReportKind
+from .base import Invalidation, Report, ReportKind, UpdateLog
 from .sizes import DEFAULT_TIMESTAMP_BITS, amnesic_report_bits
 
 
@@ -28,7 +28,7 @@ class AmnesicReport(Report):
         items: Iterable[int],
         n_items: int,
         timestamp_bits: int = DEFAULT_TIMESTAMP_BITS,
-    ):
+    ) -> None:
         if interval <= 0:
             raise ValueError("broadcast interval must be positive")
         self.timestamp = float(timestamp)
@@ -37,7 +37,7 @@ class AmnesicReport(Report):
         self.n_items = n_items
         self.size_bits = amnesic_report_bits(len(self.items), n_items, timestamp_bits)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<AmnesicReport T={self.timestamp} n={len(self.items)}>"
 
     def covers(self, tlb: float) -> bool:
@@ -51,7 +51,7 @@ class AmnesicReport(Report):
 
 
 def build_amnesic_report(
-    db,
+    db: UpdateLog,
     timestamp: float,
     interval: float,
     timestamp_bits: int = DEFAULT_TIMESTAMP_BITS,

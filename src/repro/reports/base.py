@@ -15,7 +15,31 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import AbstractSet, FrozenSet
+from typing import AbstractSet, Any, FrozenSet, List, Optional, Protocol, Tuple
+
+
+class UpdateLog(Protocol):
+    """Structural view of the server database that report builders read.
+
+    Satisfied by :class:`repro.db.Database`; declared here so the
+    reports layer can type its inputs without importing upward in the
+    layering DAG (see ARCH001 in ``docs/STATIC_ANALYSIS.md``).
+    """
+
+    n_items: int
+    origin_time: float
+    total_updates: int
+    #: Per-item version counters (a numpy int array on the real database;
+    #: ``Any`` keeps the protocol free of a numpy type dependency).
+    version: Any
+
+    def updated_since(self, cutoff: float) -> List[Tuple[int, float]]:
+        """``(item, latest update time)`` pairs with time > *cutoff*."""
+        ...
+
+    def recency_order(self, limit: Optional[int] = None) -> List[Tuple[int, float]]:
+        """Up to *limit* most-recently-updated items, most recent first."""
+        ...
 
 
 class ReportKind(enum.Enum):

@@ -25,11 +25,11 @@ Client algorithm (paper Figure 2), implemented by
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, List, Sequence, Tuple
 
 import numpy as np
 
-from .base import Invalidation, Report, ReportKind
+from .base import Invalidation, Report, ReportKind, UpdateLog
 from .sizes import DEFAULT_TIMESTAMP_BITS, bitseq_report_bits
 
 
@@ -69,6 +69,10 @@ class BitSequenceReport(Report):
 
     kind = ReportKind.BIT_SEQUENCES
 
+    # Created lazily by ones_set(); annotation only, so the AttributeError
+    # fast path in ones_set keeps working.
+    _ones_sets: Dict[int, FrozenSet[int]]
+
     def __init__(
         self,
         timestamp: float,
@@ -77,7 +81,7 @@ class BitSequenceReport(Report):
         recent_times: Sequence[float],
         origin: float = float("-inf"),
         timestamp_bits: int = DEFAULT_TIMESTAMP_BITS,
-    ):
+    ) -> None:
         if len(recent_items) != len(recent_times):
             raise ValueError("recent_items and recent_times lengths differ")
         for earlier, later in zip(recent_times[1:], recent_times[:-1]):
@@ -101,7 +105,7 @@ class BitSequenceReport(Report):
         self.ts_b0 = self._times[0] if d > 0 else self.origin
         self.size_bits = bitseq_report_bits(n_items, timestamp_bits)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"<BitSequenceReport T={self.timestamp} N={self.n_items} "
             f"levels={len(self.level_counts)}>"
@@ -137,7 +141,7 @@ class BitSequenceReport(Report):
         m = self.level_counts[idx]
         return self._items[: min(m, len(self._items))]
 
-    def ones_set(self, idx: int) -> frozenset:
+    def ones_set(self, idx: int) -> FrozenSet[int]:
         """Frozenset view of a level's 1-bits, memoized.
 
         One report is applied by every connected client, so sharing the
@@ -164,7 +168,7 @@ class BitSequenceReport(Report):
 
     # -- literal bit-level view ------------------------------------------------
 
-    def materialize(self) -> List[np.ndarray]:
+    def materialize(self) -> List["np.ndarray[Any, Any]"]:
         """Build the actual bit arrays ``[Bn, B(n-1), .., B1]``.
 
         ``Bn`` (first element) has one bool per database item; each later
@@ -174,7 +178,7 @@ class BitSequenceReport(Report):
         """
         if not self.level_counts:
             return []
-        arrays: List[np.ndarray] = []
+        arrays: List["np.ndarray[Any, Any]"] = []
         counts_desc = list(reversed(self.level_counts))  # Bn first
         d = len(self._items)
         # Bn over the full item space.
@@ -199,7 +203,7 @@ class BitSequenceReport(Report):
 
 
 def decode_levels(
-    arrays: List[np.ndarray], n_items: int
+    arrays: List["np.ndarray[Any, Any]"], n_items: int
 ) -> List[Tuple[int, ...]]:
     """Recover each level's 1-bit item ids from literal bit arrays.
 
@@ -222,7 +226,7 @@ def decode_levels(
     return out
 
 
-def bs_salvage_threshold(db, origin: float = float("-inf")) -> float:
+def bs_salvage_threshold(db: UpdateLog, origin: float = float("-inf")) -> float:
     """``TS(Bn)`` of the report the database would produce right now.
 
     The oldest client last-heard time a Bit-Sequences report can still
@@ -240,7 +244,7 @@ def bs_salvage_threshold(db, origin: float = float("-inf")) -> float:
 
 
 def build_bitseq_report(
-    db,
+    db: UpdateLog,
     timestamp: float,
     origin: float = float("-inf"),
     timestamp_bits: int = DEFAULT_TIMESTAMP_BITS,

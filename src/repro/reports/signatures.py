@@ -23,11 +23,11 @@ from __future__ import annotations
 import hashlib
 from typing import Dict, Iterable, List, Sequence, Set
 
-from .base import Invalidation, Report, ReportKind
+from .base import Invalidation, Report, ReportKind, UpdateLog
 from .sizes import DEFAULT_TIMESTAMP_BITS, signature_report_bits
 
 
-def _hash64(*parts) -> int:
+def _hash64(*parts: object) -> int:
     h = hashlib.blake2b(
         "/".join(str(p) for p in parts).encode(), digest_size=8
     ).digest()
@@ -82,7 +82,7 @@ class SignatureScheme:
         membership: float = 0.5,
         diagnose_threshold: float = 0.9,
         seed: int = 0,
-    ):
+    ) -> None:
         if not 0 < membership <= 1:
             raise ValueError("membership must be in (0, 1]")
         if not 0 <= diagnose_threshold <= 1:
@@ -125,13 +125,15 @@ class IncrementalCombiner:
     per item) — and snapshots when building a report.
     """
 
-    def __init__(self, scheme: SignatureScheme, versions: Sequence[int] | None = None):
+    def __init__(
+        self, scheme: SignatureScheme, versions: Sequence[int] | None = None
+    ) -> None:
         self.scheme = scheme
         if versions is None:
             versions = [0] * scheme.n_items
         self._combined = scheme.combine(versions)
 
-    def on_update(self, item: int, old_version: int, new_version: int):
+    def on_update(self, item: int, old_version: int, new_version: int) -> None:
         """Fold one item-version change into the combined signatures."""
         scheme = self.scheme
         delta = item_signature(
@@ -156,7 +158,7 @@ class SignatureReport(Report):
         scheme: SignatureScheme,
         combined: Sequence[int],
         timestamp_bits: int = DEFAULT_TIMESTAMP_BITS,
-    ):
+    ) -> None:
         if len(combined) != scheme.n_subsets:
             raise ValueError("wrong number of combined signatures")
         self.timestamp = float(timestamp)
@@ -166,7 +168,7 @@ class SignatureReport(Report):
             scheme.n_subsets, scheme.signature_bits, timestamp_bits
         )
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<SignatureReport T={self.timestamp} m={len(self.combined)}>"
 
     def covers(self, tlb: float) -> bool:
@@ -190,7 +192,7 @@ class SignatureReport(Report):
         conservatively — the report carries no information about them).
         """
         changed = self.diff_subsets(saved)
-        to_drop = set()
+        to_drop: Set[int] = set()
         for item in cached_items:
             subs = self.scheme.subsets_of(item)
             if not subs:
@@ -208,7 +210,8 @@ class SignatureReport(Report):
 
 
 def build_signature_report(
-    db, timestamp: float, scheme: SignatureScheme,
+    db: UpdateLog,
+    timestamp: float, scheme: SignatureScheme,
     timestamp_bits: int = DEFAULT_TIMESTAMP_BITS,
 ) -> SignatureReport:
     """Construct a SIG report from current database versions."""

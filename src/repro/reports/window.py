@@ -19,9 +19,9 @@ the extra ``(id, ts)`` records the wider window drags in.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from .base import Invalidation, Report, ReportKind
+from .base import Invalidation, Report, ReportKind, UpdateLog
 from .sizes import (
     DEFAULT_TIMESTAMP_BITS,
     enlarged_window_report_bits,
@@ -54,7 +54,7 @@ class WindowReport(Report):
         items: Dict[int, float],
         n_items: int,
         timestamp_bits: int = DEFAULT_TIMESTAMP_BITS,
-    ):
+    ) -> None:
         if window_start > timestamp:
             raise ValueError("window_start lies after the report timestamp")
         for item, ts in items.items():
@@ -73,10 +73,10 @@ class WindowReport(Report):
         self.newest_ts = max(self.items.values(), default=self.window_start)
         # Single-slot memo for fresh_since(): listeners in one broadcast
         # tick overwhelmingly share a certification floor.
-        self._fresh_memo = None
+        self._fresh_memo: Optional[Tuple[float, List[Tuple[int, float]]]] = None
         self.size_bits = window_report_bits(len(items), n_items, timestamp_bits)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"<WindowReport T={self.timestamp} window=({self.window_start}, "
             f"{self.timestamp}] n={len(self.items)}>"
@@ -86,7 +86,7 @@ class WindowReport(Report):
         """True when the client's gap lies inside the window."""
         return tlb >= self.window_start
 
-    def fresh_since(self, floor: float):
+    def fresh_since(self, floor: float) -> List[Tuple[int, float]]:
         """The report's ``(item, ts)`` pairs with ``ts > floor``, memoized.
 
         A client whose cache holds no suspect entries only needs these
@@ -128,7 +128,7 @@ class EnlargedWindowReport(WindowReport):
         items: Dict[int, float],
         n_items: int,
         timestamp_bits: int = DEFAULT_TIMESTAMP_BITS,
-    ):
+    ) -> None:
         super().__init__(
             timestamp=timestamp,
             window_start=dummy_tlb,
@@ -142,7 +142,7 @@ class EnlargedWindowReport(WindowReport):
             len(items), n_items, timestamp_bits
         )
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"<EnlargedWindowReport T={self.timestamp} back_to={self.dummy_tlb} "
             f"n={len(self.items)}>"
@@ -165,7 +165,7 @@ class WindowReportCache:
     dict is shared, never handed out: :class:`WindowReport` copies it.
     """
 
-    def __init__(self, db):
+    def __init__(self, db: UpdateLog) -> None:
         self.db = db
         self._total_updates = -1
         self._window_start = 0.0
@@ -195,7 +195,7 @@ class WindowReportCache:
 
 
 def build_window_report(
-    db,
+    db: UpdateLog,
     timestamp: float,
     window_seconds: float,
     timestamp_bits: int = DEFAULT_TIMESTAMP_BITS,
@@ -227,7 +227,7 @@ def build_window_report(
 
 
 def build_enlarged_window_report(
-    db,
+    db: UpdateLog,
     timestamp: float,
     back_to: float,
     timestamp_bits: int = DEFAULT_TIMESTAMP_BITS,
@@ -250,7 +250,7 @@ def build_enlarged_window_report(
 
 
 def enlarged_report_size(
-    db, back_to: float, timestamp_bits: int = DEFAULT_TIMESTAMP_BITS
+    db: UpdateLog, back_to: float, timestamp_bits: int = DEFAULT_TIMESTAMP_BITS
 ) -> Tuple[int, float]:
     """Cheaply price an ``IR(w')`` without materializing it.
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..cache import CacheEntry, ClientCache
-from ..chaos.oracle import StalenessViolation
 from ..des import Environment, Event
 from ..des.monitor import MetricSet
 from ..net import Channel, Message, MessageKind, SERVER_ID
@@ -507,6 +506,10 @@ class MobileClient:
                 if self.params.strict_staleness:
                     # The hard safety oracle: die loudly at the first
                     # unsafe answer, with the full conviction trace.
+                    # Lazy import keeps the layering DAG intact (ARCH001:
+                    # chaos sits above sim); this path is cold by design.
+                    from ..chaos.oracle import StalenessViolation
+
                     raise StalenessViolation(
                         client_id=self.client_id,
                         item=item,

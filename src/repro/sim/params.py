@@ -3,13 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from ..chaos.schedule import ChaosConfig
 from ..net.faults import FaultConfig
 from ..reports.sizes import DEFAULT_TIMESTAMP_BITS
 from ..schemes.loss_adaptive import LossAdaptationConfig
 from .energy import EnergyModel
+
+if TYPE_CHECKING:  # ARCH001: chaos sits above sim in the layering DAG
+    from ..chaos.schedule import ChaosConfig
 
 
 @dataclass(frozen=True)
@@ -169,6 +171,10 @@ class SystemParams:
             if self.loss_adaptation.w_max < self.window_intervals:
                 raise ValueError("loss_adaptation.w_max must be >= window_intervals")
         if self.chaos is not None:
+            # Lazy import: validation is the one runtime use of the type
+            # here, and chaos sits above sim in the layering DAG.
+            from ..chaos.schedule import ChaosConfig
+
             if not isinstance(self.chaos, ChaosConfig):
                 raise ValueError("chaos must be a ChaosConfig or None")
             if self.chaos.crashes_server and self.uplink_timeout is None:

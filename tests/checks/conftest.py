@@ -1,0 +1,51 @@
+"""Shared fixtures for the repro.checks self-tests.
+
+Fixture trees are written under ``tmp_path`` with a ``repro/`` path
+segment: :func:`repro.checks.engine.package_path_of` anchors scoping at
+the first ``repro`` component, so ``<tmp>/repro/sim/x.py`` scopes
+exactly like the real ``src/repro/sim/x.py``.
+"""
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.checks.engine import Finding, get_rule, run_checks
+
+
+def make_tree(root: Path, files: Dict[str, str]) -> Path:
+    """Write *files* (relative path -> source text) under *root*."""
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+    return root
+
+
+@pytest.fixture
+def tree(tmp_path: Path):
+    """Build a fixture tree under ``tmp_path``; returns its root."""
+
+    def _build(files: Dict[str, str]) -> Path:
+        return make_tree(tmp_path, files)
+
+    return _build
+
+
+@pytest.fixture
+def check(tmp_path: Path):
+    """Build a fixture tree and run the engine over it.
+
+    ``check(files, codes=["DET001"])`` runs just those rules;
+    ``codes=None`` runs the full registry.
+    """
+
+    def _check(
+        files: Dict[str, str], codes: Optional[Sequence[str]] = None
+    ) -> List[Finding]:
+        make_tree(tmp_path, files)
+        rules = [get_rule(c) for c in codes] if codes is not None else None
+        return run_checks([str(tmp_path)], rules=rules)
+
+    return _check

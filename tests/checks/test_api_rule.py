@@ -1,0 +1,157 @@
+"""API001: registered schemes implement the base.py hook surface.
+
+The fixtures model the real convention: a bare ``raise
+NotImplementedError`` in ``base.py`` marks a required hook, a messaged
+raise marks an optional capability, anything else is a default.
+"""
+
+BASE = (
+    "class ServerPolicy:\n"
+    "    def build_report(self, ctx, now):\n"
+    "        raise NotImplementedError\n"
+    "\n"
+    "    def on_tlb(self, ctx, client_id, tlb, now):\n"
+    "        raise NotImplementedError('optional capability')\n"
+    "\n"
+    "\n"
+    "class ClientPolicy:\n"
+    "    def on_report(self, ctx, report):\n"
+    "        raise NotImplementedError\n"
+    "\n"
+    "    def on_reconnect(self, ctx, now):\n"
+    "        pass\n"
+    "\n"
+    "\n"
+    "class Scheme:\n"
+    "    def __init__(self, name, server_factory, client_factory, description):\n"
+    "        self.name = name\n"
+)
+
+GOOD_SCHEME = (
+    "from .base import ClientPolicy, Scheme, ServerPolicy\n"
+    "\n"
+    "\n"
+    "class GoodServer(ServerPolicy):\n"
+    "    def build_report(self, ctx, now):\n"
+    "        return None\n"
+    "\n"
+    "\n"
+    "class GoodClient(ClientPolicy):\n"
+    "    def on_report(self, ctx, report):\n"
+    "        return None\n"
+    "\n"
+    "\n"
+    "GOOD_SCHEME = Scheme('good', GoodServer, GoodClient, 'fine')\n"
+)
+
+REGISTRY = "from .good import GOOD_SCHEME\n"
+
+
+def _tree(**overrides):
+    files = {
+        "repro/schemes/base.py": BASE,
+        "repro/schemes/good.py": GOOD_SCHEME,
+        "repro/schemes/registry.py": REGISTRY,
+    }
+    files.update(
+        {f"repro/schemes/{name}.py": text for name, text in overrides.items()}
+    )
+    return files
+
+
+def test_complete_scheme_passes(check):
+    assert check(_tree(), codes=["API001"]) == []
+
+
+def test_missing_required_hook_flagged(check):
+    incomplete = GOOD_SCHEME.replace("on_report", "handle_report")
+    findings = check(_tree(good=incomplete), codes=["API001"])
+    assert len(findings) == 1
+    assert "never implements required hook on_report()" in findings[0].message
+    assert "'good'" in findings[0].message
+
+
+def test_optional_hook_may_stay_unimplemented(check):
+    # Neither fixture class implements on_tlb (messaged raise in base.py);
+    # the complete-scheme test already passes, this pins the reason.
+    findings = check(_tree(), codes=["API001"])
+    assert all("on_tlb" not in f.message for f in findings)
+
+
+def test_misspelled_hook_flagged_as_typo(check):
+    typo = GOOD_SCHEME.replace(
+        "class GoodClient(ClientPolicy):\n",
+        "class GoodClient(ClientPolicy):\n"
+        "    def on_reconect(self, ctx, now):\n"
+        "        pass\n"
+        "\n",
+    )
+    findings = check(_tree(good=typo), codes=["API001"])
+    assert len(findings) == 1
+    assert (
+        "defines on_reconect(), which is not a ClientPolicy hook"
+        in findings[0].message
+    )
+
+
+def test_factory_not_subclassing_policy_flagged(check):
+    rogue = GOOD_SCHEME.replace(
+        "class GoodServer(ServerPolicy):", "class GoodServer:"
+    )
+    findings = check(_tree(good=rogue), codes=["API001"])
+    assert len(findings) == 1
+    assert (
+        "server_factory GoodServer does not subclass ServerPolicy"
+        in findings[0].message
+    )
+
+
+def test_hooks_inherited_through_intermediate_class_pass(check):
+    shared = (
+        "from .base import ClientPolicy\n"
+        "\n"
+        "\n"
+        "class ReportingMixin(ClientPolicy):\n"
+        "    def on_report(self, ctx, report):\n"
+        "        return None\n"
+    )
+    child = (
+        "from .base import ClientPolicy, Scheme, ServerPolicy\n"
+        "from .shared import ReportingMixin\n"
+        "\n"
+        "\n"
+        "class ChildServer(ServerPolicy):\n"
+        "    def build_report(self, ctx, now):\n"
+        "        return None\n"
+        "\n"
+        "\n"
+        "class ChildClient(ReportingMixin):\n"
+        "    pass\n"
+        "\n"
+        "\n"
+        "CHILD_SCHEME = Scheme('child', ChildServer, ChildClient, 'ok')\n"
+    )
+    files = _tree(shared=shared, child=child)
+    files["repro/schemes/registry.py"] = (
+        "from .good import GOOD_SCHEME\n"
+        "from .child import CHILD_SCHEME\n"
+    )
+    assert check(files, codes=["API001"]) == []
+
+
+def test_registry_importing_unscanned_module_flagged(check):
+    files = _tree()
+    files["repro/schemes/registry.py"] = (
+        "from .good import GOOD_SCHEME\n"
+        "from .ghost import GHOST_SCHEME\n"
+    )
+    findings = check(files, codes=["API001"])
+    assert len(findings) == 1
+    assert (
+        "registry imports repro/schemes/ghost.py but it was not scanned"
+        in findings[0].message
+    )
+
+
+def test_rule_silent_without_registry_or_base(check):
+    assert check({"repro/schemes/lone.py": "x = 1\n"}, codes=["API001"]) == []

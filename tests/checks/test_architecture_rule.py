@@ -1,0 +1,134 @@
+"""ARCH001: layering DAG enforcement and import-cycle detection."""
+
+
+def test_upward_import_is_violation(check):
+    findings = check(
+        {"repro/des/evil.py": "from repro.sim import server\n"},
+        codes=["ARCH001"],
+    )
+    assert len(findings) == 1
+    assert findings[0].path == "repro/des/evil.py"
+    assert "layering violation: des may not import sim" in findings[0].message
+
+
+def test_relative_upward_import_is_violation(check):
+    findings = check(
+        {
+            "repro/reports/evil.py": "from ..schemes import base\n",
+            "repro/schemes/base.py": "x = 1\n",
+        },
+        codes=["ARCH001"],
+    )
+    assert len(findings) == 1
+    assert (
+        "layering violation: reports may not import schemes"
+        in findings[0].message
+    )
+
+
+def test_direct_and_transitive_allowed_imports_pass(check):
+    findings = check(
+        {
+            # sim -> schemes is a direct edge; sim -> des only transitive
+            # (sim -> schemes -> reports -> des).
+            "repro/sim/ok.py": (
+                "from repro.schemes import registry\n"
+                "import repro.des\n"
+            )
+        },
+        codes=["ARCH001"],
+    )
+    assert findings == []
+
+
+def test_type_checking_block_is_exempt(check):
+    findings = check(
+        {
+            "repro/des/tc.py": (
+                "from typing import TYPE_CHECKING\n"
+                "if TYPE_CHECKING:\n"
+                "    from repro.sim import server\n"
+            )
+        },
+        codes=["ARCH001"],
+    )
+    assert findings == []
+
+
+def test_function_scoped_import_is_exempt(check):
+    findings = check(
+        {
+            "repro/des/lazy.py": (
+                "def f():\n"
+                "    from repro.sim import server\n"
+                "    return server\n"
+            )
+        },
+        codes=["ARCH001"],
+    )
+    assert findings == []
+
+
+def test_conditional_module_level_import_still_checked(check):
+    findings = check(
+        {
+            "repro/des/cond.py": (
+                "FLAG = False\n"
+                "if FLAG:\n"
+                "    from repro.sim import server\n"
+            )
+        },
+        codes=["ARCH001"],
+    )
+    assert len(findings) == 1
+
+
+def test_unknown_package_is_reported(check):
+    findings = check(
+        {"repro/newpkg/mod.py": "import repro.des\n"},
+        codes=["ARCH001"],
+    )
+    assert len(findings) == 1
+    assert "package 'newpkg' is not in the layering DAG" in findings[0].message
+
+
+def test_unknown_import_target_is_reported(check):
+    findings = check(
+        {"repro/sim/mod.py": "from repro.mystery import thing\n"},
+        codes=["ARCH001"],
+    )
+    assert len(findings) == 1
+    assert (
+        "import target package 'mystery' is not in the layering DAG"
+        in findings[0].message
+    )
+
+
+def test_same_package_and_stdlib_imports_pass(check):
+    findings = check(
+        {
+            "repro/des/a.py": (
+                "import heapq\n"
+                "from repro.des import event\n"
+                "from .environment import Environment\n"
+            )
+        },
+        codes=["ARCH001"],
+    )
+    assert findings == []
+
+
+def test_cycle_reported_once(check):
+    findings = check(
+        {
+            "repro/des/a.py": "import repro.net\n",
+            "repro/net/b.py": "import repro.des\n",
+        },
+        codes=["ARCH001"],
+    )
+    cycles = [f for f in findings if f.message.startswith("import cycle:")]
+    assert len(cycles) == 1
+    assert cycles[0].message == "import cycle: des -> net -> des"
+    # The des -> net edge is also a plain layering violation.
+    violations = [f for f in findings if "layering violation" in f.message]
+    assert len(violations) == 1

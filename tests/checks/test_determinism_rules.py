@@ -1,0 +1,247 @@
+"""DET001 (wall clock), DET002 (bare randomness), DET003 (set iteration)."""
+
+from repro.checks.engine import Severity
+
+# ---------------------------------------------------------------- DET001
+
+
+def test_det001_time_time_flagged(check):
+    findings = check(
+        {
+            "repro/sim/clock.py": (
+                "import time\n"
+                "\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+            )
+        },
+        codes=["DET001"],
+    )
+    assert len(findings) == 1
+    assert findings[0].code == "DET001"
+    assert findings[0].line == 4
+    assert "wall-clock read time.time" in findings[0].message
+
+
+def test_det001_perf_counter_and_monotonic_flagged(check):
+    findings = check(
+        {
+            "repro/des/t.py": (
+                "import time\n"
+                "a = time.perf_counter()\n"
+                "b = time.monotonic()\n"
+            )
+        },
+        codes=["DET001"],
+    )
+    assert sorted(f.line for f in findings) == [2, 3]
+
+
+def test_det001_module_alias_flagged(check):
+    findings = check(
+        {"repro/net/t.py": "import time as clock\nx = clock.time()\n"},
+        codes=["DET001"],
+    )
+    assert len(findings) == 1
+
+
+def test_det001_datetime_now_flagged(check):
+    findings = check(
+        {
+            "repro/db/t.py": (
+                "import datetime\n"
+                "a = datetime.datetime.now()\n"
+                "b = datetime.date.today()\n"
+            )
+        },
+        codes=["DET001"],
+    )
+    assert len(findings) == 2
+    assert all("wall-clock read datetime" in f.message for f in findings)
+
+
+def test_det001_from_datetime_import_flagged(check):
+    findings = check(
+        {
+            "repro/chaos/t.py": (
+                "from datetime import datetime\n"
+                "x = datetime.utcnow()\n"
+            )
+        },
+        codes=["DET001"],
+    )
+    assert len(findings) == 1
+
+
+def test_det001_from_time_import_flagged(check):
+    findings = check(
+        {
+            "repro/schemes/t.py": (
+                "from time import time\n"
+                "\n"
+                "def stamp():\n"
+                "    return time()\n"
+            )
+        },
+        codes=["DET001"],
+    )
+    assert len(findings) == 1
+    assert "(imported from time)" in findings[0].message
+
+
+def test_det001_experiments_exempt_by_path(check):
+    findings = check(
+        {"repro/experiments/t.py": "import time\nx = time.time()\n"},
+        codes=["DET001"],
+    )
+    assert findings == []
+
+
+def test_det001_out_of_scope_package_exempt(check):
+    findings = check(
+        {"repro/analysis/t.py": "import time\nx = time.time()\n"},
+        codes=["DET001"],
+    )
+    assert findings == []
+
+
+def test_det001_time_as_local_name_not_flagged(check):
+    findings = check(
+        {
+            "repro/sim/t.py": (
+                "def f(time):\n"
+                "    return time + 1\n"
+            )
+        },
+        codes=["DET001"],
+    )
+    assert findings == []
+
+
+def test_det001_sleep_not_flagged(check):
+    findings = check(
+        {"repro/sim/t.py": "import time\ntime.sleep\n"},
+        codes=["DET001"],
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------- DET002
+
+
+def test_det002_stdlib_random_import_and_use_flagged(check):
+    findings = check(
+        {
+            "repro/sim/t.py": (
+                "import random\n"
+                "x = random.random()\n"
+            )
+        },
+        codes=["DET002"],
+    )
+    assert len(findings) == 2
+    assert "repro.des.rng named stream" in findings[0].message
+
+
+def test_det002_numpy_random_attribute_flagged(check):
+    findings = check(
+        {
+            "repro/des/t.py": (
+                "import numpy as np\n"
+                "gen = np.random.default_rng()\n"
+            )
+        },
+        codes=["DET002"],
+    )
+    assert len(findings) == 1
+    assert "bare numpy.random.default_rng" in findings[0].message
+
+
+def test_det002_from_numpy_import_random_flagged(check):
+    findings = check(
+        {"repro/cache/t.py": "from numpy import random\n"},
+        codes=["DET002"],
+    )
+    assert len(findings) == 1
+
+
+def test_det002_rng_module_itself_excluded(check):
+    findings = check(
+        {
+            "repro/des/rng.py": (
+                "import numpy as np\n"
+                "gen = np.random.default_rng()\n"
+            )
+        },
+        codes=["DET002"],
+    )
+    assert findings == []
+
+
+def test_det002_non_random_numpy_not_flagged(check):
+    findings = check(
+        {"repro/des/t.py": "import numpy as np\nx = np.arange(3)\n"},
+        codes=["DET002"],
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------- DET003
+
+
+def test_det003_for_over_set_literal_is_warning(check):
+    findings = check(
+        {
+            "repro/des/t.py": (
+                "for x in {1, 2}:\n"
+                "    pass\n"
+            )
+        },
+        codes=["DET003"],
+    )
+    assert len(findings) == 1
+    assert findings[0].severity is Severity.WARNING
+    assert "iterating a set" in findings[0].message
+
+
+def test_det003_set_call_and_comprehension_flagged(check):
+    findings = check(
+        {
+            "repro/sim/t.py": (
+                "items = [3, 1]\n"
+                "for x in set(items):\n"
+                "    pass\n"
+                "ys = [y for y in {i for i in items}]\n"
+            )
+        },
+        codes=["DET003"],
+    )
+    assert sorted(f.line for f in findings) == [2, 4]
+
+
+def test_det003_sorted_set_not_flagged(check):
+    findings = check(
+        {
+            "repro/net/t.py": (
+                "for x in sorted({1, 2}):\n"
+                "    pass\n"
+                "for y in [1, 2]:\n"
+                "    pass\n"
+            )
+        },
+        codes=["DET003"],
+    )
+    assert findings == []
+
+
+def test_det003_scope_excludes_schemes(check):
+    findings = check(
+        {
+            "repro/schemes/t.py": (
+                "for x in {1, 2}:\n"
+                "    pass\n"
+            )
+        },
+        codes=["DET003"],
+    )
+    assert findings == []

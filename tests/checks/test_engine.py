@@ -1,0 +1,194 @@
+"""Engine plumbing: suppressions, fingerprints, path scoping, registry."""
+
+import pytest
+
+from repro.checks.baseline import Baseline
+from repro.checks.engine import (
+    SYNTAX_ERROR_CODE,
+    Finding,
+    ModuleInfo,
+    Severity,
+    all_rules,
+    get_rule,
+    package_path_of,
+    run_checks,
+)
+
+ALL_CODES = ("API001", "ARCH001", "DET001", "DET002", "DET003", "PERF001")
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_all_rules_sorted_by_code():
+    codes = [r.code for r in all_rules()]
+    assert codes == sorted(codes)
+    assert set(codes) == set(ALL_CODES)
+
+
+def test_get_rule_unknown_code_raises():
+    with pytest.raises(KeyError, match="unknown rule 'NOPE999'"):
+        get_rule("NOPE999")
+
+
+def test_rules_have_distinct_codes_and_descriptions():
+    rules = all_rules()
+    assert len({r.code for r in rules}) == len(rules)
+    for rule in rules:
+        assert rule.description
+        assert isinstance(rule.severity, Severity)
+
+
+# ------------------------------------------------------------ path scoping
+
+
+def test_package_path_of_strips_src_prefix():
+    assert package_path_of("src/repro/des/event.py") == "repro/des/event.py"
+
+
+def test_package_path_of_anchors_at_first_repro_segment():
+    assert (
+        package_path_of("/tmp/fixtures/repro/sim/server.py")
+        == "repro/sim/server.py"
+    )
+
+
+def test_package_path_of_passes_through_non_repro_paths():
+    assert package_path_of("foo/bar.py") == "foo/bar.py"
+
+
+def test_module_package_is_first_level_subpackage():
+    mod = ModuleInfo.from_source("repro/des/event.py", "x = 1\n")
+    assert mod.package == "des"
+    top = ModuleInfo.from_source("repro/__init__.py", "")
+    assert top.package == ""
+
+
+def test_applies_to_include_and_exclude():
+    det2 = get_rule("DET002")
+    assert det2.applies_to("repro/sim/server.py")
+    assert not det2.applies_to("repro/des/rng.py")  # excluded
+    assert not det2.applies_to("repro/analysis/stats.py")  # not included
+
+
+# ------------------------------------------------------------ suppressions
+
+
+def test_coded_suppression_silences_that_code(check):
+    findings = check(
+        {"repro/sim/s.py": "import random  # checks: ignore[DET002]\n"},
+        codes=["DET002"],
+    )
+    assert findings == []
+
+
+def test_bare_suppression_silences_every_code(check):
+    findings = check(
+        {"repro/sim/s.py": "import random  # checks: ignore\n"},
+        codes=["DET002"],
+    )
+    assert findings == []
+
+
+def test_multi_code_suppression(check):
+    findings = check(
+        {"repro/sim/s.py": "import random  # checks: ignore[DET001, DET002]\n"},
+        codes=["DET002"],
+    )
+    assert findings == []
+
+
+def test_suppression_for_other_code_does_not_silence(check):
+    findings = check(
+        {"repro/sim/s.py": "import random  # checks: ignore[DET001]\n"},
+        codes=["DET002"],
+    )
+    assert [f.code for f in findings] == ["DET002"]
+
+
+def test_suppression_only_applies_to_its_own_line(check):
+    findings = check(
+        {
+            "repro/sim/s.py": (
+                "# checks: ignore[DET002]\n"
+                "import random\n"
+            )
+        },
+        codes=["DET002"],
+    )
+    assert [f.code for f in findings] == ["DET002"]
+
+
+def test_is_suppressed_directly():
+    mod = ModuleInfo.from_source(
+        "repro/sim/s.py", "x = 1  # checks: ignore[DET001]\n"
+    )
+    assert mod.is_suppressed("DET001", 1)
+    assert not mod.is_suppressed("DET002", 1)
+    assert not mod.is_suppressed("DET001", 2)
+
+
+# ------------------------------------------------- findings and the runner
+
+
+def test_fingerprint_excludes_line_number():
+    a = Finding(code="DET001", path="repro/sim/x.py", line=3, message="m")
+    b = Finding(code="DET001", path="repro/sim/x.py", line=99, message="m")
+    assert a.fingerprint == b.fingerprint == ("repro/sim/x.py", "DET001", "m")
+
+
+def test_format_shows_location_code_and_severity():
+    f = Finding(
+        code="DET001", path="repro/sim/x.py", line=3, message="bad clock"
+    )
+    assert f.format() == "repro/sim/x.py:3: DET001 [error] bad clock"
+
+
+def test_syntax_error_becomes_chk000(check):
+    findings = check({"repro/sim/broken.py": "def broken(:\n"}, codes=[])
+    assert len(findings) == 1
+    assert findings[0].code == SYNTAX_ERROR_CODE
+    assert "could not parse" in findings[0].message
+
+
+def test_findings_sorted_by_path_then_line(check):
+    findings = check(
+        {
+            "repro/sim/zz.py": "import random\n",
+            "repro/sim/aa.py": "x = 1\nimport random\n",
+        },
+        codes=["DET002"],
+    )
+    assert [(f.path, f.line) for f in findings] == [
+        ("repro/sim/aa.py", 2),
+        ("repro/sim/zz.py", 1),
+    ]
+
+
+def test_run_checks_missing_path_raises():
+    with pytest.raises(FileNotFoundError):
+        run_checks(["/does/not/exist-anywhere"])
+
+
+def test_baseline_round_trip_filters_grandfathered(check, tmp_path):
+    findings = check(
+        {"repro/sim/s.py": "import random\n"}, codes=["DET002"]
+    )
+    assert len(findings) == 1
+    baseline = Baseline.from_findings(findings)
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    reloaded = Baseline.load(path)
+    assert len(reloaded) == 1
+    assert findings[0].fingerprint in reloaded
+    again = run_checks(
+        [str(tmp_path)], rules=[get_rule("DET002")], baseline=reloaded
+    )
+    assert again == []
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"version": 99, "findings": []}', encoding="utf-8")
+    with pytest.raises(ValueError, match="version-1"):
+        Baseline.load(path)

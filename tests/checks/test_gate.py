@@ -1,0 +1,75 @@
+"""The gate over the real tree: clean as-is, and mutations that undo the
+simulation invariants must trip it.
+
+These are the acceptance tests for the whole engine: deleting
+``__slots__`` from ``repro/des/event.py`` or adding a ``time.time()``
+call to ``repro/sim/server.py`` has to fail the gate.
+"""
+
+from pathlib import Path
+
+from repro.checks.engine import get_rule, run_checks
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _copy_real(tmp_path: Path, rel: str, mutate=None) -> Path:
+    """Copy ``src/<rel>`` into a tmp fixture tree, optionally mutated."""
+    text = (REPO_SRC / rel).read_text(encoding="utf-8")
+    if mutate is not None:
+        text = mutate(text)
+    out = tmp_path / rel.removeprefix("src/")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(text, encoding="utf-8")
+    return out
+
+
+def test_real_tree_is_clean():
+    assert run_checks([str(REPO_SRC)]) == []
+
+
+def test_removing_slots_from_event_py_fails_the_gate(tmp_path):
+    # Renaming the attribute keeps the file parseable while removing the
+    # declarations PERF001 looks for.
+    path = _copy_real(
+        tmp_path,
+        "repro/des/event.py",
+        mutate=lambda t: t.replace("__slots__", "_slots_disabled"),
+    )
+    findings = run_checks([str(path)], rules=[get_rule("PERF001")])
+    assert findings, "slotless event classes must trip PERF001"
+    assert all(f.code == "PERF001" for f in findings)
+    assert any("lacks __slots__" in f.message for f in findings)
+
+
+def test_pristine_event_py_passes_perf001(tmp_path):
+    path = _copy_real(tmp_path, "repro/des/event.py")
+    assert run_checks([str(path)], rules=[get_rule("PERF001")]) == []
+
+
+def test_wall_clock_in_server_py_fails_the_gate(tmp_path):
+    path = _copy_real(
+        tmp_path,
+        "repro/sim/server.py",
+        mutate=lambda t: t
+        + "\nimport time\n\n\ndef _leak_wall_clock():\n    return time.time()\n",
+    )
+    findings = run_checks([str(path)], rules=[get_rule("DET001")])
+    assert len(findings) == 1
+    assert findings[0].code == "DET001"
+    assert "wall-clock read time.time" in findings[0].message
+
+
+def test_pristine_server_py_passes_det001(tmp_path):
+    path = _copy_real(tmp_path, "repro/sim/server.py")
+    assert run_checks([str(path)], rules=[get_rule("DET001")]) == []
+
+
+def test_bare_randomness_in_update_generator_fails_the_gate(tmp_path):
+    path = _copy_real(
+        tmp_path,
+        "repro/sim/model.py",
+        mutate=lambda t: t + "\nimport random\n",
+    )
+    findings = run_checks([str(path)], rules=[get_rule("DET002")])
+    assert [f.code for f in findings] == ["DET002"]

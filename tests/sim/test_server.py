@@ -3,7 +3,7 @@ validity answering."""
 
 import pytest
 
-from repro.net import MessageKind
+from repro.net import Channel, MessageKind
 from repro.sim import SimulationModel, SystemParams, UNIFORM
 from repro.sim import metrics as m_names
 from repro.sim.metrics import (
@@ -31,15 +31,22 @@ class TestBroadcastPunctuality:
         model = SimulationModel(small_params(), UNIFORM, "ts")
         starts = []
 
-        original_send = model.downlink.send
+        # Channel instances are slotted (PERF001), so spy at class level.
+        original_send = Channel.send
 
-        def spy(msg):
-            if msg.kind is MessageKind.INVALIDATION_REPORT:
+        def spy(channel, msg):
+            if (
+                channel is model.downlink
+                and msg.kind is MessageKind.INVALIDATION_REPORT
+            ):
                 starts.append(model.env.now)
-            return original_send(msg)
+            return original_send(channel, msg)
 
-        model.downlink.send = spy
-        model.run()
+        Channel.send = spy
+        try:
+            model.run()
+        finally:
+            Channel.send = original_send
         assert starts == [pytest.approx(20.0 * i) for i in range(1, 11)]
 
     def test_reports_punctual_even_with_data_backlog(self):
