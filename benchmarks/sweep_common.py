@@ -53,21 +53,29 @@ def run_loss_sweep(drop_rates, variants, configure, workload, workers="auto"):
     return dict(results)
 
 
-def format_sweep_table(title, results, drop_rates, variants, cell, width=16):
+def format_sweep_table(
+    title, results, drop_rates, variants, cell, width=16, row_label="loss"
+):
     """Render the sweep as rows of loss rate x variant columns.
 
     *cell* maps a :class:`SimulationResult` to the string shown in its
-    table cell.
+    table cell.  Row keys may be numbers (loss rates, seeds) or strings
+    (scheme names); *row_label* names the row axis in the header.
     """
     lines = [title]
     lines.append(
-        f"  {'loss':>6s} " + "".join(f"{str(v):>{width}s}" for v in variants)
+        f"  {row_label:>6s} " + "".join(f"{str(v):>{width}s}" for v in variants)
     )
     for drop in drop_rates:
         row = "".join(
             f"{cell(results[(drop, v)]):>{width}s}" for v in variants
         )
-        lines.append(f"  {drop:>6.2f} " + row)
+        label = (
+            f"{drop:>6.2f}"
+            if isinstance(drop, (int, float))
+            else f"{str(drop):>6s}"
+        )
+        lines.append(f"  {label} " + row)
     lines.append(oracle_summary(results))
     return "\n".join(lines)
 

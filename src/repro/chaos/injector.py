@@ -31,6 +31,7 @@ class ChaosInjector:
             horizon=model.params.simulation_time,
             n_clients=model.params.n_clients,
             streams=model.streams,
+            n_cells=getattr(model, "n_cells", 1),
         )
         if self.schedule.clocks:
             for client in model.clients:
@@ -40,6 +41,16 @@ class ChaosInjector:
             env.process(self._server_outages(), name="chaos-server")
         if self.schedule.client_crashes:
             env.process(self._client_crashes(), name="chaos-clients")
+        if self.schedule.cell_outages:
+            # One walker per cell: outages of different cells overlap
+            # freely, a single cell's are sequential by construction.
+            by_cell: dict = {}
+            for crash_at, restart_at, cell in self.schedule.cell_outages:
+                by_cell.setdefault(cell, []).append((crash_at, restart_at))
+            for cell, plan in sorted(by_cell.items()):
+                env.process(
+                    self._cell_outages(cell, plan), name=f"chaos-cell-{cell}"
+                )
 
     def _server_outages(self):
         env = self.model.env
@@ -72,3 +83,18 @@ class ChaosInjector:
                 yield env.sleep(at - env.now)
             clients[client_id].crash(env.now)
             metrics.counter(m.CLIENT_CRASHES).add()
+
+    def _cell_outages(self, cell, plan):
+        """Walk one cell's outage plan (multi-cell models only: the
+        crash/restart consequences — evacuation, replica resync — live
+        in ``MultiCellModel.crash_cell`` / ``restart_cell``)."""
+        env = self.model.env
+        for crash_at, restart_at in plan:
+            if crash_at > env.now:
+                yield env.sleep(crash_at - env.now)
+            self.model.crash_cell(cell, env.now)
+            if restart_at > env.now:
+                yield env.sleep(restart_at - env.now)
+            if restart_at >= self.schedule.horizon:
+                return  # the final outage never ends on-stage
+            self.model.restart_cell(cell, env.now)

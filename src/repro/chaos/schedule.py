@@ -7,7 +7,7 @@ simulated cell — server crash/restart cycles, client crashes (cache +
 deterministic event plan *before the simulation starts*.
 
 Determinism contract: the plan is a pure function of
-``(config, horizon, n_clients, master seed)``.  Every random draw comes
+``(config, horizon, n_clients, n_cells, master seed)``.  Every random draw comes
 from named :class:`~repro.des.RandomStreams` streams salted with
 ``config.seed`` (``chaos/<seed>/...``), so
 
@@ -58,6 +58,18 @@ class ChaosConfig:
     client_crashes_at:
         Explicit ``(client_id, time)`` crash instants (in addition to any
         sampled ones).
+    cell_crash_mtbf:
+        Per-cell mean seconds between whole-cell outages (exponential).
+        A cell outage crashes the cell's server *and* evacuates its
+        clients to surviving neighbor cells (multi-cell runs only —
+        requires ``SystemParams.roaming``).  0 disables sampled outages.
+    cell_downtime_mean:
+        Mean seconds a crashed cell stays down (exponential).
+    cell_crashes_at:
+        Explicit ``(cell_id, time)`` outage instants (overrides
+        ``cell_crash_mtbf``); each outage lasts ``cell_downtime``.
+    cell_downtime:
+        Fixed downtime used with ``cell_crashes_at``.
     clock_skew_max:
         Per-client clock offset drawn uniformly from ``[-max, +max]``
         seconds.  Protocol timestamps originate at the server, so skew
@@ -75,6 +87,10 @@ class ChaosConfig:
     server_downtime: float = 60.0
     client_crash_mtbf: float = 0.0
     client_crashes_at: Tuple[Tuple[int, float], ...] = ()
+    cell_crash_mtbf: float = 0.0
+    cell_downtime_mean: float = 120.0
+    cell_crashes_at: Tuple[Tuple[int, float], ...] = ()
+    cell_downtime: float = 120.0
     clock_skew_max: float = 0.0
     clock_drift_max: float = 0.0
 
@@ -84,6 +100,9 @@ class ChaosConfig:
             "server_downtime_mean",
             "server_downtime",
             "client_crash_mtbf",
+            "cell_crash_mtbf",
+            "cell_downtime_mean",
+            "cell_downtime",
             "clock_skew_max",
         ):
             if getattr(self, name) < 0:
@@ -96,6 +115,9 @@ class ChaosConfig:
         for cid, at in self.client_crashes_at:
             if cid < 0 or at <= 0:
                 raise ValueError("client crashes need id >= 0 and time > 0")
+        for cell, at in self.cell_crashes_at:
+            if cell < 0 or at <= 0:
+                raise ValueError("cell outages need cell >= 0 and time > 0")
 
     @property
     def crashes_server(self) -> bool:
@@ -108,6 +130,11 @@ class ChaosConfig:
         return self.client_crash_mtbf > 0 or bool(self.client_crashes_at)
 
     @property
+    def crashes_cells(self) -> bool:
+        """Whether this campaign ever takes a whole cell down."""
+        return self.cell_crash_mtbf > 0 or bool(self.cell_crashes_at)
+
+    @property
     def skews_clocks(self) -> bool:
         """Whether per-client clock models are active."""
         return self.clock_skew_max > 0 or self.clock_drift_max > 0
@@ -115,7 +142,12 @@ class ChaosConfig:
     @property
     def is_null(self) -> bool:
         """True when the config injects nothing at all."""
-        return not (self.crashes_server or self.crashes_clients or self.skews_clocks)
+        return not (
+            self.crashes_server
+            or self.crashes_clients
+            or self.crashes_cells
+            or self.skews_clocks
+        )
 
 
 @dataclass(frozen=True)
@@ -153,6 +185,10 @@ class ChaosSchedule:
         such a final outage simply never ends on-stage).
     client_crashes:
         ``(time, client_id)`` pairs in time order.
+    cell_outages:
+        ``(crash_at, restart_at, cell_id)`` triples in time order;
+        per-cell they are increasing and non-overlapping, clipped to the
+        horizon like server outages.
     clocks:
         Per-client :class:`ClockModel` (index = client id).
     """
@@ -162,10 +198,16 @@ class ChaosSchedule:
     server_outages: Tuple[Tuple[float, float], ...]
     client_crashes: Tuple[Tuple[float, int], ...]
     clocks: Tuple[ClockModel, ...] = field(default=())
+    cell_outages: Tuple[Tuple[float, float, int], ...] = ()
 
     @classmethod
     def build(
-        cls, config: ChaosConfig, horizon: float, n_clients: int, streams
+        cls,
+        config: ChaosConfig,
+        horizon: float,
+        n_clients: int,
+        streams,
+        n_cells: int = 1,
     ) -> "ChaosSchedule":
         """Expand *config* into a deterministic plan.
 
@@ -198,6 +240,28 @@ class ChaosSchedule:
                 restart = min(t + down, horizon)
                 outages.append((t, restart))
                 t = restart + stream.exponential(config.server_crash_mtbf)
+        cell_outages: List[Tuple[float, float, int]] = []
+        if config.cell_crashes_at:
+            down = max(config.cell_downtime, MIN_DOWNTIME)
+            busy_until: dict = {}
+            for cell, at in sorted(config.cell_crashes_at, key=lambda x: (x[1], x[0])):
+                if cell >= n_cells or at >= horizon or at < busy_until.get(cell, 0.0):
+                    continue  # clipped or overlapping that cell's previous outage
+                restart = min(at + down, horizon)
+                cell_outages.append((at, restart, cell))
+                busy_until[cell] = restart
+        elif config.cell_crash_mtbf > 0:
+            for cell in range(n_cells):
+                stream = streams.stream(f"{prefix}/cell-{cell}")
+                t = stream.exponential(config.cell_crash_mtbf)
+                while t < horizon:
+                    down = max(
+                        stream.exponential(config.cell_downtime_mean), MIN_DOWNTIME
+                    )
+                    restart = min(t + down, horizon)
+                    cell_outages.append((t, restart, cell))
+                    t = restart + stream.exponential(config.cell_crash_mtbf)
+        cell_outages.sort()
         crashes: List[Tuple[float, int]] = []
         if config.client_crash_mtbf > 0:
             for cid in range(n_clients):
@@ -233,6 +297,7 @@ class ChaosSchedule:
             server_outages=tuple(outages),
             client_crashes=tuple(crashes),
             clocks=clocks,
+            cell_outages=tuple(cell_outages),
         )
 
     def clock_for(self, client_id: int) -> Optional[ClockModel]:

@@ -26,7 +26,7 @@ from ..engine import Finding, ModuleInfo, Project, Rule, Severity, register_rule
 REGISTRY_PATH = "repro/schemes/registry.py"
 BASE_PATH = "repro/schemes/base.py"
 _POLICY_BASES = ("ServerPolicy", "ClientPolicy")
-_HOOK_PREFIXES = ("on_", "build_")
+_HOOK_PREFIXES = ("on_", "build_", "salvage_")
 
 
 def _is_bare_not_implemented(stmt: ast.stmt) -> Optional[bool]:

@@ -31,11 +31,12 @@ LAYER_DAG: Dict[str, Tuple[str, ...]] = {
     "cache": (),
     "analysis": (),
     "checks": (),
+    "topology": (),
     "db": ("des",),
     "net": ("des",),
     "reports": ("des",),
     "schemes": ("reports", "cache", "db"),
-    "sim": ("schemes", "net", "analysis"),
+    "sim": ("schemes", "net", "analysis", "topology"),
     "chaos": ("sim",),
     "experiments": ("chaos",),
 }

@@ -83,10 +83,87 @@ class Database:
         self.origin_time = now
         self.last_update.fill(NEVER)
         self._recency.clear()
+        self._clear_memos()
+
+    def _clear_memos(self):
         self._updated_since_key = None
         self._updated_since_result = []
         self._recency_order_key = None
         self._recency_order_result = []
+
+    # -- replica synchronisation (multi-cell; see repro.sim.propagation) -------
+
+    def apply_sync(self, item: int, ts: float, version: int) -> int:
+        """Apply one replicated update with an *absolute* version counter.
+
+        Unlike :meth:`apply_update` (which increments), a replica adopts
+        the origin's version number verbatim — combined signatures are a
+        pure function of the version array, so every cell must hold the
+        same counters for the same knowledge horizon.  Returns the old
+        version so the caller can forward the change to its policy.
+        """
+        self._check_item(item)
+        if ts < self.last_update[item]:
+            raise ValueError("sync time precedes the item's latest update")
+        old = int(self.version[item])
+        self.last_update[item] = ts
+        self.version[item] = version
+        self.total_updates += 1
+        self._recency[item] = ts
+        self._recency.move_to_end(item)
+        return old
+
+    def replace_history(self, floor: float, pairs, versions) -> List[Tuple[int, int, int]]:
+        """Adopt a feed snapshot: absolute versions, times known since *floor*.
+
+        *pairs* is ``(item, ts)`` most-recent-first (the
+        :meth:`updated_since` order) covering ``(floor, horizon]``;
+        *versions* is the feed's full version array as of that horizon.
+        Everything older than *floor* is forgotten — the replica's
+        history floor rises exactly like a crash restart's does.
+        Returns the ``(item, old_version, new_version)`` changes so the
+        caller can forward them to its scheme policy.
+        """
+        changed = [
+            (int(item), int(self.version[item]), int(versions[item]))
+            for item in np.nonzero(self.version != versions)[0]
+        ]
+        self.version[:] = versions
+        self.origin_time = floor
+        self.last_update.fill(NEVER)
+        self._recency.clear()
+        # Reversed: ascending time, reproducing the feed's recency order.
+        for item, ts in reversed(pairs):
+            self.last_update[item] = ts
+            self._recency[item] = ts
+        self.total_updates += 1
+        self._clear_memos()
+        return changed
+
+    def backfill_history(self, pairs, floor: float):
+        """Graft older update history below the current floor.
+
+        Cooperative salvage: a peer vouches for *every* update in
+        ``(floor, origin_time]`` with *pairs* (``(item, ts)``
+        most-recent-first).  Items we already track keep their newer
+        record; the rest slot in at the cold end of the recency index in
+        their original order.  ``origin_time`` drops to *floor*, so
+        window/BS report builders may now reach that far back.  Versions
+        need no patching — the replica's array is already correct as of
+        its horizon for every item, including backfilled ones.
+        """
+        recency = self._recency
+        for item, ts in pairs:
+            if item in recency:
+                continue
+            self._check_item(item)
+            recency[item] = ts
+            recency.move_to_end(item, last=False)
+            if self.last_update[item] == NEVER:
+                self.last_update[item] = ts
+        if floor < self.origin_time:
+            self.origin_time = floor
+        self._clear_memos()
 
     def read(self, item: int) -> Tuple[int, float]:
         """Return ``(version, last_update_time)`` of *item*."""

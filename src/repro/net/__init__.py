@@ -3,6 +3,7 @@ and deterministic fault injection."""
 
 from .channel import Channel, ChannelStats
 from .faults import Fate, FaultConfig, FaultModel, FaultStats
+from .intercell import InterCellLink
 from .messages import (
     BROADCAST,
     KIND_PRIORITY,
@@ -22,6 +23,7 @@ __all__ = [
     "FaultConfig",
     "FaultModel",
     "FaultStats",
+    "InterCellLink",
     "KIND_PRIORITY",
     "Message",
     "MessageKind",

@@ -36,7 +36,7 @@ class _Receiver:
 
     __slots__ = ("callback", "wired", "key", "dest", "listening")
 
-    def __init__(self, callback: Receiver, wired: bool, key: int, dest):
+    def __init__(self, callback: Receiver, wired: bool, key: int, dest, listening):
         self.callback = callback
         self.wired = wired
         #: Stable identity for fault judgment (Gilbert–Elliott chains are
@@ -46,7 +46,7 @@ class _Receiver:
         #: hears everything, like the server's uplink and the sender-side
         #: downlink bookkeeping).
         self.dest = dest
-        self.listening = True
+        self.listening = listening
 
 
 class ChannelStats:
@@ -155,7 +155,9 @@ class Channel:
 
     # -- public API ----------------------------------------------------------
 
-    def attach(self, receiver: Receiver, wired: bool = False, dest=None):
+    def attach(
+        self, receiver: Receiver, wired: bool = False, dest=None, listening: bool = True
+    ):
         """Register a delivery callback ``receiver(message, now)``.
 
         Every broadcast is offered to every *listening* receiver (see
@@ -166,12 +168,16 @@ class Channel:
         everything (the server's uplink, channel-level taps in tests).
         A *wired* receiver is bookkeeping on the sender's side of the
         air interface (e.g. the server watching its own downlink) and is
-        never subjected to fault injection.  Attaching the same callback
-        twice to one channel is an error.
+        never subjected to fault injection.  ``listening=False`` attaches
+        with the radio already powered down (a dozing client handing off
+        to a new cell mid-doze).  Attaching the same callback twice to
+        one channel is an error.
         """
         if receiver in self._by_cb:
             raise ValueError(f"{receiver!r} is already attached")
-        rec = _Receiver(receiver, wired, self._next_receiver_key, dest)
+        rec = _Receiver(
+            receiver, wired, self._next_receiver_key, dest, bool(listening)
+        )
         self._next_receiver_key += 1
         self._receivers.append(rec)
         self._by_cb[receiver] = rec

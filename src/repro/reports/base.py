@@ -116,6 +116,11 @@ class Report:
     #: been truncated and their ``Tlb``-certified knowledge is void.  The
     #: class default keeps pre-epoch pickles/tests valid.
     epoch: int = 0
+    #: Cell that broadcast this report (stamped like ``epoch``).  Epochs
+    #: are per-cell timelines, so a client that just handed off must
+    #: adopt the pair ``(cell, epoch)`` together rather than mistake a
+    #: neighbor's epoch counter for a restart of its old cell.
+    cell: int = 0
 
     @property
     def dedup_key(self) -> float:

@@ -306,6 +306,19 @@ class ServerPolicy:
     def on_item_update(self, item: int, old_version: int, new_version: int):
         """Observe a database update (used by signature schemes)."""
 
+    def salvage_floor(self, ctx) -> float:
+        """Oldest ``Tlb``/check timestamp this cell can answer honestly.
+
+        A ``Tlb`` upload or checking request reaching below this floor
+        refers to history the cell's database no longer holds; with
+        cooperative salvage on, the server backfills that history from a
+        neighbor cell before dispatching to the policy (see
+        docs/PROTOCOLS.md).  The default — the database's own history
+        floor — is right for every shipped scheme; schemes with extra
+        salvage state may override.
+        """
+        return ctx.db.origin_time
+
 
 class Scheme:
     """A named scheme: factories for its two policies."""

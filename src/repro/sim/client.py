@@ -53,9 +53,12 @@ class MobileClient:
         ir_channel: Channel = None,
         query_log=None,
         timeseries=None,
+        cell_id: int = 0,
     ):
         self.env = env
         self.client_id = client_id
+        #: Which cell's base station this client is associated with.
+        self.cell_id = cell_id
         self.params = params
         self.policy = policy
         self.query_pattern = query_pattern
@@ -91,6 +94,16 @@ class MobileClient:
         #: the server restarted and the history behind our ``Tlb`` is
         #: gone — the epoch state machine in :meth:`_on_downlink` purges.
         self._report_epoch = 0
+        #: Cell whose epoch timeline ``_report_epoch`` belongs to.  None
+        #: right after a handoff: the first report heard in the new cell
+        #: adopts its ``(cell, epoch)`` pair without purging — protocol
+        #: timestamps are global, so certifications travel with the
+        #: client (see docs/PROTOCOLS.md).
+        self._report_cell: Optional[int] = cell_id
+        #: Roaming hook installed by the multi-cell model (None at N=1 —
+        #: an attribute test per wake-up, nothing more).  Called with
+        #: ``(client, now)`` when the client wakes from a disconnection.
+        self._roam = None
         #: Clock error injected by the chaos layer (see ClockModel):
         #: defaults are a perfect clock and are exactly free — ``d * 1.0``
         #: is bit-identical in IEEE arithmetic.
@@ -229,6 +242,40 @@ class MobileClient:
         self.policy.on_reconnect(self, now)
         self._fire_ready()
 
+    # -- roaming (driven by repro.sim.multicell.MultiCellModel) -----------------
+
+    def hand_off(self, cell_id: int, downlink: Channel, uplink: Channel,
+                 ir_channel: Optional[Channel] = None):
+        """Re-associate with *cell_id*'s base station.
+
+        The radio re-attaches to the new cell's channels (keeping its
+        doze/wake state); cache, ``Tlb`` and all certifications travel
+        untouched — timestamps are global, so the new cell's reports
+        judge them honestly.  Report bookkeeping resets to the
+        "just (re)connected" state: the first report heard here adopts
+        the new cell's (cell, epoch) identity, and a gap is expected
+        rather than evidence of wireless loss.  Any exchange in flight
+        toward the old cell is stranded; the retry layer re-issues it on
+        the new uplink (roaming therefore requires ``uplink_timeout``).
+        """
+        self.downlink.detach(self._on_downlink)
+        if self._ir_channel is not None:
+            self._ir_channel.detach(self._on_downlink)
+        self.downlink = downlink
+        self.uplink = uplink
+        self._ir_channel = ir_channel
+        downlink.attach(
+            self._on_downlink, dest=self.client_id, listening=self.connected
+        )
+        if ir_channel is not None:
+            ir_channel.attach(
+                self._on_downlink, dest=self.client_id, listening=self.connected
+            )
+        self.cell_id = cell_id
+        self._report_cell = None
+        self._last_report_applied = None
+        self._last_report_heard = None
+
     def _charge_tx(self, bits: float):
         self._m_energy_tx.add(self._tx_nj_per_bit * bits)
 
@@ -268,9 +315,16 @@ class MobileClient:
                 # count the discard (the radio still listened) and stop.
                 self._m_ir_duplicates.add()
                 return
-            self._last_report_applied = report_ts
             epoch = report.epoch
-            if epoch != self._report_epoch or (
+            if self._report_cell is None:
+                # First report after a handoff: adopt the new cell's
+                # (cell, epoch) identity without purging.  Protocol
+                # timestamps are global, so everything certified under
+                # the old cell stays certified — the coverage checks
+                # below judge it against this cell's history honestly.
+                self._report_cell = report.cell
+                self._report_epoch = epoch
+            elif epoch != self._report_epoch or report.cell != self._report_cell or (
                 prev_applied is not None and report_ts < prev_applied
             ):
                 # The server restarted under us (a timeline regression is
@@ -281,10 +335,21 @@ class MobileClient:
                 # report certifies the emptied cache.
                 self.metrics.counter(m.EPOCH_PURGES).add()
                 self.policy.on_epoch_change(self, self._report_epoch, epoch, now)
+                self._report_cell = report.cell
                 self._report_epoch = epoch
                 self._validation_pending = False
                 self._last_report_heard = None
                 self.tlb = report_ts
+            if report_ts < self.tlb:
+                # A lagging cell: the roamer's Tlb already certifies past
+                # this report's horizon, so applying it would regress
+                # knowledge (and wrongly purge).  Skip it; queries may
+                # proceed unless an unreconciled fetch needs a report.
+                self.metrics.counter(m.ROAM_LAGGED_REPORTS).add()
+                if not self.cache.unreconciled:
+                    self._fire_ready()
+                return
+            self._last_report_applied = report_ts
             # Missed-report detection, inlined: a decoded report one
             # interval after the previous one (the overwhelmingly common
             # case) needs no gap analysis.
@@ -434,6 +499,10 @@ class MobileClient:
                 self._disc_stream.exponential(params.disconnect_time_mean)
                 * self._clock_rate
             )
+            if self._roam is not None:
+                # Multi-cell: a waking client may find itself under a
+                # different base station (it moved while dozing).
+                self._roam(self, env.now)
             self.connected = True
             self._set_listening(True)
             self._validation_pending = False

@@ -53,6 +53,24 @@ EPOCH_PURGES = "chaos.epoch_purges"           # clients reacting to a new epoch
 UPLINK_SHED_CRASHED = "server.uplink_shed_crashed"
 ORACLE_PENDING = "oracle.queries_pending"     # generated - answered at horizon
 ORACLE_LIVENESS_OK = "oracle.liveness_ok"     # 1.0 when the ledger balances
+# Multi-cell roaming + inter-server sync (all zero at N=1 / roaming off).
+ROAM_HANDOFFS = "roam.handoffs"               # voluntary wake-time handoffs
+ROAM_EVACUATIONS = "roam.evacuations"         # handoffs forced by a cell outage
+ROAM_LAGGED_REPORTS = "roam.lagged_reports"   # reports older than the roamer's Tlb
+SYNC_PUSHES = "sync.pushes"                   # eager deltas applied
+SYNC_PULLS = "sync.pulls"                     # pull rounds issued
+SYNC_RETRIES = "sync.retries"                 # pull retransmissions
+SYNC_FAILURES = "sync.failures"               # pull rounds abandoned
+SYNC_SNAPSHOTS = "sync.snapshots"             # floor-raising snapshot adoptions
+SYNC_LOST_MESSAGES = "sync.lost_messages"     # inter-cell link losses observed
+SYNC_SKIPPED_TICKS = "sync.skipped_ticks"     # broadcasts skipped: stalled horizon
+COOP_REQUESTS = "coop.requests"               # salvage backfills asked of neighbors
+COOP_BACKFILLS = "coop.backfills"             # histories successfully grafted
+COOP_REFUSALS = "coop.refusals"               # neighbor could not cover the gap
+COOP_FAILURES = "coop.failures"               # every neighbor ask lost/refused
+CELL_CRASHES = "chaos.cell_crashes"
+CELL_RESTARTS = "chaos.cell_restarts"
+UPLINK_SHED_UNSYNCED = "server.uplink_shed_unsynced"
 
 REPORT_COUNT_PREFIX = "reports."   # + ReportKind.value
 
@@ -146,6 +164,21 @@ class SimulationResult:
     def epoch_purges(self) -> float:
         """Client purges triggered by an incarnation-epoch change."""
         return self.counter(EPOCH_PURGES)
+
+    @property
+    def handoffs(self) -> float:
+        """Cell handoffs (voluntary roams + outage evacuations)."""
+        return self.counter(ROAM_HANDOFFS) + self.counter(ROAM_EVACUATIONS)
+
+    @property
+    def cell_crashes(self) -> float:
+        """Whole-cell outages the chaos layer injected."""
+        return self.counter(CELL_CRASHES)
+
+    @property
+    def coop_backfills(self) -> float:
+        """Neighbor-cell history grafts that saved a roamer's salvage."""
+        return self.counter(COOP_BACKFILLS)
 
     @property
     def queries_pending(self) -> float:

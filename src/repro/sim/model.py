@@ -52,20 +52,12 @@ class SimulationModel:
             else None
         )
 
-        # Fault injection: one model (own RNG stream, own Gilbert–Elliott
-        # chains) per impaired channel, so runs stay reproducible and the
-        # fault streams never perturb the rest of the simulation.
-        def fault_model(config, channel_name):
-            if config is None:
-                return None
-            return FaultModel(config, self.streams.stream(f"faults/{channel_name}"))
-
         self.downlink = Channel(
             self.env,
             params.downlink_bps,
             name="downlink",
             preempt_threshold=PRIORITY_IR,
-            faults=fault_model(params.downlink_faults, "downlink"),
+            faults=self._fault_model(params.downlink_faults, "downlink"),
         )
         # Tiny control payloads (Tlb, checking) must not starve behind
         # multi-second data requests on a narrow uplink; the paper gives
@@ -75,7 +67,7 @@ class SimulationModel:
             params.effective_uplink_bps,
             name="uplink",
             preempt_threshold=PRIORITY_CHECK,
-            faults=fault_model(params.uplink_faults, "uplink"),
+            faults=self._fault_model(params.uplink_faults, "uplink"),
         )
 
         # Optional dedicated report channel (the paper's multiple-channel
@@ -86,7 +78,7 @@ class SimulationModel:
                 params.ir_channel_bps,
                 name="ir-channel",
                 preempt_threshold=PRIORITY_IR,
-                faults=fault_model(params.downlink_faults, "ir-channel"),
+                faults=self._fault_model(params.downlink_faults, "ir-channel"),
             )
             if params.ir_channel_bps is not None
             else None
@@ -115,24 +107,31 @@ class SimulationModel:
             on_update=self._on_item_update,
         )
 
-        self.clients: List[MobileClient] = [
-            MobileClient(
-                self.env,
-                client_id=cid,
-                params=params,
-                policy=scheme.make_client_policy(params, cid),
-                query_pattern=workload.query_pattern(params.db_size, cid),
-                downlink=self.downlink,
-                uplink=self.uplink,
-                metrics=self.metrics,
-                streams=self.streams,
-                update_log=self.update_log,
-                ir_channel=self.ir_channel,
-                query_log=self.query_log,
-                timeseries=self.timeseries,
+        #: Cell count (the multi-cell subclass raises it in _build_cells).
+        self.n_cells = 1
+        self._build_cells()
+
+        self.clients: List[MobileClient] = []
+        for cid in range(params.n_clients):
+            cell_id, downlink, uplink, ir_channel = self._client_home(cid)
+            self.clients.append(
+                MobileClient(
+                    self.env,
+                    client_id=cid,
+                    params=params,
+                    policy=scheme.make_client_policy(params, cid),
+                    query_pattern=workload.query_pattern(params.db_size, cid),
+                    downlink=downlink,
+                    uplink=uplink,
+                    metrics=self.metrics,
+                    streams=self.streams,
+                    update_log=self.update_log,
+                    ir_channel=ir_channel,
+                    query_log=self.query_log,
+                    timeseries=self.timeseries,
+                    cell_id=cell_id,
+                )
             )
-            for cid in range(params.n_clients)
-        ]
 
         #: Endpoint-failure injection (None with chaos off — zero cost).
         self.chaos = None
@@ -141,6 +140,24 @@ class SimulationModel:
             from ..chaos.injector import ChaosInjector
 
             self.chaos = ChaosInjector(self, params.chaos)
+
+    # -- subclass hooks (multi-cell; see repro.sim.multicell) -----------------
+
+    def _fault_model(self, config, channel_name: str):
+        """A seeded :class:`FaultModel` for one channel (None with faults off)."""
+        if config is None:
+            return None
+        return FaultModel(config, self.streams.stream(f"faults/{channel_name}"))
+
+    def _build_cells(self):
+        """Hook: construct the extra cells.  The base model is one cell."""
+
+    def _client_home(self, cid: int):
+        """Hook: ``(cell_id, downlink, uplink, ir_channel)`` for a client."""
+        return 0, self.downlink, self.uplink, self.ir_channel
+
+    def _collect_extra_telemetry(self, result: SimulationResult):
+        """Hook: let subclasses append telemetry to the finished result."""
 
     def _on_item_update(self, item: int, now: float):
         server = self.server
@@ -207,4 +224,5 @@ class SimulationModel:
 
             result.raw[EST_LOSS] = controller.estimate
             result.raw["server.w_eff_last"] = float(controller.w_eff)
+        self._collect_extra_telemetry(result)
         return result

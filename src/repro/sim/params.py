@@ -8,6 +8,7 @@ from typing import TYPE_CHECKING, Optional
 from ..net.faults import FaultConfig
 from ..reports.sizes import DEFAULT_TIMESTAMP_BITS
 from ..schemes.loss_adaptive import LossAdaptationConfig
+from ..topology import RoamingConfig
 from .energy import EnergyModel
 
 if TYPE_CHECKING:  # ARCH001: chaos sits above sim in the layering DAG
@@ -112,6 +113,12 @@ class SystemParams:
     #: default) injects nothing and is bit-identical to the seed; an
     #: all-zero :class:`ChaosConfig` is equally inert.
     chaos: Optional[ChaosConfig] = None
+    #: Multi-cell topology + roaming knob group (see :mod:`repro.topology`):
+    #: a cell graph of per-cell servers kept in sync by inter-server
+    #: propagation, with clients handing off between cells.  ``None``
+    #: (the default) is today's single cell; an N=1 topology is
+    #: bit-identical to it (pinned by tests/sim/test_multicell.py).
+    roaming: Optional[RoamingConfig] = None
     #: Promote staleness tracking into a hard safety oracle: any stale
     #: cache hit raises :class:`repro.chaos.StalenessViolation` with a
     #: full diagnostic trace instead of merely incrementing the counter.
@@ -184,6 +191,28 @@ class SystemParams:
                 raise ValueError(
                     "server-crash chaos requires uplink_timeout (the retry "
                     "layer) so shed uplink requests are retransmitted"
+                )
+            if self.chaos.crashes_cells and self.roaming is None:
+                raise ValueError(
+                    "cell-outage chaos requires the roaming knob group "
+                    "(SystemParams.roaming): without a topology there is "
+                    "no cell to crash or to evacuate clients to"
+                )
+        if self.roaming is not None:
+            if not isinstance(self.roaming, RoamingConfig):
+                raise ValueError("roaming must be a RoamingConfig or None")
+            if self.roaming.n_cells > 1 and self.uplink_timeout is None:
+                # A handoff strands any exchange in flight toward the old
+                # cell; the retry layer is what re-issues it to the new
+                # one, so multi-cell roaming cannot run without it.
+                raise ValueError(
+                    "multi-cell roaming requires uplink_timeout (the retry "
+                    "layer) so exchanges stranded by a handoff are re-sent"
+                )
+            if self.roaming.n_cells > 1 and self.publish_per_interval > 0:
+                raise ValueError(
+                    "publishing mode is single-cell only (per-cell publish "
+                    "schedules are not modelled); disable one of the knobs"
                 )
         if self.strict_staleness and not self.track_staleness:
             raise ValueError("strict_staleness requires track_staleness")

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..db.database import NEVER
 from ..des import Environment, LOW
 from ..des.monitor import MetricSet
 from ..net import BROADCAST, Channel, Message, MessageKind, SERVER_ID
@@ -38,10 +39,26 @@ class Server:
         uplink: Channel,
         metrics: MetricSet,
         ir_channel: Channel = None,
+        cell_id: int = 0,
     ):
         self.env = env
         self.params = params
         self.db = db
+        #: Which cell this server covers (0 = the gateway, colocated with
+        #: the origin database — today's single-cell server exactly).
+        self.cell_id = cell_id
+        #: Inter-server synchronizer keeping a *replica* database current
+        #: (see repro.sim.propagation).  None on the gateway and at N=1:
+        #: this server reads the origin database directly and its
+        #: knowledge horizon is always ``env.now``.
+        self.sync = None
+        #: Cooperative-salvage endpoint (multi-cell only; None = answer
+        #: every upload from local history, the single-cell behaviour).
+        self.coop = None
+        #: Timestamp of the last report broadcast (fed cells only): a
+        #: stalled knowledge horizon must skip ticks, never re-broadcast
+        #: an instant already reported.
+        self._last_report_ts = 0.0
         self.policy = policy
         self.downlink = downlink
         self.uplink = uplink
@@ -109,6 +126,21 @@ class Server:
                 # preserved across the outage — a restarted server
                 # resumes the exact cadence clients expect.
                 continue
+            sync = self.sync
+            if sync is None:
+                report_now = env.now
+            else:
+                # A fed cell's reports speak as of its knowledge horizon,
+                # not wall-clock time: the replica is complete exactly up
+                # to the horizon, so a report stamped there makes only
+                # claims it can back.  A stalled horizon (feed down, link
+                # out) skips the tick — silence degrades gracefully into
+                # the clients' missed-report machinery, a lie does not.
+                report_now = sync.horizon
+                if report_now <= self._last_report_ts:
+                    self.metrics.counter(m.SYNC_SKIPPED_TICKS).add()
+                    continue
+                self._last_report_ts = report_now
             if self.loss_controller is not None:
                 # Fold last interval's loss evidence into the estimate and
                 # advertise the (possibly widened) window to the policy.
@@ -117,8 +149,9 @@ class Server:
                     self.loss_controller.effective_window_seconds
                 )
                 self.metrics.tally(m.W_EFF).observe(float(w_eff))
-            report = self.policy.build_report(self, env.now)
+            report = self.policy.build_report(self, report_now)
             report.epoch = self.epoch
+            report.cell = self.cell_id
             self.metrics.counter(
                 f"{m.REPORT_COUNT_PREFIX}{report.kind.value}"
             ).add()
@@ -186,15 +219,23 @@ class Server:
         # their clients' retry timers must do the recovering.
         self._pending_data.clear()
 
-    def restart(self, now: float, policy):
+    def restart(self, now: float, policy, replica_db=None):
         """Bring a fresh incarnation up at *now* with a rebuilt *policy*.
 
         Everything in-memory is rebuilt from the durable database: update
         *times* are gone (``db.forget_history``), so the new incarnation
         treats *now* as its history floor; the epoch bump tells clients
         their old ``Tlb`` certifications are void.
+
+        A *fed* cell restarts differently: its database was never durable
+        (it is a replica), so the caller hands in a blank *replica_db*
+        and the synchronizer resyncs it from the feed — until then the
+        knowledge horizon is ``NEVER`` and uplink arrivals are shed.
         """
-        self.db.forget_history(now)
+        if replica_db is None:
+            self.db.forget_history(now)
+        else:
+            self.db = replica_db
         self.policy = policy
         self.epoch += 1
         self.crashed = False
@@ -211,12 +252,29 @@ class Server:
 
     # -- uplink handling ---------------------------------------------------------
 
+    def _knowledge_now(self, now: float) -> float:
+        """The instant this cell's database is complete through.
+
+        ``now`` itself for the gateway; a fed cell's replica only
+        reflects updates up to its sync horizon, so every policy call
+        (report building, checking answers, ``Tlb`` handling) and every
+        served item must speak as of that earlier instant.
+        """
+        sync = self.sync
+        return now if sync is None else sync.horizon
+
     def _on_uplink(self, msg: Message, now: float):
         if self.crashed:
             # A dead process answers nothing: shed the arrival so the
             # client's timeout/retry lifecycle engages instead of the
             # request queueing forever against a dead receiver.
             self.metrics.counter(m.UPLINK_SHED_CRASHED).add()
+            return
+        if self.sync is not None and self.sync.horizon == NEVER:
+            # A restarted replica that has not resynced yet knows nothing
+            # at all — answering would fabricate knowledge.  Shed like a
+            # crash; the resync completes within the next sync round.
+            self.metrics.counter(m.UPLINK_SHED_UNSYNCED).add()
             return
         if msg.corrupted or not self._well_formed(msg):
             # Bit errors on the uplink (or garbage from a buggy client)
@@ -228,7 +286,13 @@ class Server:
                 # Salvage traffic is (weak) loss evidence: clients that
                 # fell out of the window may have lost reports on the air.
                 self.loss_controller.observe_salvage()
-            self.policy.on_tlb(self, msg.src, msg.payload, now)
+            coop = self.coop
+            if coop is not None and msg.payload < self.policy.salvage_floor(self):
+                # The roamer's Tlb predates our history floor: ask the
+                # neighbors to backfill before the policy judges it.
+                coop.backfill_then(msg.payload, self._resume_tlb, msg)
+            else:
+                self.policy.on_tlb(self, msg.src, msg.payload, self._knowledge_now(now))
         elif msg.kind is MessageKind.IR_NACK:
             self.metrics.counter(m.NACKS_RECEIVED).add()
             if self.loss_controller is not None:
@@ -260,9 +324,24 @@ class Server:
         # Downlink-only kinds have no business on the uplink.
         return False
 
+    def _resume_tlb(self, msg: Message):
+        """Dispatch a ``Tlb`` upload deferred for cooperative backfill."""
+        self.policy.on_tlb(
+            self, msg.src, msg.payload, self._knowledge_now(self.env.now)
+        )
+
     def _answer_check(self, msg: Message, now: float):
+        coop = self.coop
+        if coop is not None and msg.payload:
+            need = min(ts for _item, ts in msg.payload)
+            if need < self.policy.salvage_floor(self):
+                coop.backfill_then(need, self._finish_check, msg)
+                return
+        self._finish_check(msg)
+
+    def _finish_check(self, msg: Message):
         invalid, certified_at, reply_bits = self.policy.on_check_request(
-            self, msg.src, msg.payload, now
+            self, msg.src, msg.payload, self._knowledge_now(self.env.now)
         )
         self._m_downlink_validity_bits.add(reply_bits)
         self.downlink.send(
@@ -300,9 +379,10 @@ class Server:
             payload={
                 "item": item,
                 "version": version,
-                # The value reflects all updates up to this instant; any
+                # The value reflects all updates up to the cell's
+                # knowledge horizon (= this instant on the gateway); any
                 # later update will appear in a subsequent report.
-                "coherent_ts": now,
+                "coherent_ts": self._knowledge_now(now),
                 "requesters": requesters,
             },
             # Same (mutable) set: the channel dispatches the broadcast

@@ -1,0 +1,28 @@
+"""Multi-cell topologies: cell graphs and the roaming knob group.
+
+One :class:`CellGraph` describes the fixed network joining the cells'
+base stations (cell 0 is the gateway, colocated with the origin
+database); :class:`RoamingConfig` bundles every multi-cell knob the
+simulation reads.  The package is a leaf in the layering DAG: it knows
+nothing about channels, servers or schemes.
+"""
+
+from .config import (
+    EAGER_PUSH,
+    LAZY_PULL,
+    PARENT_CACHE,
+    PROPAGATION_MODES,
+    RoamingConfig,
+    TopologyConfig,
+)
+from .graph import CellGraph
+
+__all__ = [
+    "CellGraph",
+    "EAGER_PUSH",
+    "LAZY_PULL",
+    "PARENT_CACHE",
+    "PROPAGATION_MODES",
+    "RoamingConfig",
+    "TopologyConfig",
+]

@@ -1,0 +1,158 @@
+"""The multi-cell knob group: topology shape + roaming/propagation knobs.
+
+``SystemParams.roaming`` holds one :class:`RoamingConfig` (or None — the
+single-cell seed behaviour, bit-identical to a run without the knob
+group).  Validation happens here so every inconsistent combination dies
+with a clear error before a simulation is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import CellGraph
+
+#: Origin pushes every update (plus horizon heartbeats) to every cell.
+EAGER_PUSH = "eager_push"
+#: Every cell pulls a delta from the origin once per broadcast interval.
+LAZY_PULL = "lazy_pull"
+#: Cells pull from their tree parent; only depth-1 cells hit the origin.
+PARENT_CACHE = "parent_cache"
+
+PROPAGATION_MODES = (EAGER_PUSH, LAZY_PULL, PARENT_CACHE)
+
+_TOPOLOGY_KINDS = ("path", "tree", "grid")
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Shape of the cell graph (see :class:`~repro.topology.CellGraph`).
+
+    Attributes
+    ----------
+    kind:
+        ``path``, ``tree`` or ``grid``.
+    n_cells:
+        Total cells; 1 means "today's single cell" and must be
+        bit-identical to a run without any topology at all.
+    branching:
+        Fan-out per tree node (``tree`` only).
+    grid_cols:
+        Columns of the mesh (``grid`` only); rows follow from
+        ``n_cells`` and must divide it evenly.
+    link_latency:
+        One-way latency of every inter-cell link, seconds.
+    """
+
+    kind: str = "path"
+    n_cells: int = 1
+    branching: int = 2
+    grid_cols: int = 0
+    link_latency: float = 0.05
+
+    def __post_init__(self):
+        if self.kind not in _TOPOLOGY_KINDS:
+            raise ValueError(
+                f"unknown topology kind {self.kind!r}; choose from {_TOPOLOGY_KINDS}"
+            )
+        if self.n_cells < 1:
+            raise ValueError("n_cells must be >= 1")
+        if self.link_latency <= 0:
+            raise ValueError("link_latency must be positive")
+        if self.kind == "tree" and self.branching < 1:
+            raise ValueError("tree topologies need branching >= 1")
+        if self.kind == "grid" and self.n_cells > 1:
+            if self.grid_cols < 1:
+                raise ValueError("grid topologies need grid_cols >= 1")
+            if self.n_cells % self.grid_cols != 0:
+                raise ValueError("grid_cols must divide n_cells evenly")
+
+    def build(self) -> CellGraph:
+        """Materialize the configured :class:`CellGraph`."""
+        if self.n_cells == 1:
+            return CellGraph(1, {})
+        if self.kind == "path":
+            return CellGraph.path(self.n_cells, self.link_latency)
+        if self.kind == "tree":
+            return CellGraph.tree(self.n_cells, self.branching, self.link_latency)
+        return CellGraph.grid(
+            self.n_cells // self.grid_cols, self.grid_cols, self.link_latency
+        )
+
+
+@dataclass(frozen=True)
+class RoamingConfig:
+    """Every knob the multi-cell layer reads (default: inert at N=1).
+
+    Attributes
+    ----------
+    topology:
+        The cell graph shape.
+    propagation:
+        Inter-server update propagation mode (one of
+        :data:`PROPAGATION_MODES`).
+    roam_prob:
+        Probability that a client waking from a disconnection hands off
+        to a random alive neighbor cell instead of staying put.
+    link_loss_prob:
+        Per-message loss probability on every inter-cell link (the wired
+        backbone is reliable by default; lossy links exercise the sync
+        retry/backoff path).
+    sync_margin:
+        Scheduling slack, seconds: how far ahead of each broadcast tick
+        a cell aims to finish its sync round, and the grace added to
+        every sync-reply timeout.
+    max_sync_retries:
+        Retransmissions of one sync pull (or cooperative-salvage ask)
+        after the first attempt before the round is abandoned.
+    sync_backoff:
+        Exponential backoff multiplier on the sync-reply timeout.
+    sync_replay_intervals:
+        Depth of the feed's replayable update log, in broadcast
+        intervals.  A cell whose knowledge horizon falls further behind
+        than this (a restarted replica, a long link outage) receives a
+        version *snapshot* with a raised history floor instead of a
+        seamless delta — the multi-cell analogue of the PR 4 restart
+        floor, and the gap cooperative salvage exists to fill.
+    cooperative_salvage:
+        When True, a cell facing a ``Tlb``/check older than its own
+        history floor asks neighbor cells to backfill the missing
+        update history before answering, instead of forcing the roamer
+        into a full purge.
+    """
+
+    topology: TopologyConfig = TopologyConfig()
+    propagation: str = LAZY_PULL
+    roam_prob: float = 0.0
+    link_loss_prob: float = 0.0
+    sync_margin: float = 1.0
+    max_sync_retries: int = 3
+    sync_backoff: float = 2.0
+    sync_replay_intervals: float = 50.0
+    cooperative_salvage: bool = True
+
+    def __post_init__(self):
+        if not isinstance(self.topology, TopologyConfig):
+            raise ValueError("topology must be a TopologyConfig")
+        if self.propagation not in PROPAGATION_MODES:
+            raise ValueError(
+                f"unknown propagation mode {self.propagation!r}; "
+                f"choose from {PROPAGATION_MODES}"
+            )
+        if not 0.0 <= self.roam_prob <= 1.0:
+            raise ValueError("roam_prob must be in [0, 1]")
+        if not 0.0 <= self.link_loss_prob < 1.0:
+            raise ValueError("link_loss_prob must be in [0, 1)")
+        if self.sync_margin <= 0:
+            raise ValueError("sync_margin must be positive")
+        if self.max_sync_retries < 0:
+            raise ValueError("max_sync_retries must be >= 0")
+        if self.sync_backoff < 1.0:
+            raise ValueError("sync_backoff must be >= 1")
+        if self.sync_replay_intervals <= 0:
+            raise ValueError("sync_replay_intervals must be positive")
+
+    @property
+    def n_cells(self) -> int:
+        """Cell count, straight from the topology."""
+        return self.topology.n_cells

@@ -1,0 +1,142 @@
+"""Cell graphs: the wired backbone joining the cells' base stations.
+
+A :class:`CellGraph` is a small undirected graph with one per-link
+latency.  Cell 0 is always the *gateway* — the cell whose base station
+is colocated with the origin database — so every graph must be connected
+and rooted there.  Shortest paths (by latency) toward the gateway give
+each cell a parent and a depth; the hierarchical parent-cache
+propagation mode syncs along exactly that tree.
+
+The three builders (path, tree, grid) mirror the classic cache-network
+scenario shapes; all number cells so that a cell's parent always has a
+smaller id, which lets the simulation wire feeds in plain id order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Mapping, Tuple
+
+
+class CellGraph:
+    """An undirected cell graph with per-link latencies, rooted at cell 0.
+
+    Parameters
+    ----------
+    n_cells:
+        Number of cells; ids are ``0..n_cells-1``.
+    links:
+        ``{(a, b): latency_seconds}`` with ``a < b``; the graph must be
+        connected.
+    """
+
+    def __init__(self, n_cells: int, links: Mapping[Tuple[int, int], float]):
+        if n_cells < 1:
+            raise ValueError("a topology needs at least one cell")
+        self.n_cells = int(n_cells)
+        normalized: Dict[Tuple[int, int], float] = {}
+        adjacency: Dict[int, Dict[int, float]] = {c: {} for c in range(n_cells)}
+        for (a, b), latency in links.items():
+            if not (0 <= a < n_cells and 0 <= b < n_cells):
+                raise ValueError(f"link ({a}, {b}) outside the cell range")
+            if a == b:
+                raise ValueError(f"self-link on cell {a}")
+            if latency <= 0:
+                raise ValueError(f"link ({a}, {b}) needs a positive latency")
+            key = (a, b) if a < b else (b, a)
+            if key in normalized:
+                raise ValueError(f"duplicate link {key}")
+            normalized[key] = float(latency)
+            adjacency[a][b] = float(latency)
+            adjacency[b][a] = float(latency)
+        self.links = normalized
+        self._adjacency = adjacency
+        self._neighbors = {
+            cell: tuple(sorted(adjacency[cell])) for cell in range(n_cells)
+        }
+        self._dist, self._parent, self._depth = self._shortest_paths_to_gateway()
+        self.max_depth = max(self._depth.values())
+
+    def _shortest_paths_to_gateway(self):
+        """Dijkstra from cell 0; ties break toward the lower parent id."""
+        dist = {0: 0.0}
+        parent: Dict[int, int] = {0: 0}
+        depth = {0: 0}
+        frontier: List[Tuple[float, int, int, int]] = [(0.0, 0, 0, 0)]
+        while frontier:
+            d, hops, via, cell = heapq.heappop(frontier)
+            if d > dist.get(cell, float("inf")):
+                continue
+            for nxt, latency in self._adjacency[cell].items():
+                nd = d + latency
+                if nd < dist.get(nxt, float("inf")):
+                    dist[nxt] = nd
+                    parent[nxt] = cell
+                    depth[nxt] = hops + 1
+                    heapq.heappush(frontier, (nd, hops + 1, cell, nxt))
+        if len(dist) != self.n_cells:
+            missing = sorted(set(range(self.n_cells)) - set(dist))
+            raise ValueError(f"cells {missing} are unreachable from the gateway")
+        return dist, parent, depth
+
+    def __repr__(self):
+        return f"<CellGraph n={self.n_cells} links={len(self.links)}>"
+
+    def neighbors(self, cell: int) -> Tuple[int, ...]:
+        """Directly linked cells, in ascending id order."""
+        return self._neighbors[cell]
+
+    def link_latency(self, a: int, b: int) -> float:
+        """Latency of the direct link between *a* and *b*."""
+        key = (a, b) if a < b else (b, a)
+        try:
+            return self.links[key]
+        except KeyError:
+            raise ValueError(f"cells {a} and {b} are not directly linked")
+
+    def parent_of(self, cell: int) -> int:
+        """First hop of *cell*'s shortest path toward the gateway."""
+        return self._parent[cell]
+
+    def depth(self, cell: int) -> int:
+        """Hop count of *cell*'s shortest path to the gateway."""
+        return self._depth[cell]
+
+    def gateway_latency(self, cell: int) -> float:
+        """Total latency of *cell*'s shortest path to the gateway."""
+        return self._dist[cell]
+
+    # -- builders --------------------------------------------------------------
+
+    @classmethod
+    def path(cls, n_cells: int, link_latency: float) -> "CellGraph":
+        """A chain ``0 - 1 - ... - (n-1)``."""
+        links = {(i, i + 1): link_latency for i in range(n_cells - 1)}
+        return cls(n_cells, links)
+
+    @classmethod
+    def tree(cls, n_cells: int, branching: int, link_latency: float) -> "CellGraph":
+        """A complete-ish tree rooted at the gateway.
+
+        Cell ``i``'s parent is ``(i - 1) // branching`` (breadth-first
+        numbering), so parents always carry smaller ids.
+        """
+        if branching < 1:
+            raise ValueError("tree branching must be >= 1")
+        links = {((i - 1) // branching, i): link_latency for i in range(1, n_cells)}
+        return cls(n_cells, links)
+
+    @classmethod
+    def grid(cls, rows: int, cols: int, link_latency: float) -> "CellGraph":
+        """A ``rows x cols`` mesh; cell id is ``r * cols + c``."""
+        if rows < 1 or cols < 1:
+            raise ValueError("grid needs at least one row and one column")
+        links = {}
+        for r in range(rows):
+            for c in range(cols):
+                cell = r * cols + c
+                if c + 1 < cols:
+                    links[(cell, cell + 1)] = link_latency
+                if r + 1 < rows:
+                    links[(cell, cell + cols)] = link_latency
+        return cls(rows * cols, links)

@@ -1,0 +1,151 @@
+"""Roaming-storm chaos campaigns: cell outages under the strict oracle.
+
+Four guarantees are pinned here:
+
+1. **Campaign safety** — every registered scheme survives a seeded
+   multi-cell campaign (cell outages mid-run forcing mass handoffs)
+   under *both* eager-push and lazy-pull propagation with zero stale
+   hits, a balanced liveness ledger and a SAFE oracle verdict.
+2. **The storm is real** — each campaign cell actually crashes cells,
+   evacuates residents and hands clients off; the assertions cannot
+   pass on a quiet run.
+3. **Cooperative salvage pays** — with a fed cell's history amnesia
+   (post-outage snapshot resync), neighbor backfills turn would-be full
+   cache purges into ordinary salvages; switching cooperation off makes
+   the same scenario measurably costlier (more full drops), never less
+   safe.
+4. **Reproducibility** — a multi-cell chaos run is a pure function of
+   its seeds: identical params give identical raw snapshots.
+"""
+
+import pytest
+
+from repro.chaos import ChaosConfig
+from repro.sim import UNIFORM, run_simulation
+from repro.sim.params import SystemParams
+from repro.topology import EAGER_PUSH, LAZY_PULL, RoamingConfig, TopologyConfig
+
+#: Fixed rotation (the run-time registry may hold test-registered
+#: schemes): every scheme faces both propagation modes.
+SCHEMES = ("aaw", "afw", "at", "bs", "checking", "gcore", "sig", "ts")
+
+#: Sampled whole-cell outages: with MTBF 1500 s per cell over 4000 s on
+#: four cells, every seed below produces several outages (asserted).
+STORM = dict(cell_crash_mtbf=1500.0, cell_downtime_mean=300.0)
+
+
+def storm_params(*, seed, propagation, chaos_seed, coop=True, **overrides):
+    merged = dict(
+        simulation_time=4000.0,
+        n_clients=24,
+        db_size=500,
+        uplink_timeout=8.0,
+        strict_staleness=True,
+        disconnect_prob=0.3,
+        disconnect_time_mean=200.0,
+        seed=seed,
+        chaos=ChaosConfig(seed=chaos_seed, **STORM),
+        roaming=RoamingConfig(
+            topology=TopologyConfig(kind="path", n_cells=4),
+            propagation=propagation,
+            roam_prob=0.3,
+            sync_replay_intervals=10.0,
+            cooperative_salvage=coop,
+        ),
+    )
+    merged.update(overrides)
+    return SystemParams(**merged)
+
+
+class TestRoamingStormCampaign:
+    """Seeds x propagation modes x schemes, all under the strict oracle."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("propagation", [EAGER_PUSH, LAZY_PULL])
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_campaign_cell_is_safe_and_live(self, seed, propagation, scheme):
+        params = storm_params(seed=seed, propagation=propagation, chaos_seed=seed)
+        result = run_simulation(params, UNIFORM, scheme)
+        key = (seed, propagation, scheme)
+        # Safety: the strict oracle ran throughout (any stale hit would
+        # have raised); the counters double-book it.
+        assert result.stale_hits == 0, key
+        assert result.liveness_ok, key
+        assert result.oracle_verdict == "SAFE", key
+        # The storm is real: cells crashed, residents fled, roamers moved.
+        assert result.counter("chaos.cell_crashes") > 0, key
+        assert result.counter("roam.evacuations") > 0, key
+        assert result.counter("roam.handoffs") > 0, key
+        # Propagation ran in the configured mode.
+        if propagation is EAGER_PUSH:
+            assert result.counter("sync.pushes") > 0, key
+        else:
+            assert result.counter("sync.pulls") > 0, key
+
+    @pytest.mark.parametrize("propagation", [EAGER_PUSH, LAZY_PULL])
+    def test_campaign_is_reproducible(self, propagation):
+        params = storm_params(seed=2, propagation=propagation, chaos_seed=2)
+        a = run_simulation(params, UNIFORM, "aaw")
+        b = run_simulation(params, UNIFORM, "aaw")
+        assert a.raw == b.raw
+
+
+class TestCooperativeSalvage:
+    """Neighbor backfills convert full purges into ordinary salvages."""
+
+    #: One scripted outage of (fed) cell 2: its restart resyncs via a
+    #: bounded-replay snapshot, leaving an amnesia gap that long-dozing
+    #: roamers' ``Tlb`` reports fall below — exactly what cooperation
+    #: exists to fill.  Long doze times manufacture those roamers.
+    SCENARIO = dict(
+        chaos_seed=7,
+        disconnect_prob=0.4,
+        disconnect_time_mean=400.0,
+        chaos=ChaosConfig(
+            seed=7, cell_crashes_at=((2, 1000.0),), cell_downtime=300.0
+        ),
+    )
+
+    def scenario_params(self, coop):
+        over = dict(self.SCENARIO)
+        over.pop("chaos_seed")
+        return storm_params(
+            seed=1, propagation=LAZY_PULL, chaos_seed=7, coop=coop, **over
+        )
+
+    @pytest.mark.parametrize("scheme", ["aaw", "afw"])
+    def test_backfills_prevent_full_purges(self, scheme):
+        on = run_simulation(self.scenario_params(True), UNIFORM, scheme)
+        off = run_simulation(self.scenario_params(False), UNIFORM, scheme)
+        # Cooperation engaged and was granted at least once...
+        assert on.counter("coop.requests") > 0, scheme
+        assert on.counter("coop.backfills") > 0, scheme
+        # ...and it measurably reduced full cache drops vs the same
+        # scenario without it.  Both runs stay safe either way.
+        assert on.counter("cache.full_drops") < off.counter("cache.full_drops"), (
+            scheme,
+            on.counter("cache.full_drops"),
+            off.counter("cache.full_drops"),
+        )
+        assert on.oracle_verdict == "SAFE", scheme
+        assert off.oracle_verdict == "SAFE", scheme
+
+    def test_refusals_are_honest_when_no_peer_can_vouch(self):
+        # Crash the *gateway* instead: its restart raises the origin
+        # amnesia floor, which the next snapshot propagates to every
+        # replica — now no neighbor knows older history than any other,
+        # every ask is refused, and the system degrades to full purges
+        # (safe, just costlier).  Cooperation must never fake coverage.
+        params = storm_params(
+            seed=1,
+            propagation=LAZY_PULL,
+            chaos_seed=7,
+            disconnect_prob=0.4,
+            disconnect_time_mean=400.0,
+            chaos=ChaosConfig(
+                seed=7, cell_crashes_at=((0, 1000.0),), cell_downtime=300.0
+            ),
+        )
+        result = run_simulation(params, UNIFORM, "aaw")
+        assert result.counter("coop.backfills") == 0
+        assert result.oracle_verdict == "SAFE"

@@ -1,0 +1,147 @@
+"""Unit tests for the cell-graph layer (repro.topology).
+
+The graph is pure data — no DES dependency — so these tests pin its
+whole contract: builder shapes, shortest-path parents/depths rooted at
+the gateway, and the validation errors that keep malformed topologies
+out of the simulation.
+"""
+
+import pytest
+
+from repro.topology import (
+    EAGER_PUSH,
+    LAZY_PULL,
+    PARENT_CACHE,
+    PROPAGATION_MODES,
+    CellGraph,
+    RoamingConfig,
+    TopologyConfig,
+)
+
+
+class TestBuilders:
+    def test_path_shape(self):
+        g = CellGraph.path(4, 0.1)
+        assert g.n_cells == 4
+        assert g.neighbors(0) == (1,)
+        assert g.neighbors(1) == (0, 2)
+        assert g.neighbors(3) == (2,)
+        assert [g.parent_of(c) for c in range(4)] == [0, 0, 1, 2]
+        assert [g.depth(c) for c in range(4)] == [0, 1, 2, 3]
+        assert g.max_depth == 3
+        assert g.gateway_latency(3) == pytest.approx(0.3)
+
+    def test_tree_shape(self):
+        g = CellGraph.tree(7, 2, 0.05)
+        # Breadth-first numbering: 0 -> (1, 2), 1 -> (3, 4), 2 -> (5, 6).
+        assert g.neighbors(0) == (1, 2)
+        assert g.neighbors(1) == (0, 3, 4)
+        assert [g.parent_of(c) for c in range(1, 7)] == [0, 0, 1, 1, 2, 2]
+        assert g.max_depth == 2
+        # Parents always carry smaller ids (feeds wire in id order).
+        assert all(g.parent_of(c) < c for c in range(1, 7))
+
+    def test_grid_shape(self):
+        g = CellGraph.grid(2, 3, 0.1)
+        assert g.n_cells == 6
+        # Cell id = r * cols + c; corner 0 touches right + down only.
+        assert g.neighbors(0) == (1, 3)
+        assert g.neighbors(4) == (1, 3, 5)
+        # Two shortest paths to cell 4 tie on latency; the tie breaks
+        # deterministically so parent/depth are stable run to run.
+        assert g.depth(4) == 2
+        assert g.parent_of(4) in (1, 3)
+        assert g.gateway_latency(5) == pytest.approx(0.3)
+        assert all(g.parent_of(c) < c for c in range(1, 6))
+
+    def test_single_cell_graph_is_trivial(self):
+        g = CellGraph(1, {})
+        assert g.n_cells == 1
+        assert g.neighbors(0) == ()
+        assert g.max_depth == 0
+        assert g.gateway_latency(0) == 0.0
+
+    def test_shortest_path_prefers_low_latency_over_hop_count(self):
+        # 0-2 direct costs 1.0; 0-1-2 costs 0.4: the parent is 1.
+        g = CellGraph(3, {(0, 2): 1.0, (0, 1): 0.2, (1, 2): 0.2})
+        assert g.parent_of(2) == 1
+        assert g.depth(2) == 2
+        assert g.gateway_latency(2) == pytest.approx(0.4)
+
+
+class TestGraphValidation:
+    def test_rejects_disconnected_graph(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            CellGraph(3, {(0, 1): 0.1})
+
+    def test_rejects_self_link(self):
+        with pytest.raises(ValueError, match="self-link"):
+            CellGraph(2, {(1, 1): 0.1})
+
+    def test_rejects_out_of_range_link(self):
+        with pytest.raises(ValueError, match="outside"):
+            CellGraph(2, {(0, 5): 0.1})
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ValueError, match="positive latency"):
+            CellGraph(2, {(0, 1): 0.0})
+
+    def test_rejects_duplicate_link(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CellGraph(2, {(0, 1): 0.1, (1, 0): 0.2})
+
+    def test_link_latency_requires_direct_link(self):
+        g = CellGraph.path(3, 0.1)
+        assert g.link_latency(1, 0) == 0.1  # order-insensitive
+        with pytest.raises(ValueError, match="not directly linked"):
+            g.link_latency(0, 2)
+
+
+class TestConfigs:
+    def test_build_dispatches_on_kind(self):
+        assert TopologyConfig(kind="path", n_cells=3).build().max_depth == 2
+        tree = TopologyConfig(kind="tree", n_cells=7, branching=2).build()
+        assert tree.max_depth == 2
+        grid = TopologyConfig(kind="grid", n_cells=6, grid_cols=3).build()
+        assert grid.neighbors(0) == (1, 3)
+
+    def test_single_cell_build_ignores_kind_details(self):
+        g = TopologyConfig(kind="grid", n_cells=1).build()
+        assert g.n_cells == 1 and g.links == {}
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(kind="ring"), "unknown topology kind"),
+            (dict(n_cells=0), "n_cells"),
+            (dict(link_latency=0.0), "link_latency"),
+            (dict(kind="tree", branching=0), "branching"),
+            (dict(kind="grid", n_cells=4), "grid_cols"),
+            (dict(kind="grid", n_cells=5, grid_cols=3), "divide"),
+        ],
+    )
+    def test_topology_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            TopologyConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(topology="path"), "TopologyConfig"),
+            (dict(propagation="gossip"), "unknown propagation mode"),
+            (dict(roam_prob=1.5), "roam_prob"),
+            (dict(link_loss_prob=1.0), "link_loss_prob"),
+            (dict(sync_margin=0.0), "sync_margin"),
+            (dict(max_sync_retries=-1), "max_sync_retries"),
+            (dict(sync_backoff=0.5), "sync_backoff"),
+            (dict(sync_replay_intervals=0.0), "sync_replay_intervals"),
+        ],
+    )
+    def test_roaming_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            RoamingConfig(**kwargs)
+
+    def test_mode_constants(self):
+        assert PROPAGATION_MODES == (EAGER_PUSH, LAZY_PULL, PARENT_CACHE)
+        assert RoamingConfig().propagation == LAZY_PULL
+        assert RoamingConfig(topology=TopologyConfig(n_cells=5)).n_cells == 5
