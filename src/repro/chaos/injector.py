@@ -77,11 +77,12 @@ class ChaosInjector:
     def _client_crashes(self):
         env = self.model.env
         metrics = self.model.metrics
-        clients = self.model.clients
         for at, client_id in self.schedule.client_crashes:
             if at > env.now:
                 yield env.sleep(at - env.now)
-            clients[client_id].crash(env.now)
+            # Look the victim up by id at crash time: the registry is a
+            # dict (population aggregation may churn it between fires).
+            self.model.client_by_id(client_id).crash(env.now)
             metrics.counter(m.CLIENT_CRASHES).add()
 
     def _cell_outages(self, cell, plan):

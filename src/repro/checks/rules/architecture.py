@@ -36,6 +36,9 @@ LAYER_DAG: Dict[str, Tuple[str, ...]] = {
     "net": ("des",),
     "reports": ("des",),
     "schemes": ("reports", "cache", "db"),
+    # The DAG is keyed by top-level subpackage: intra-package modules
+    # (sim.population, sim.propagation, sim.multicell, ...) are covered
+    # by their package's node and impose no extra edges.
     "sim": ("schemes", "net", "analysis", "topology"),
     "chaos": ("sim",),
     "experiments": ("chaos",),

@@ -18,6 +18,10 @@ HOT_MODULE_GLOBS = (
     "repro/des/*.py",
     "repro/net/channel.py",
     "repro/cache/*.py",
+    # The population pool holds one PooledMember per absorbed client —
+    # at megacell scale that is ~10^6 instances, so object layout IS the
+    # memory bound the aggregation layer exists to enforce.
+    "repro/sim/population.py",
 )
 
 #: Base classes under which ``__slots__`` is pointless or impossible.

@@ -200,6 +200,19 @@ class ClientPolicy:
     def on_disconnect(self, ctx, now: float):
         """Hook at disconnection time (rarely needed)."""
 
+    def on_promote(self, ctx, now: float):
+        """A pooled client woke back to full fidelity (population
+        aggregation; see :mod:`repro.sim.population`).
+
+        A promotion is a reconnection whose doze was spent as a pool
+        stratum count: the salvage path that follows (``send_tlb`` /
+        ``send_check_request`` at the next report) must behave exactly
+        as after an ordinary wake, so the default delegates to
+        :meth:`on_reconnect`.  Schemes with state the stratum cannot
+        carry may override.
+        """
+        self.on_reconnect(ctx, now)
+
     def on_missed_reports(self, ctx, n_missed: int, now: float):
         """A connected client detected *n_missed* lost/corrupted reports.
 

@@ -6,6 +6,7 @@ from .metrics import SimulationResult, finalize
 from .model import SimulationModel
 from .energy import EnergyModel, energy_per_query_nj
 from .params import SystemParams
+from .population import AggregationConfig, PopulationPool, rebuild_cache
 from .querylog import ClientSummary, QueryLog, QueryRecord, jain_index
 from .timeseries import TimeSeries, stationarity_ratio
 from .runner import run_replications, run_schemes, run_simulation
@@ -21,6 +22,9 @@ from .workload import (
 
 __all__ = [
     "AccessPattern",
+    "AggregationConfig",
+    "PopulationPool",
+    "rebuild_cache",
     "HOTCOLD",
     "MobileClient",
     "Region",

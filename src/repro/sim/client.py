@@ -54,6 +54,8 @@ class MobileClient:
         query_log=None,
         timeseries=None,
         cell_id: int = 0,
+        pool=None,
+        resume=None,
     ):
         self.env = env
         self.client_id = client_id
@@ -149,16 +151,35 @@ class MobileClient:
             else None
         )
 
-        if params.warm_start:
+        if resume is None and params.warm_start:
             warm_stream = streams.stream(f"client-{client_id}/warm")
             for item in query_pattern.warm_fill(warm_stream, params.cache_capacity):
                 # Version 0 at ts 0: coherent with the untouched database.
                 self.cache.insert(CacheEntry(item=item, version=0, ts=0.0))
 
+        #: Population pool this client may be absorbed into on a long
+        #: doze (None with aggregation off — one attribute test per doze).
+        self._pool = pool
+        self._resumed = resume is not None
+        if resume is not None:
+            # Promoted from the population pool: start mid-doze with the
+            # reconstructed stratum cache; :meth:`wake_from_pool` then
+            # runs the ordinary reconnect transition.
+            self.cache = resume.cache
+            self.tlb = resume.tlb
+            self._report_epoch = resume.report_epoch
+            self._report_cell = resume.report_cell
+            self._clock_rate = resume.clock_rate
+            self._clock_skew = resume.clock_skew
+            self.connected = False
+            self._last_report_heard = None
+
         self._ir_channel = ir_channel
-        downlink.attach(self._on_downlink, dest=client_id)
+        downlink.attach(self._on_downlink, dest=client_id, listening=resume is None)
         if ir_channel is not None:
-            ir_channel.attach(self._on_downlink, dest=client_id)
+            ir_channel.attach(
+                self._on_downlink, dest=client_id, listening=resume is None
+            )
         env.process(self._query_loop(), name=f"client-{client_id}-query")
 
     def __repr__(self):
@@ -275,6 +296,26 @@ class MobileClient:
         self._report_cell = None
         self._last_report_applied = None
         self._last_report_heard = None
+
+    # -- population pool (driven by repro.sim.population) -----------------------
+
+    def wake_from_pool(self, now: float):
+        """Complete a promotion: the exact model's doze-wake sequence.
+
+        Mirrors the reconnect tail of :meth:`_inter_query_gap` — roam
+        check first (while still down, as on an ordinary wake), then
+        radio up and the policy's promotion hook (which defaults to the
+        reconnect reset).  The query loop itself was started by
+        ``__init__`` and resumes at the post-doze instruction.
+        """
+        if self._roam is not None:
+            self._roam(self, now)
+        self.connected = True
+        self._set_listening(True)
+        self._validation_pending = False
+        # Reports missed while pooled are expected, not wireless loss.
+        self._last_report_heard = None
+        self.policy.on_promote(self, now)
 
     def _charge_tx(self, bits: float):
         self._m_energy_tx.add(self._tx_nj_per_bit * bits)
@@ -495,10 +536,21 @@ class MobileClient:
             self._set_listening(False)
             self._m_disconnections.add()
             self.policy.on_disconnect(self, env.now)
-            yield env.sleep(
+            doze = (
                 self._disc_stream.exponential(params.disconnect_time_mean)
                 * self._clock_rate
             )
+            pool = self._pool
+            if pool is not None and pool.try_absorb(self, doze):
+                # Absorbed into the population pool: shed the radio and
+                # end this actor.  The pool's seeded wake promotes a
+                # reconstructed replacement at exactly ``now + doze`` —
+                # the instant this sleep would have returned.
+                self.downlink.detach(self._on_downlink)
+                if self._ir_channel is not None:
+                    self._ir_channel.detach(self._on_downlink)
+                return True
+            yield env.sleep(doze)
             if self._roam is not None:
                 # Multi-cell: a waking client may find itself under a
                 # different base station (it moved while dozing).
@@ -520,13 +572,22 @@ class MobileClient:
     def _query_loop(self):
         env = self.env
         params = self.params
-        if self._clock_skew > 0.0:
+        if self._clock_skew > 0.0 and not self._resumed:
             # Clock skew shows up as a phase offset of the client's local
             # activity (protocol timestamps all originate at the server).
             # Chaos-only: a perfect clock schedules no event here.
             yield env.sleep(self._clock_skew)
+        first = self._resumed
         while True:
-            yield from self._inter_query_gap()
+            if first:
+                # Promoted mid-cycle: the doze that absorbed this client
+                # IS the inter-query gap, so go straight to the query —
+                # the instruction the exact model resumes at after its
+                # doze sleep returns.
+                first = False
+            elif (yield from self._inter_query_gap()):
+                # Absorbed into the population pool: this actor is done.
+                return
             self._query_active = True
             started = env.now
             self._m_queries_generated.add()

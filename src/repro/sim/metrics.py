@@ -72,6 +72,15 @@ CELL_CRASHES = "chaos.cell_crashes"
 CELL_RESTARTS = "chaos.cell_restarts"
 UPLINK_SHED_UNSYNCED = "server.uplink_shed_unsynced"
 
+# Population aggregation (repro.sim.population) — all zero with the
+# aggregation knob group off (the counters are only bound by the pool).
+POOL_ABSORBED = "pool.absorbed"               # dozing clients collapsed to strata
+POOL_PROMOTED = "pool.promoted"               # members woken to full fidelity
+POOL_SEEDED = "pool.seeded"                   # members parked at build time
+POOL_RESIDENTS = "pool.residents_at_horizon"  # raw: members still pooled at end
+POOL_PEAK_RESIDENTS = "pool.peak_residents"   # raw: max simultaneous members
+POOL_STRATA = "pool.strata_at_horizon"        # raw: distinct strata at end
+
 REPORT_COUNT_PREFIX = "reports."   # + ReportKind.value
 
 QUERY_LATENCY = "query.latency"    # tally

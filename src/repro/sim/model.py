@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import Dict, List, Union
 
 from ..db import Database, UpdateGenerator, UpdateLog
 from ..des import Environment, RandomStreams
@@ -111,26 +111,64 @@ class SimulationModel:
         self.n_cells = 1
         self._build_cells()
 
-        self.clients: List[MobileClient] = []
+        #: Live full-fidelity clients keyed by id.  With aggregation off
+        #: the registry holds every client in id order forever; with it
+        #: on, absorbed clients leave and promoted ones re-enter (use
+        #: :meth:`client_by_id`, not positional indexing).
+        self._clients_by_id: Dict[int, MobileClient] = {}
+        #: Population-aggregation pool (None with the knob group off —
+        #: zero cost, bit-identical to the seed).
+        self.population = None
+        agg = params.aggregation
+        if agg is not None:
+            from .population import PopulationPool
+
+            self.population = PopulationPool(
+                self.env,
+                params,
+                self.streams,
+                self.metrics,
+                promote=self._promote_member,
+                release=self._release_client,
+            )
         for cid in range(params.n_clients):
             cell_id, downlink, uplink, ir_channel = self._client_home(cid)
-            self.clients.append(
-                MobileClient(
-                    self.env,
-                    client_id=cid,
-                    params=params,
-                    policy=scheme.make_client_policy(params, cid),
-                    query_pattern=workload.query_pattern(params.db_size, cid),
-                    downlink=downlink,
-                    uplink=uplink,
-                    metrics=self.metrics,
-                    streams=self.streams,
-                    update_log=self.update_log,
-                    ir_channel=ir_channel,
-                    query_log=self.query_log,
-                    timeseries=self.timeseries,
-                    cell_id=cell_id,
-                )
+            if (
+                self.population is not None
+                and cid >= agg.k_exact
+                and agg.start_in_pool > 0.0
+                and self.population.seed_stream.bernoulli(agg.start_in_pool)
+            ):
+                # Steady-state initial condition: park this client
+                # mid-doze without ever constructing it.  Its stratum is
+                # the signature warm_fill would have produced.
+                if params.warm_start:
+                    from .population import warm_signature
+
+                    n_hot, n_cold = warm_signature(
+                        workload.query_pattern(params.db_size, cid),
+                        params.cache_capacity,
+                    )
+                else:
+                    n_hot, n_cold = 0, 0
+                self.population.seed_parked(cid, cell_id, n_hot, n_cold)
+                continue
+            self._clients_by_id[cid] = MobileClient(
+                self.env,
+                client_id=cid,
+                params=params,
+                policy=scheme.make_client_policy(params, cid),
+                query_pattern=workload.query_pattern(params.db_size, cid),
+                downlink=downlink,
+                uplink=uplink,
+                metrics=self.metrics,
+                streams=self.streams,
+                update_log=self.update_log,
+                ir_channel=ir_channel,
+                query_log=self.query_log,
+                timeseries=self.timeseries,
+                cell_id=cell_id,
+                pool=self.population,
             )
 
         #: Endpoint-failure injection (None with chaos off — zero cost).
@@ -141,7 +179,92 @@ class SimulationModel:
 
             self.chaos = ChaosInjector(self, params.chaos)
 
+    # -- client registry ------------------------------------------------------
+
+    @property
+    def clients(self) -> List[MobileClient]:
+        """Live full-fidelity clients (pooled members are not actors)."""
+        return list(self._clients_by_id.values())
+
+    def client_by_id(self, client_id: int) -> MobileClient:
+        """The live client with this id (KeyError if absorbed/unseeded)."""
+        return self._clients_by_id[client_id]
+
+    # -- population aggregation (repro.sim.population) ------------------------
+
+    def _promote_member(self, member, now: float) -> MobileClient:
+        """Pool hook: rebuild one member as a full-fidelity client.
+
+        The cache is reconstructed consistent with the member's stratum
+        (every entry an honest ``Tlb``-time copy), the scheme policy is
+        the one that rode the pool (or a fresh one for seeded members),
+        and the per-client RNG streams resume exactly where the absorbed
+        actor left them (streams are cached by name).
+        """
+        from .population import ResumeState, rebuild_cache
+
+        params = self.params
+        pool = self.population
+        cid = member.client_id
+        pattern = self.workload.query_pattern(params.db_size, cid)
+        tlb = pool.bucket_time(member.tlb_bucket)
+        cache = rebuild_cache(
+            self.streams.stream(f"client-{cid}/pool"),
+            pattern,
+            params.cache_capacity,
+            member.n_hot,
+            member.n_cold,
+            tlb,
+            update_log=self.update_log,
+        )
+        policy = member.policy
+        if policy is None:
+            policy = self.scheme.make_client_policy(params, cid)
+        resume = ResumeState(
+            cache=cache,
+            tlb=tlb,
+            report_epoch=member.report_epoch,
+            report_cell=member.report_cell,
+            clock_rate=member.clock_rate,
+            clock_skew=member.clock_skew,
+        )
+        cell_id = member.cell_id
+        downlink, uplink, ir_channel = self._cell_channels(cell_id)
+        client = MobileClient(
+            self.env,
+            client_id=cid,
+            params=params,
+            policy=policy,
+            query_pattern=pattern,
+            downlink=downlink,
+            uplink=uplink,
+            metrics=self.metrics,
+            streams=self.streams,
+            update_log=self.update_log,
+            ir_channel=ir_channel,
+            query_log=self.query_log,
+            timeseries=self.timeseries,
+            cell_id=cell_id,
+            pool=pool,
+            resume=resume,
+        )
+        self._clients_by_id[cid] = client
+        self._finish_promote(client)
+        client.wake_from_pool(now)
+        return client
+
+    def _release_client(self, client: MobileClient):
+        """Pool hook: an absorbed client leaves the live registry."""
+        del self._clients_by_id[client.client_id]
+
     # -- subclass hooks (multi-cell; see repro.sim.multicell) -----------------
+
+    def _cell_channels(self, cell_id: int):
+        """Hook: ``(downlink, uplink, ir_channel)`` serving *cell_id*."""
+        return self.downlink, self.uplink, self.ir_channel
+
+    def _finish_promote(self, client: MobileClient):
+        """Hook: let subclasses finish wiring a promoted client."""
 
     def _fault_model(self, config, channel_name: str):
         """A seeded :class:`FaultModel` for one channel (None with faults off)."""
@@ -224,5 +347,15 @@ class SimulationModel:
 
             result.raw[EST_LOSS] = controller.estimate
             result.raw["server.w_eff_last"] = float(controller.w_eff)
+        # Population-pool telemetry (aggregation knob group on only, so
+        # exact runs keep a key-identical snapshot).
+        pool = self.population
+        if pool is not None:
+            from .metrics import POOL_PEAK_RESIDENTS, POOL_RESIDENTS, POOL_STRATA
+
+            result.raw[POOL_RESIDENTS] = float(pool.residents)
+            result.raw[POOL_PEAK_RESIDENTS] = float(pool.peak_residents)
+            result.raw[POOL_STRATA] = float(len(pool.strata))
+            result.raw["clients.live_at_horizon"] = float(len(self._clients_by_id))
         self._collect_extra_telemetry(result)
         return result

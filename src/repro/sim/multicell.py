@@ -167,12 +167,19 @@ class MultiCellModel(SimulationModel):
 
     def _client_home(self, cid: int):
         cell = cid % self.n_cells
+        return (cell,) + self._cell_channels(cell)
+
+    def _cell_channels(self, cell_id: int):
         return (
-            cell,
-            self.cell_downlinks[cell],
-            self.cell_uplinks[cell],
-            self.cell_ir_channels[cell],
+            self.cell_downlinks[cell_id],
+            self.cell_uplinks[cell_id],
+            self.cell_ir_channels[cell_id],
         )
+
+    def _finish_promote(self, client):
+        # A promoted client roams on wake like everyone else.
+        if self.n_cells > 1:
+            client._roam = self._roam_on_wake
 
     # -- origin updates ---------------------------------------------------------
 

@@ -10,6 +10,7 @@ from ..reports.sizes import DEFAULT_TIMESTAMP_BITS
 from ..schemes.loss_adaptive import LossAdaptationConfig
 from ..topology import RoamingConfig
 from .energy import EnergyModel
+from .population import AggregationConfig
 
 if TYPE_CHECKING:  # ARCH001: chaos sits above sim in the layering DAG
     from ..chaos.schedule import ChaosConfig
@@ -119,6 +120,14 @@ class SystemParams:
     #: (the default) is today's single cell; an N=1 topology is
     #: bit-identical to it (pinned by tests/sim/test_multicell.py).
     roaming: Optional[RoamingConfig] = None
+    #: Population aggregation knob group (see :mod:`repro.sim.population`):
+    #: keep the K "interesting" clients full-fidelity and collapse the
+    #: long-dozing tail into a counts-per-stratum pool, promoting members
+    #: back to full clients when their seeded reconnects fire.  ``None``
+    #: (the default) simulates every client exactly and is bit-identical
+    #: to the seed (pinned by tests/sim/test_golden.py); the aggregated ==
+    #: exact equivalence is pinned by tests/sim/test_population_differential.py.
+    aggregation: Optional[AggregationConfig] = None
     #: Promote staleness tracking into a hard safety oracle: any stale
     #: cache hit raises :class:`repro.chaos.StalenessViolation` with a
     #: full diagnostic trace instead of merely incrementing the counter.
@@ -213,6 +222,28 @@ class SystemParams:
                 raise ValueError(
                     "publishing mode is single-cell only (per-cell publish "
                     "schedules are not modelled); disable one of the knobs"
+                )
+        if self.aggregation is not None:
+            if not isinstance(self.aggregation, AggregationConfig):
+                raise ValueError("aggregation must be an AggregationConfig or None")
+            if self.aggregation.k_exact > self.n_clients:
+                raise ValueError("aggregation.k_exact exceeds the client population")
+            if self.chaos is not None and (
+                self.chaos.crashes_clients or self.chaos.skews_clocks
+            ):
+                # Client-targeted chaos addresses clients positionally and
+                # at build time; a pooled member has no actor to crash or
+                # skew.  Cell outages would likewise need to evacuate
+                # pooled members.  Keep the combinations explicit errors
+                # until the pool models them.
+                raise ValueError(
+                    "population aggregation cannot run with client-crash or "
+                    "clock-skew chaos (pooled members have no actor to target)"
+                )
+            if self.chaos is not None and self.chaos.crashes_cells:
+                raise ValueError(
+                    "population aggregation cannot run with cell-outage chaos "
+                    "(evacuation cannot reach pooled members)"
                 )
         if self.strict_staleness and not self.track_staleness:
             raise ValueError("strict_staleness requires track_staleness")

@@ -1,0 +1,456 @@
+"""Population aggregation: the long-dozing tail as a statistical pool.
+
+The paper simulates every mobile host individually, which caps a cell at
+a few hundred clients.  The pool below is the scaling seam: the K
+"interesting" clients (active queries, salvage in flight, pending
+validation) stay full-fidelity :class:`~repro.sim.client.MobileClient`
+actors, while a client entering a long doze is *absorbed* — its O(cache)
+state is collapsed to a stratum key
+
+    ``(cell, epoch, Tlb-bucket, cache signature)``
+
+where the cache signature counts cached items inside/outside the query
+pattern's hot region.  The pool keeps only counts per stratum plus a
+tiny per-member residue (ids, the scheme policy object, a wake time), so
+a dozing client costs ~0 events (the PR 3 ``set_listening`` fast lane)
+*and* ~0 memory.
+
+When a member's seeded reconnect fires it is *promoted* back into a full
+client: a cache consistent with its stratum is rebuilt
+(:func:`rebuild_cache` — every entry is an honest ``Tlb``-time copy:
+version = the item's version at ``Tlb``, timestamp = ``Tlb``), and the
+ordinary reconnect machinery then feeds the correct uplink-checking and
+salvage load into the server/scheme layer (``send_tlb`` /
+``send_check_request`` at the next report).  With
+``tlb_bucket_intervals = 1`` the bucketing is lossless (``Tlb`` values
+are report times ``i * L``); wider buckets floor ``Tlb`` — strictly
+conservative: a client claiming older knowledge can only over-invalidate
+or over-salvage, never answer stale.
+
+``SystemParams.aggregation = None`` (the default) disables the whole
+layer and is bit-identical to the seed (pinned by the golden tests);
+the aggregated == exact equivalence is established by
+``tests/sim/test_population_differential.py``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..cache import CacheEntry, ClientCache
+from ..des import Environment
+from ..des.monitor import MetricSet
+from ..des.rng import RandomStream, RandomStreams
+from . import metrics as m
+from .workload import AccessPattern
+
+#: A stratum key: (cell, report epoch, Tlb bucket, n_hot, n_cold).
+StratumKey = Tuple[int, int, int, int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class AggregationConfig:
+    """Knob group for the hybrid client model (None = exact simulation).
+
+    Attributes
+    ----------
+    k_exact:
+        Clients with id below this are never absorbed — they stay
+        full-fidelity for the whole run (the paper's "interesting"
+        clients).  0 lets every client be pooled when eligible.
+    min_doze_intervals:
+        Only dozes at least this many broadcast intervals long are
+        absorbed; shorter naps stay exact (absorbing them would buy no
+        memory and cost reconstruction accuracy).
+    tlb_bucket_intervals:
+        Width of a ``Tlb`` stratum bucket in broadcast intervals.  1 is
+        lossless (reports broadcast at ``i * L``, so every ``Tlb`` is a
+        bucket boundary); wider buckets floor a member's ``Tlb`` on
+        promotion, which is conservative (over-invalidation only).
+    start_in_pool:
+        Fraction of the eligible (id >= ``k_exact``) population that
+        *starts* parked in the pool instead of being constructed — the
+        steady-state initial condition that lets a 100k-client cell
+        build without 100k live actors.  0.0 (the default) constructs
+        everyone, keeping t=0 identical to the exact model.
+    """
+
+    k_exact: int = 0
+    min_doze_intervals: float = 2.0
+    tlb_bucket_intervals: int = 1
+    start_in_pool: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.k_exact < 0:
+            raise ValueError("k_exact must be >= 0")
+        if self.min_doze_intervals <= 0:
+            raise ValueError("min_doze_intervals must be positive")
+        if self.tlb_bucket_intervals < 1:
+            raise ValueError(
+                "tlb_bucket_intervals must be >= 1 (zero-width buckets "
+                "would make every stratum empty)"
+            )
+        if not 0.0 <= self.start_in_pool <= 1.0:
+            raise ValueError("start_in_pool must be in [0, 1]")
+
+
+def cache_signature(cache: ClientCache, pattern: AccessPattern) -> Tuple[int, int]:
+    """``(n_hot, n_cold)``: cached items inside/outside the hot region.
+
+    With a flat pattern every cached item counts as cold — the signature
+    degenerates to ``(0, len(cache))``, i.e. pure occupancy.
+    """
+    hot = pattern.hot
+    if hot is None:
+        return (0, len(cache))
+    n_hot = 0
+    for item in cache.item_ids():
+        if hot.contains(item):
+            n_hot += 1
+    return (n_hot, len(cache) - n_hot)
+
+
+def warm_signature(pattern: AccessPattern, capacity: int) -> Tuple[int, int]:
+    """The signature ``warm_fill`` would produce, without drawing it.
+
+    Mirrors :meth:`AccessPattern.warm_fill`: hot items fill first (up to
+    the hot region's size), the rest is cold.  Used to park
+    ``start_in_pool`` members without materialising their caches.
+    """
+    capacity = min(capacity, pattern.n_items)
+    hot = pattern.hot
+    if hot is None or pattern.hot_prob <= 0:
+        return (0, capacity)
+    n_hot = min(capacity, hot.size)
+    return (n_hot, capacity - n_hot)
+
+
+def rebuild_cache(
+    stream: RandomStream,
+    pattern: AccessPattern,
+    capacity: int,
+    n_hot: int,
+    n_cold: int,
+    tlb: float,
+    update_log: Any = None,
+) -> ClientCache:
+    """Rebuild a promoted member's cache consistent with its stratum.
+
+    Draws ``n_hot`` distinct items from the hot region and ``n_cold``
+    from its complement (the whole database for a flat pattern).  Every
+    entry is an honest ``Tlb``-time copy: version = number of updates at
+    or before ``tlb`` (the durable version counter's value then), ts =
+    ``tlb`` — exactly what a fetch completing at ``tlb`` would have
+    installed, so every scheme's safety argument applies unchanged.  The
+    rebuilt cache is certified as of ``tlb``, matching the absorbed
+    client's certification floor.
+    """
+    hot = pattern.hot
+    if n_hot < 0 or n_cold < 0:
+        raise ValueError("stratum counts must be non-negative")
+    if n_hot > 0 and hot is None:
+        raise ValueError("stratum has hot items but the pattern has no hot region")
+    if n_hot + n_cold > capacity:
+        raise ValueError("stratum signature exceeds the cache capacity")
+    items: List[int] = []
+    if hot is not None and n_hot:
+        items.extend(
+            int(i)
+            for i in stream.choice_without_replacement(hot.lo, hot.hi, n_hot)
+        )
+    if n_cold:
+        if hot is None:
+            items.extend(
+                int(i)
+                for i in stream.choice_without_replacement(
+                    0, pattern.n_items - 1, n_cold
+                )
+            )
+        else:
+            # Uniform over the complement of the hot region, via the same
+            # skip trick the query pattern uses.
+            span = pattern.n_items - hot.size
+            for raw in stream.choice_without_replacement(0, span - 1, n_cold):
+                idx = int(raw)
+                items.append(idx if idx < hot.lo else idx + hot.size)
+    cache = ClientCache(capacity)
+    for item in items:
+        version = 0
+        if update_log is not None:
+            version = bisect.bisect_right(update_log.updates_of(item), tlb)
+        cache.insert(CacheEntry(item=item, version=version, ts=tlb))
+    cache.certify(tlb)
+    return cache
+
+
+class ResumeState:
+    """Everything a promoted :class:`MobileClient` starts from."""
+
+    __slots__ = (
+        "cache",
+        "tlb",
+        "report_epoch",
+        "report_cell",
+        "clock_rate",
+        "clock_skew",
+    )
+
+    def __init__(
+        self,
+        cache: ClientCache,
+        tlb: float,
+        report_epoch: int,
+        report_cell: Optional[int],
+        clock_rate: float,
+        clock_skew: float,
+    ) -> None:
+        self.cache = cache
+        self.tlb = tlb
+        self.report_epoch = report_epoch
+        self.report_cell = report_cell
+        self.clock_rate = clock_rate
+        self.clock_skew = clock_skew
+
+
+class PooledMember:
+    """One absorbed client's residue: ids, stratum, policy, wake time.
+
+    The scheme policy object rides along because some client policies
+    carry cross-episode state (SIG's saved combined signatures); it is
+    tiny compared to the cache the pool sheds.  The member doubles as
+    its own wake callback (appended to a :class:`Timeout`), so a parked
+    client costs exactly one heap entry — the same event the exact
+    model's doze sleep would schedule.
+    """
+
+    __slots__ = (
+        "client_id",
+        "cell_id",
+        "report_cell",
+        "report_epoch",
+        "tlb_bucket",
+        "n_hot",
+        "n_cold",
+        "policy",
+        "wake_at",
+        "clock_rate",
+        "clock_skew",
+        "_pool",
+    )
+
+    def __init__(
+        self,
+        pool: "PopulationPool",
+        client_id: int,
+        cell_id: int,
+        report_cell: Optional[int],
+        report_epoch: int,
+        tlb_bucket: int,
+        n_hot: int,
+        n_cold: int,
+        policy: Any,
+        wake_at: float,
+        clock_rate: float = 1.0,
+        clock_skew: float = 0.0,
+    ) -> None:
+        self._pool = pool
+        self.client_id = client_id
+        self.cell_id = cell_id
+        self.report_cell = report_cell
+        self.report_epoch = report_epoch
+        self.tlb_bucket = tlb_bucket
+        self.n_hot = n_hot
+        self.n_cold = n_cold
+        self.policy = policy
+        self.wake_at = wake_at
+        self.clock_rate = clock_rate
+        self.clock_skew = clock_skew
+
+    @property
+    def key(self) -> StratumKey:
+        """The stratum this member is counted under."""
+        return (
+            self.cell_id,
+            self.report_epoch,
+            self.tlb_bucket,
+            self.n_hot,
+            self.n_cold,
+        )
+
+    def __call__(self, event: Any) -> None:
+        """Timeout callback: the seeded reconnect fired — promote."""
+        self._pool._wake(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PooledMember {self.client_id} cell={self.cell_id} "
+            f"stratum={self.key} wake_at={self.wake_at}>"
+        )
+
+
+class PopulationPool:
+    """Counts-per-stratum pool of absorbed (long-dozing) clients.
+
+    The pool owns eligibility, stratum accounting and wake scheduling;
+    the model owns client construction — it passes ``promote(member,
+    now)`` (build + register the full-fidelity client) and
+    ``release(client)`` (drop it from the live registry) at wiring time,
+    which keeps this module free of the untyped actor surface.
+
+    Conservation invariant (pinned by the property suite): live clients
+    + ``residents`` == ``n_clients`` at every instant, and
+    ``seeded + absorbed - promoted == residents``.
+    """
+
+    __slots__ = (
+        "env",
+        "params",
+        "config",
+        "streams",
+        "metrics",
+        "strata",
+        "residents",
+        "peak_residents",
+        "seed_stream",
+        "_promote",
+        "_release",
+        "_bucket_seconds",
+        "_min_doze_seconds",
+        "_m_absorbed",
+        "_m_promoted",
+        "_m_seeded",
+    )
+
+    def __init__(
+        self,
+        env: Environment,
+        params: Any,
+        streams: RandomStreams,
+        metrics: MetricSet,
+        promote: Callable[["PooledMember", float], Any],
+        release: Callable[[Any], None],
+    ) -> None:
+        self.env = env
+        self.params = params
+        self.config: AggregationConfig = params.aggregation
+        self.streams = streams
+        self.metrics = metrics
+        #: Member counts per stratum key (never negative; empty strata
+        #: are removed eagerly).
+        self.strata: Dict[StratumKey, int] = {}
+        self.residents = 0
+        self.peak_residents = 0
+        #: One pool-level stream for build-time seeding draws — parking
+        #: 100k members must not materialise 100k per-client generators.
+        self.seed_stream = streams.stream("population/seed")
+        self._promote = promote
+        self._release = release
+        interval = params.broadcast_interval
+        self._bucket_seconds = self.config.tlb_bucket_intervals * interval
+        self._min_doze_seconds = self.config.min_doze_intervals * interval
+        self._m_absorbed = metrics.bind_counter(m.POOL_ABSORBED)
+        self._m_promoted = metrics.bind_counter(m.POOL_PROMOTED)
+        self._m_seeded = metrics.bind_counter(m.POOL_SEEDED)
+
+    # -- stratum arithmetic -------------------------------------------------
+
+    def tlb_bucket(self, tlb: float) -> int:
+        """Quantize a ``Tlb`` into its stratum bucket (floor)."""
+        if tlb <= 0.0:
+            return 0
+        return int(tlb // self._bucket_seconds)
+
+    def bucket_time(self, bucket: int) -> float:
+        """The (conservative) ``Tlb`` a bucket reconstructs to."""
+        return bucket * self._bucket_seconds
+
+    # -- absorb / seed / promote --------------------------------------------
+
+    def try_absorb(self, client: Any, doze_seconds: float) -> bool:
+        """Absorb *client* for a doze of *doze_seconds*, if eligible.
+
+        Eligible means: not one of the K exact clients, a doze long
+        enough to be worth pooling, and no protocol state the stratum
+        cannot represent (suspect cache entries, a pending validation,
+        or an in-flight fetch keep the client exact — those are the
+        "interesting" clients by definition).  On True the caller (the
+        client actor) must detach its radio and end its query loop.
+        """
+        if client.client_id < self.config.k_exact:
+            return False
+        if doze_seconds < self._min_doze_seconds:
+            return False
+        cache = client.cache
+        if cache.unreconciled or client._validation_pending or client._data_waits:
+            return False
+        n_hot, n_cold = cache_signature(cache, client.query_pattern)
+        now = self.env.now
+        member = PooledMember(
+            self,
+            client_id=client.client_id,
+            cell_id=client.cell_id,
+            report_cell=client._report_cell,
+            report_epoch=client._report_epoch,
+            tlb_bucket=self.tlb_bucket(client.tlb),
+            n_hot=n_hot,
+            n_cold=n_cold,
+            policy=client.policy,
+            wake_at=now + doze_seconds,
+            clock_rate=client._clock_rate,
+            clock_skew=client._clock_skew,
+        )
+        self._park(member, doze_seconds)
+        self._m_absorbed.add()
+        self._release(client)
+        return True
+
+    def seed_parked(self, client_id: int, cell_id: int, n_hot: int, n_cold: int) -> None:
+        """Park a never-constructed client at build time (steady state).
+
+        The member starts coherent with the t=0 database (``Tlb`` bucket
+        0, epoch 0) and mid-doze: its first wake is drawn from the
+        pool's own seed stream, so seeding never touches (or creates)
+        the per-client streams.
+        """
+        doze = self.seed_stream.exponential(self.params.disconnect_time_mean)
+        member = PooledMember(
+            self,
+            client_id=client_id,
+            cell_id=cell_id,
+            report_cell=cell_id,
+            report_epoch=0,
+            tlb_bucket=0,
+            n_hot=n_hot,
+            n_cold=n_cold,
+            policy=None,
+            wake_at=self.env.now + doze,
+        )
+        self._park(member, doze)
+        self._m_seeded.add()
+
+    def _park(self, member: PooledMember, delay: float) -> None:
+        key = member.key
+        self.strata[key] = self.strata.get(key, 0) + 1
+        self.residents += 1
+        if self.residents > self.peak_residents:
+            self.peak_residents = self.residents
+        # One NORMAL-priority heap entry per member — the same (time,
+        # priority) the exact model's doze sleep would occupy, so wakes
+        # interleave with reports and queries exactly as before.
+        timeout = self.env.timeout(delay)
+        callbacks = timeout.callbacks
+        assert callbacks is not None  # fresh Timeout: not yet processed
+        callbacks.append(member)
+
+    def _wake(self, member: PooledMember) -> None:
+        key = member.key
+        count = self.strata[key] - 1
+        if count:
+            self.strata[key] = count
+        else:
+            del self.strata[key]
+        self.residents -= 1
+        self._m_promoted.add()
+        self._promote(member, self.env.now)

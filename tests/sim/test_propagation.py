@@ -1,0 +1,305 @@
+"""Direct unit tests for :mod:`repro.sim.propagation`.
+
+The synchronizer/feed/cooperator trio was previously covered only
+through multi-cell integration runs; these tests drive each protocol
+behaviour in isolation, with stub servers around real databases:
+
+* eager-push **sequence-gap detection** triggers a repair pull that
+  reconverges the replica (and duplicates/regressions are discarded);
+* delta application is **version-guarded and idempotent** — same-instant
+  updates, duplicate deltas and replayed triples never double-apply;
+* the bounded replay window forces **snapshot adoption with a raised
+  amnesia floor** (plus an epoch bump), and cooperative salvage answers
+  are **clamped** to ``up_to`` — or honestly refused — so a requester
+  can never claim history its peer cannot vouch for.
+"""
+
+import pytest
+
+from repro.db.database import NEVER, Database
+from repro.des import Environment
+from repro.des.monitor import MetricSet
+from repro.net.intercell import InterCellLink
+from repro.sim.params import SystemParams
+from repro.sim.propagation import CellCooperator, CellSynchronizer, OriginFeed
+from repro.topology import RoamingConfig
+
+
+class RecordingPolicy:
+    """Stub scheme policy: records every on_item_update forwarded."""
+
+    def __init__(self):
+        self.updates = []
+
+    def on_item_update(self, item, old, new):
+        self.updates.append((item, old, new))
+
+
+class StubServer:
+    """Just enough server surface for the propagation classes."""
+
+    def __init__(self, db, cell_id=0):
+        self.db = db
+        self.cell_id = cell_id
+        self.policy = RecordingPolicy()
+        self.crashed = False
+        self.epoch = 0
+        self.sync = None
+        self.coop = None
+        self.horizon = None  # set when a synchronizer installs itself
+
+    def _knowledge_now(self, now):
+        sync = self.sync
+        return now if sync is None else sync.horizon
+
+
+def make_world(replay_intervals=50.0, latency=0.05):
+    env = Environment()
+    metrics = MetricSet()
+    params = SystemParams()
+    roaming = RoamingConfig(sync_replay_intervals=replay_intervals)
+    origin = StubServer(Database(20), cell_id=0)
+    feed = OriginFeed(env, origin, params, roaming, metrics)
+    replica = StubServer(Database(20), cell_id=1)
+    link = InterCellLink(env, latency)
+    sync = CellSynchronizer(
+        env, replica, feed, link, params, roaming, metrics,
+        lead=1.0, pull=False,
+    )
+    return env, metrics, origin, feed, replica, sync
+
+
+def origin_commit(env, origin, item, ts):
+    """Advance env time to *ts* and commit one origin update."""
+    if ts > env.now:
+        env.run(until=ts)
+    origin.db.apply_update(item, ts)
+    return int(origin.db.version[item])
+
+
+def delta(origin, since, upto, triples, seq):
+    return (origin.db.origin_time, since, upto, triples, seq)
+
+
+# -- eager push: sequence gaps ------------------------------------------------
+
+
+def test_in_order_deltas_apply_and_advance_horizon():
+    env, metrics, origin, feed, replica, sync = make_world()
+    v = origin_commit(env, origin, item=3, ts=10.0)
+    sync.on_push_delta(delta(origin, 0.0, 10.0, ((3, 10.0, v),), seq=1), 10.0)
+    assert int(replica.db.version[3]) == v
+    assert sync.horizon == 10.0
+    assert replica.policy.updates == [(3, 0, 1)]
+    assert metrics.counter("sync.pushes").value == 1
+
+
+def test_sequence_gap_triggers_repair_pull():
+    """A lost delta surfaces as a gap; the repair pull reconverges the
+    replica to the origin instead of silently skipping the hole."""
+    env, metrics, origin, feed, replica, sync = make_world()
+    v3 = origin_commit(env, origin, item=3, ts=10.0)
+    sync.on_push_delta(delta(origin, 0.0, 10.0, ((3, 10.0, v3),), seq=1), 10.0)
+    # seq=2 (item 7 at t=20) is lost on the link; seq=3 arrives.
+    origin_commit(env, origin, item=7, ts=20.0)
+    v9 = origin_commit(env, origin, item=9, ts=30.0)
+    gap = delta(origin, 20.0, 30.0, ((9, 30.0, v9),), seq=3)
+    sync.on_push_delta(gap, 30.0)
+    # The gapped delta must NOT be applied — it alone cannot prove
+    # nothing happened in (10, 20].
+    assert int(replica.db.version[9]) == 0
+    assert sync.horizon == 10.0
+    # ... but a repair pull is in flight; one link round-trip later the
+    # replica knows everything, including the lost item 7.
+    env.run(until=env.now + 1.0)
+    assert metrics.counter("sync.pulls").value == 1
+    assert int(replica.db.version[7]) == 1
+    assert int(replica.db.version[9]) == 1
+    assert sync.horizon == pytest.approx(30.0, abs=1.0)
+
+
+def test_duplicate_and_regressed_deltas_are_discarded():
+    env, metrics, origin, feed, replica, sync = make_world()
+    v = origin_commit(env, origin, item=3, ts=10.0)
+    d1 = delta(origin, 0.0, 10.0, ((3, 10.0, v),), seq=1)
+    sync.on_push_delta(d1, 10.0)
+    before = replica.policy.updates[:]
+    sync.on_push_delta(d1, 10.0)  # retransmitted copy: seq < expected
+    assert replica.policy.updates == before
+    assert metrics.counter("sync.pushes").value == 1
+
+
+def test_blank_restart_repairs_instead_of_applying():
+    """A replica with horizon == NEVER (post-restart) must not graft a
+    delta onto knowledge it does not have."""
+    env, metrics, origin, feed, replica, sync = make_world()
+    sync.horizon = NEVER
+    sync._push_seq = 0
+    v = origin_commit(env, origin, item=4, ts=10.0)
+    sync.on_push_delta(delta(origin, 0.0, 10.0, ((4, 10.0, v),), seq=1), 10.0)
+    assert int(replica.db.version[4]) == 0  # not applied directly
+    env.run(until=env.now + 1.0)
+    # The repair pull's response covers from the feed's cutoff, which is
+    # ahead of a NEVER horizon — a snapshot adoption, floor raised.
+    assert int(replica.db.version[4]) == v
+    assert metrics.counter("sync.pulls").value == 1
+
+
+# -- version-guarded idempotent apply -----------------------------------------
+
+
+def test_same_instant_updates_are_version_disambiguated():
+    """Two updates committed in the same instant produce deltas with
+    identical timestamps; only the version counter can order them, and
+    re-application must be a no-op."""
+    env, metrics, origin, feed, replica, sync = make_world()
+    origin_commit(env, origin, item=5, ts=10.0)
+    v2 = origin_commit(env, origin, item=5, ts=10.0)  # same instant
+    assert v2 == 2
+    sync.on_push_delta(delta(origin, 0.0, 10.0, ((5, 10.0, 1),), seq=1), 10.0)
+    # The second delta replays the first triple alongside the new one
+    # (identical upto): the v1 triple must no-op, v2 must apply once.
+    sync.on_push_delta(
+        delta(origin, 10.0, 10.0, ((5, 10.0, 2), (5, 10.0, 1)), seq=2), 10.0
+    )
+    assert int(replica.db.version[5]) == 2
+    assert replica.policy.updates == [(5, 0, 1), (5, 1, 2)]
+
+
+def test_pull_apply_is_idempotent_for_duplicate_responses():
+    """A late retransmitted pull response (already-covered span) changes
+    nothing: the horizon guard screens it out entirely."""
+    env, metrics, origin, feed, replica, sync = make_world()
+    v = origin_commit(env, origin, item=6, ts=10.0)
+    response = feed.answer_pull(0.0)
+    sync._apply_response(response)
+    assert int(replica.db.version[6]) == v
+    assert sync.horizon == 10.0
+    before = replica.policy.updates[:]
+    sync._apply_response(response)  # duplicate: upto == horizon
+    assert replica.policy.updates == before
+    assert replica.db.total_updates == 1  # the original apply_sync only
+
+
+# -- amnesia floors -----------------------------------------------------------
+
+
+def test_bounded_replay_forces_snapshot_with_raised_floor():
+    """A replica further behind than the replay window gets a snapshot:
+    its history floor rises to the feed's cutoff and its epoch bumps
+    (clients' Tlb history behind the floor is gone in this cell)."""
+    env, metrics, origin, feed, replica, sync = make_world(replay_intervals=1.0)
+    # replay window = 1 interval = 20 s; commit far apart so the early
+    # update falls out of the window.
+    origin_commit(env, origin, item=2, ts=10.0)
+    v8 = origin_commit(env, origin, item=8, ts=200.0)
+    response = feed.answer_pull(sync.horizon)  # horizon = 0, cutoff = 180
+    floor, covers_from, upto, triples, versions = response
+    assert covers_from == pytest.approx(180.0)
+    epoch0 = replica.epoch
+    sync._apply_response(response)
+    assert replica.epoch == epoch0 + 1
+    assert metrics.counter("sync.snapshots").value == 1
+    assert replica.db.origin_time == pytest.approx(180.0)
+    # The snapshot still carries the full version array: state converges
+    # even though pre-floor history is forgotten.
+    assert int(replica.db.version[2]) == 1
+    assert int(replica.db.version[8]) == v8
+    assert sync.horizon == 200.0
+
+
+def test_parent_feed_caps_responses_at_its_horizon():
+    """A parent cell can never feed a child past its own knowledge: the
+    response's upto is the parent's horizon, not wall-clock now."""
+    env, metrics, origin, feed, replica, sync = make_world()
+    origin_commit(env, origin, item=1, ts=10.0)
+    sync._apply_response(feed.answer_pull(0.0))
+    env.run(until=50.0)  # wall clock moves on; the replica learns nothing
+    response = sync.answer_pull(0.0)
+    assert response is not None
+    assert response[2] == 10.0  # upto == parent horizon
+    sync.horizon = NEVER
+    assert sync.answer_pull(0.0) is None  # an unsynced parent refuses
+
+
+def test_coop_answer_clamps_stamps_to_up_to():
+    """A granting peer clamps every stamp to the requested ``up_to``: an
+    item also updated later must still be (re)invalidated by the
+    requester, never trusted at its newer time."""
+    env = Environment()
+    metrics = MetricSet()
+    roaming = RoamingConfig()
+    requester = StubServer(Database(20, origin_time=100.0), cell_id=1)
+    requester.db.apply_sync(4, 150.0, 2)  # requester already tracks item 4
+    coop = CellCooperator(env, requester, roaming, metrics)
+    peer = StubServer(Database(20), cell_id=2)
+    peer.db.apply_update(3, 60.0)    # inside (need, up_to]
+    peer.db.apply_update(5, 140.0)   # after up_to: stamp must clamp to 100
+    peer.db.apply_update(4, 160.0)   # requester's newer record must win
+    # The peer's knowledge horizon has reached past up_to (the real
+    # _knowledge_now is wall-clock/horizon based; the test env sits at 0).
+    peer._knowledge_now = lambda now: 200.0
+    link = InterCellLink(env, 0.05)
+    coop.add_peer(2, peer, link)
+    resumed = []
+    coop.backfill_then(50.0, resumed.append, DummyMsg())
+    env.run(until=5.0)
+    assert metrics.counter("coop.backfills").value == 1
+    assert len(resumed) == 1
+    db = requester.db
+    assert db.origin_time == 50.0                  # floor lowered to need
+    assert float(db.last_update[3]) == 60.0        # honest in-window stamp
+    assert float(db.last_update[5]) == 100.0       # clamped, not 140
+    assert float(db.last_update[4]) == 150.0       # newer record kept
+
+
+def test_coop_refuses_when_peer_cannot_vouch():
+    """Honest refusal: a peer whose own floor is above ``need`` (or whose
+    horizon lags ``up_to``) must answer None, and the requester falls
+    through to its ordinary degradation path (resume still fires)."""
+    env = Environment()
+    metrics = MetricSet()
+    roaming = RoamingConfig()
+    requester = StubServer(Database(20, origin_time=100.0), cell_id=1)
+    coop = CellCooperator(env, requester, roaming, metrics)
+    # Peer A: floor too high.  Peer B: horizon short of up_to.
+    peer_a = StubServer(Database(20, origin_time=80.0), cell_id=2)
+    peer_b = StubServer(Database(20), cell_id=3)
+    peer_b._knowledge_now = lambda now: 90.0
+    coop.add_peer(2, peer_a, InterCellLink(env, 0.05))
+    coop.add_peer(3, peer_b, InterCellLink(env, 0.05))
+    resumed = []
+    coop.backfill_then(50.0, resumed.append, DummyMsg())
+    env.run(until=10.0)
+    assert metrics.counter("coop.refusals").value == 2
+    assert metrics.counter("coop.failures").value == 1
+    assert metrics.counter("coop.backfills").value == 0
+    assert requester.db.origin_time == 100.0  # floor unchanged
+    assert len(resumed) == 1
+
+
+def test_coop_drops_resume_after_epoch_change():
+    """If the requesting cell's world changed while the ask was in
+    flight (epoch bump), the deferred upload is void: no graft, no
+    resume — the client's own retry machinery owns recovery."""
+    env = Environment()
+    metrics = MetricSet()
+    roaming = RoamingConfig()
+    requester = StubServer(Database(20, origin_time=100.0), cell_id=1)
+    coop = CellCooperator(env, requester, roaming, metrics)
+    peer = StubServer(Database(20), cell_id=2)
+    peer.db.apply_update(3, 60.0)
+    peer._knowledge_now = lambda now: 200.0
+    coop.add_peer(2, peer, InterCellLink(env, 0.05))
+    resumed = []
+    coop.backfill_then(50.0, resumed.append, DummyMsg())
+    env.run(until=0.01)   # the ask departs...
+    requester.epoch += 1  # ...then the world changes under it
+    env.run(until=5.0)
+    assert metrics.counter("coop.backfills").value == 0
+    assert requester.db.origin_time == 100.0
+    assert resumed == []
+
+
+class DummyMsg:
+    src = 42
