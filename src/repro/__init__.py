@@ -19,6 +19,15 @@ Quickstart::
     print(result.summary())
 """
 
+import os as _os
+
+if _os.environ.get("REPRO_PURE_PYTHON", "") not in ("", "0"):
+    # Must run before any strict-tier import: reroute compiled extension
+    # modules back to their .py sources (see repro/_purity.py).
+    from . import _purity as _purity_hook
+
+    _purity_hook.install()
+
 from .net import FaultConfig
 from .sim import (
     HOTCOLD,

@@ -7,10 +7,18 @@ is ``pending -> triggered (scheduled on the heap) -> processed``.
 The kernel is deliberately close in spirit to process-oriented simulation
 packages such as CSIM (used by the paper) and simpy: the rest of the
 library only relies on the small surface defined here.
+
+Hot-path notes (see docs/PERFORMANCE.md): the single-waiter case — one
+process yielding one event — is by far the dominant wait pattern, so it
+bypasses the callback list entirely through the ``_proc`` slot, and
+:class:`Timeout` construction inlines both the base initialiser and the
+heap push.  Every specialization preserves the exact ``(time, priority,
+eid)`` schedule sequence and is pinned by the kernel golden tests.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, List, Optional
 
 if TYPE_CHECKING:
@@ -38,7 +46,7 @@ class Event:
         The :class:`~repro.des.environment.Environment` the event lives in.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused", "_proc")
 
     def __init__(self, env: Environment) -> None:
         self.env = env
@@ -49,6 +57,10 @@ class Event:
         self._processed = False
         #: Set True to suppress the unhandled-failure check for this event.
         self._defused = False
+        #: Single-waiter fast path: the process suspended on this event,
+        #: when it is the *first* waiter.  Resumed before ``callbacks``
+        #: (i.e. in exactly the order the old append-only list produced).
+        self._proc: Optional[Process] = None
 
     def __repr__(self) -> str:
         state = (
@@ -96,7 +108,12 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, priority=priority)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        if env._soa is None:
+            heappush(env._heap, (env._now, priority, eid, self))
+        else:
+            env._soa.push(env._now, priority, eid, self)
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -111,7 +128,12 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env.schedule(self, priority=priority)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        if env._soa is None:
+            heappush(env._heap, (env._now, priority, eid, self))
+        else:
+            env._soa.push(env._now, priority, eid, self)
         return self
 
     def _mark_processed(self) -> None:
@@ -123,7 +145,9 @@ class Timeout(Event):
     """An event that fires after a fixed simulated delay.
 
     Created via :meth:`Environment.timeout`; triggers itself immediately on
-    construction.
+    construction.  The constructor is fully inlined — base initialiser and
+    heap push included — because one of these is allocated per classic
+    ``yield env.timeout(d)``, the second-hottest yield in the simulator.
     """
 
     __slots__ = ("delay",)
@@ -137,40 +161,57 @@ class Timeout(Event):
     ) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay, priority=priority)
+        self._ok = True
+        self._processed = False
+        self._defused = False
+        self._proc = None
+        self.delay = delay
+        env._eid = eid = env._eid + 1
+        if env._soa is None:
+            heappush(env._heap, (env._now + delay, priority, eid, self))
+        else:
+            env._soa.push(env._now + delay, priority, eid, self)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay} at {id(self):#x}>"
 
 
 class _Wakeup:
-    """Heap token for the kernel's timeout fast lane.
+    """Reusable heap token for the kernel's timeout fast lane.
 
     The dominant event pattern by far is a process sleeping for a fixed
     delay.  ``yield <seconds>`` (or ``yield env.sleep(seconds)``)
     schedules one of these instead of a full :class:`Timeout`: no
     callback list, no pending/triggered lifecycle — just the owning
-    process, which the run loop resumes directly.  An interrupt
-    tombstones the token by clearing ``proc``; the run loop skips
-    tombstones on pop.  The class-level attributes let the token
-    duck-type as a processed, successful event for tracers.
+    process, which the run loop resumes directly.
+
+    Each process owns exactly *one* token, allocated with the process
+    and re-armed per sleep by stamping ``eid`` with the sleep's heap
+    insertion id: a process sleeps at most once at a time, and eids are
+    never reused, so a popped heap entry resumes the process iff its eid
+    still matches the token's.  An interrupt cancels the pending sleep
+    by resetting ``eid`` to 0 (no entry ever carries eid 0), which
+    leaves the stale heap entry to be skipped on pop.  The class-level
+    attributes let the token duck-type as a processed, successful event
+    for tracers and for :meth:`Process._resume`.
     """
 
-    __slots__ = ("proc",)
+    __slots__ = ("proc", "eid")
 
     ok = True
     processed = True
     callbacks = None
+    _ok = True
     _value = None
     value = None
     _defused = True
 
     def __init__(self, proc: Process) -> None:
-        self.proc: Optional[Process] = proc
+        self.proc = proc
+        self.eid = 0
 
     def __repr__(self) -> str:
         return f"<_Wakeup for {self.proc!r}>"

@@ -4,15 +4,22 @@
 pops the smallest item first (items must be orderable — see
 :class:`PriorityItem` for attaching arbitrary payloads); :class:`FilterStore`
 lets consumers wait for items matching a predicate.
+
+Hot-path notes: ``Store._trigger`` runs once per put/get and inlines the
+event-succeed heap push (property-free slot access), and
+:class:`PriorityStore` keeps its heap as parallel primitive key arrays —
+``(priority, seq)`` floats/ints sifted with index arithmetic — instead of
+heap-sorting rich objects.  Both preserve the exact event order of the
+straightforward implementations (kernel golden tests).
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, List
 
-from .event import Event
+from .event import Event, NORMAL, PENDING
 
 if TYPE_CHECKING:
     from .environment import Environment
@@ -26,10 +33,35 @@ class StorePut(Event):
     __slots__ = ("item",)
 
     def __init__(self, store: "Store", item: Any) -> None:
-        super().__init__(store.env)
+        # Inlined Event.__init__ (one StorePut per channel message).
+        self.env = env = store.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._processed = False
+        self._defused = False
+        self._proc = None
         self.item = item
-        store._put_queue.append(self)
-        store._trigger()
+        # Uncontended fast path: no pending puts ahead of us and room in
+        # the store — store + succeed immediately, skipping the trigger
+        # fixpoint scan.  (Pending puts imply the store is full, so the
+        # queue check alone cannot starve an earlier put.)  Waiting
+        # getters are then served exactly as the trigger scan would.
+        if not store._put_queue and len(store.items) < store.capacity:
+            store._store_item(item)
+            # Inlined self.succeed()
+            self._ok = True
+            self._value = None
+            env._eid = eid = env._eid + 1
+            if env._soa is None:
+                heappush(env._heap, (env._now, NORMAL, eid, self))
+            else:
+                env._soa.push(env._now, NORMAL, eid, self)
+            if store._get_queue:
+                store._serve_gets()
+        else:
+            store._put_queue.append(self)
+            store._trigger()
 
 
 class StoreGet(Event):
@@ -38,9 +70,35 @@ class StoreGet(Event):
     __slots__ = ()
 
     def __init__(self, store: "Store") -> None:
-        super().__init__(store.env)
-        store._get_queue.append(self)
-        store._trigger()
+        # Inlined Event.__init__ (one StoreGet per channel receive).
+        self.env = env = store.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._processed = False
+        self._defused = False
+        self._proc = None
+        # Uncontended fast path (plain FIFO/priority gets only — filtered
+        # gets go through FilterStore._trigger): an item is available and
+        # no getter queued ahead of us.  Taking the item may free
+        # capacity, so pending puts are then served exactly as the
+        # trigger scan would (puts make no progress before our take —
+        # they are pending because the store is full).
+        if type(self) is StoreGet and store.items and not store._get_queue:
+            item = store._take_item(self)
+            # Inlined self.succeed(item)
+            self._ok = True
+            self._value = item
+            env._eid = eid = env._eid + 1
+            if env._soa is None:
+                heappush(env._heap, (env._now, NORMAL, eid, self))
+            else:
+                env._soa.push(env._now, NORMAL, eid, self)
+            if store._put_queue:
+                store._serve_puts()
+        else:
+            store._get_queue.append(self)
+            store._trigger()
 
 
 class FilterStoreGet(StoreGet):
@@ -94,7 +152,8 @@ class Store:
         if len(self.items) >= self.capacity:
             raise RuntimeError(f"{type(self).__name__} is full")
         self._store_item(item)
-        self._trigger()
+        if self._get_queue:
+            self._serve_gets()
 
     def get(self) -> StoreGet:
         """Request an item; the returned event fires with the item."""
@@ -121,49 +180,152 @@ class Store:
     def _take_item(self, event: StoreGet) -> Any:
         return self.items.pop(0)
 
+    def _serve_gets(self) -> None:
+        """Hand stored items to queued getters, oldest first.
+
+        One pass suffices after a put/put_nowait fast path: gets free
+        capacity but the put queue was empty (else the slow path ran),
+        so no put can unblock mid-scan.  FilterStore overrides this with
+        its predicate-aware scan.
+        """
+        env = self.env
+        items = self.items
+        get_queue = self._get_queue
+        idx = 0
+        while idx < len(get_queue):
+            get_event = get_queue[idx]
+            if get_event._value is not PENDING:  # cancelled externally
+                get_queue.pop(idx)
+                continue
+            if not items:
+                return
+            item = self._take_item(get_event)
+            # Inlined get_event.succeed(item)
+            get_event._ok = True
+            get_event._value = item
+            env._eid = eid = env._eid + 1
+            if env._soa is None:
+                heappush(env._heap, (env._now, NORMAL, eid, get_event))
+            else:
+                env._soa.push(env._now, NORMAL, eid, get_event)
+            get_queue.pop(idx)
+
+    def _serve_puts(self) -> None:
+        """Accept queued puts while capacity lasts, oldest first.
+
+        One pass suffices after a get fast path: accepted puts add
+        items, but the get queue was empty (else the slow path ran), so
+        no getter can unblock mid-scan.
+        """
+        env = self.env
+        capacity = self.capacity
+        items = self.items
+        put_queue = self._put_queue
+        idx = 0
+        while idx < len(put_queue):
+            put_event = put_queue[idx]
+            if put_event._value is not PENDING:  # cancelled externally
+                put_queue.pop(idx)
+                continue
+            if len(items) >= capacity:
+                return
+            self._store_item(put_event.item)
+            # Inlined put_event.succeed()
+            put_event._ok = True
+            put_event._value = None
+            env._eid = eid = env._eid + 1
+            if env._soa is None:
+                heappush(env._heap, (env._now, NORMAL, eid, put_event))
+            else:
+                env._soa.push(env._now, NORMAL, eid, put_event)
+            put_queue.pop(idx)
+
     def _trigger(self) -> None:
-        """Match as many pending puts/gets as possible."""
+        """Match as many pending puts/gets as possible.
+
+        Semantically identical to looping ``_do_put``/``_do_get`` to a
+        fixpoint, with the event-succeed heap push inlined: this runs
+        once per put/get — the busiest store path after the run loop —
+        and the succeed() property checks are pure overhead for events
+        we just verified to be pending.
+        """
+        env = self.env
+        capacity = self.capacity
+        items = self.items
+        put_queue = self._put_queue
+        get_queue = self._get_queue
         progress = True
         while progress:
             progress = False
             idx = 0
-            while idx < len(self._put_queue):
-                event = self._put_queue[idx]
-                if event.triggered:  # cancelled externally
-                    self._put_queue.pop(idx)
+            while idx < len(put_queue):
+                put_event = put_queue[idx]
+                if put_event._value is not PENDING:  # cancelled externally
+                    put_queue.pop(idx)
                     continue
-                if self._do_put(event):
-                    self._put_queue.pop(idx)
+                if len(items) < capacity:
+                    self._store_item(put_event.item)
+                    # Inlined put_event.succeed()
+                    put_event._ok = True
+                    put_event._value = None
+                    env._eid = eid = env._eid + 1
+                    if env._soa is None:
+                        heappush(env._heap, (env._now, NORMAL, eid, put_event))
+                    else:
+                        env._soa.push(env._now, NORMAL, eid, put_event)
+                    put_queue.pop(idx)
                     progress = True
                 else:
                     idx += 1
             idx = 0
-            while idx < len(self._get_queue):
-                event = self._get_queue[idx]
-                if event.triggered:
-                    self._get_queue.pop(idx)
+            while idx < len(get_queue):
+                get_event = get_queue[idx]
+                if get_event._value is not PENDING:
+                    get_queue.pop(idx)
                     continue
-                if self._do_get(event):
-                    self._get_queue.pop(idx)
+                if items:
+                    item = self._take_item(get_event)
+                    # Inlined get_event.succeed(item)
+                    get_event._ok = True
+                    get_event._value = item
+                    env._eid = eid = env._eid + 1
+                    if env._soa is None:
+                        heappush(env._heap, (env._now, NORMAL, eid, get_event))
+                    else:
+                        env._soa.push(env._now, NORMAL, eid, get_event)
+                    get_queue.pop(idx)
                     progress = True
                 else:
                     idx += 1
 
 
-@dataclass(slots=True)
 class PriorityItem:
     """Wrapper giving an arbitrary payload a sort key for a PriorityStore.
 
     Items with equal priority dequeue FIFO thanks to the sequence counter.
+    Ordering (and equality) consider only ``(priority, seq)`` — never the
+    payload.
     """
 
-    priority: float
-    seq: int = field(compare=True, default=0)
-    item: Any = field(compare=False, default=None)
+    __slots__ = ("priority", "seq", "item")
+
+    def __init__(self, priority: float, seq: int = 0, item: Any = None) -> None:
+        self.priority = priority
+        self.seq = seq
+        self.item = item
+
+    def __repr__(self) -> str:
+        return (
+            f"PriorityItem(priority={self.priority!r}, seq={self.seq!r}, "
+            f"item={self.item!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PriorityItem):
+            return NotImplemented
+        return self.priority == other.priority and self.seq == other.seq
 
     def __lt__(self, other: "PriorityItem") -> bool:
-        # Hand-written heap comparison: the dataclass-generated one
-        # builds a tuple per operand on every heap sift.
         sp, op = self.priority, other.priority
         if sp != op:
             return sp < op
@@ -176,19 +338,148 @@ class PriorityStore(Store):
     Items must be mutually orderable; use :class:`PriorityItem` to attach
     non-orderable payloads.  FIFO order among equal keys is the caller's
     responsibility (``PriorityItem.seq`` provides it).
+
+    Internally items sort by a primitive ``(priority, seq)`` key —
+    PriorityItems key as ``(priority, seq)``, bare numbers as
+    ``(value, 0)`` — never by rich item comparisons.  The key heap's
+    representation follows the environment's heap backend: under the
+    struct-of-arrays backend, ``_kprio``/``_kseq`` hold the keys in
+    parallel with the payloads in ``items`` and the sifts replicate
+    CPython's ``heapq`` decisions over those primitives (index
+    arithmetic, unboxed once compiled); under the tuple backend the C
+    ``heapq`` sifts ``(priority, seq, payload)`` tuples — the faster
+    trade interpreted.  Both make the same comparison decisions (a key
+    tie compares payloads, which PriorityItem equates by the same key),
+    so the heap arrangement and pop order — ties included — are
+    bit-identical to each other and to heap-sorting the items
+    themselves.  Other orderables drop to a C-``heapq`` fallback over
+    ``items`` directly (they have no primitive key), chosen per store
+    by its first item — the representations never mix, just as items
+    of unrelated types were never mutually orderable before.
     """
 
-    __slots__ = ()
+    __slots__ = ("_kprio", "_kseq", "_generic", "_tuples")
+
+    def __init__(self, env: Environment, capacity: float = Infinity) -> None:
+        super().__init__(env, capacity)
+        self._kprio: List[float] = []
+        self._kseq: List[int] = []
+        self._generic = False
+        self._tuples = env._soa is None
 
     def _store_item(self, item: Any) -> None:
+        cls = type(item)
+        if not self._generic:
+            if cls is PriorityItem:
+                if self._tuples:
+                    heapq.heappush(self.items, (item.priority, item.seq, item))
+                else:
+                    self._push_key(item.priority, item.seq, item)
+                return
+            if cls is int or cls is float or isinstance(item, (int, float)):
+                if self._tuples:
+                    heapq.heappush(self.items, (item, 0, item))
+                else:
+                    self._push_key(item, 0, item)
+                return
+            if self.items:
+                raise TypeError(
+                    f"cannot mix {item!r} with the store's keyed items"
+                )
+            self._generic = True
         heapq.heappush(self.items, item)
 
     def _take_item(self, event: StoreGet) -> Any:
-        return heapq.heappop(self.items)
+        if self._generic:
+            return heapq.heappop(self.items)
+        if self._tuples:
+            return heapq.heappop(self.items)[2]
+        return self._pop_key()
 
     def peek(self) -> Any:
         """Smallest stored item without removing it (IndexError if empty)."""
+        if self._tuples and not self._generic:
+            return self.items[0][2]
         return self.items[0]
+
+    # -- struct-of-arrays key heap -------------------------------------------
+
+    def _push_key(self, kprio: float, kseq: int, item: Any) -> None:
+        """Append ``(kprio, kseq)``/*item* and sift it toward the root.
+
+        Mirrors ``heapq.heappush`` + ``_siftdown``: move the new entry up
+        while *strictly* smaller than its parent (equal keys stay put, so
+        ties arrange exactly as heapq arranges equal items).
+        """
+        kprios = self._kprio
+        kseqs = self._kseq
+        items = self.items
+        pos = len(kprios)
+        kprios.append(kprio)
+        kseqs.append(kseq)
+        items.append(item)
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            pprio = kprios[parent]
+            if kprio > pprio or (kprio == pprio and kseq >= kseqs[parent]):
+                break
+            kprios[pos] = pprio
+            kseqs[pos] = kseqs[parent]
+            items[pos] = items[parent]
+            pos = parent
+        kprios[pos] = kprio
+        kseqs[pos] = kseq
+        items[pos] = item
+
+    def _pop_key(self) -> Any:
+        """Remove and return the payload of the minimum key.
+
+        Mirrors ``heapq.heappop`` + ``_siftup``: walk the root hole down
+        along the smaller child to a leaf (on full key ties heapq takes
+        the *right* child — its test is ``not left < right``), place the
+        displaced last entry there, then sift it back up.
+        """
+        kprios = self._kprio
+        kseqs = self._kseq
+        items = self.items
+        last_prio = kprios.pop()
+        last_seq = kseqs.pop()
+        last_item = items.pop()
+        if not kprios:
+            return last_item
+        result = items[0]
+        end = len(kprios)
+        pos = 0
+        child = 1
+        while child < end:
+            right = child + 1
+            if right < end:
+                cprio = kprios[child]
+                rprio = kprios[right]
+                if cprio > rprio or (
+                    cprio == rprio and kseqs[child] >= kseqs[right]
+                ):
+                    child = right
+            kprios[pos] = kprios[child]
+            kseqs[pos] = kseqs[child]
+            items[pos] = items[child]
+            pos = child
+            child = 2 * pos + 1
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            pprio = kprios[parent]
+            if last_prio > pprio or (
+                last_prio == pprio and last_seq >= kseqs[parent]
+            ):
+                break
+            kprios[pos] = pprio
+            kseqs[pos] = kseqs[parent]
+            items[pos] = items[parent]
+            pos = parent
+        kprios[pos] = last_prio
+        kseqs[pos] = last_seq
+        items[pos] = last_item
+        return result
 
 
 class FilterStore(Store):
@@ -208,9 +499,15 @@ class FilterStore(Store):
                 return True
         return False
 
+    def _serve_gets(self) -> None:
+        # Filtered getters must each be offered every item; the FIFO
+        # single-pass serve would hand them the head only.
+        self._trigger()
+
     def _trigger(self) -> None:
         # Unlike the FIFO store, a non-matching head must not block later
-        # getters, so every pending getter is offered every item.
+        # getters, so every pending getter is offered every item.  Not a
+        # hot path — the readable _do_put/_do_get form stays.
         idx = 0
         while idx < len(self._put_queue):
             event = self._put_queue[idx]
@@ -220,8 +517,8 @@ class FilterStore(Store):
                 idx += 1
         idx = 0
         while idx < len(self._get_queue):
-            event = self._get_queue[idx]
-            if event.triggered or self._do_get(event):
+            get_event = self._get_queue[idx]
+            if get_event.triggered or self._do_get(get_event):
                 self._get_queue.pop(idx)
             else:
                 idx += 1

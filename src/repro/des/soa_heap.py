@@ -1,0 +1,189 @@
+"""Array-backed struct-of-arrays event heap (the compiled kernel tier).
+
+The tuple heap in :mod:`repro.des.environment` allocates one
+``(when, priority, eid, payload)`` tuple per scheduled event and leans
+on the C ``heapq`` to sift them.  That is the right trade under the
+interpreter — tuple compares and sifts run in C — but it is the wrong
+one once the kernel tier is compiled with mypyc: every entry is still a
+boxed tuple of boxed numbers, and every comparison goes through the
+generic rich-comparison machinery.
+
+:class:`EventHeap` stores the schedule as parallel flat arrays of
+primitives instead::
+
+    _when[i]   float   fire time of heap entry i
+    _prio[i]   int     priority (URGENT < HIGH < NORMAL < LOW)
+    _eid[i]    int     insertion order — the FIFO tie-break
+    _slot[i]   int     index into the payload slot list
+
+plus a payload slot list (``_payload``) holding the only object
+reference per event.  Sift-up/sift-down are written as index arithmetic
+over those primitives, so the compiled build unboxes the floats/ints and
+never allocates per-event wrapper objects.  Freed payload slots are
+recycled through a free list, which bounds the slot list by the peak
+number of concurrently scheduled events.
+
+Ordering invariants (must match the tuple heap bit-for-bit):
+
+* entries pop in ``(when, priority, eid)`` lexicographic order;
+* ``eid`` values are unique, so the order is a *strict* total order —
+  any correct binary heap yields the identical pop sequence, which is
+  what keeps the two backends interchangeable under the golden tests;
+* the sift algorithm mirrors CPython's ``heapq`` (bubble the hole to a
+  leaf, then sift the displaced entry back up) so even the internal
+  array arrangement matches what ``heapq`` would produce.
+
+Cancellation stays a *dispatch-level* concern: the run loop skips stale
+wakeup tokens by eid generation (see ``Environment.run``), so the heap
+itself needs no tombstone support.  ``tests/des/test_heap_equivalence``
+replays random schedule/cancel/tie sequences against a reference
+``heapq`` model to pin all of the above.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+__all__ = ["EventHeap"]
+
+
+class EventHeap:
+    """Min-heap over ``(when, priority, eid)`` with slotted payloads."""
+
+    __slots__ = ("_when", "_prio", "_eid", "_slot", "_payload", "_free")
+
+    def __init__(self) -> None:
+        self._when: List[float] = []
+        self._prio: List[int] = []
+        self._eid: List[int] = []
+        self._slot: List[int] = []
+        self._payload: List[Any] = []
+        self._free: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._when)
+
+    def __bool__(self) -> bool:
+        return bool(self._when)
+
+    @property
+    def slots_allocated(self) -> int:
+        """Size of the payload slot list (peak concurrent events)."""
+        return len(self._payload)
+
+    def peek_when(self) -> float:
+        """Fire time of the root entry (caller guarantees non-empty)."""
+        return self._when[0]
+
+    def push(self, when: float, prio: int, eid: int, payload: Any) -> None:
+        """Schedule *payload* at ``(when, prio, eid)``."""
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._payload[slot] = payload
+        else:
+            slot = len(self._payload)
+            self._payload.append(payload)
+        whens = self._when
+        pos = len(whens)
+        whens.append(when)
+        self._prio.append(prio)
+        self._eid.append(eid)
+        self._slot.append(slot)
+        if pos:
+            self._sift_to_root(pos, when, prio, eid, slot)
+
+    def pop(self) -> Tuple[float, int, Any]:
+        """Remove and return the minimum entry as ``(when, eid, payload)``.
+
+        Raises ``IndexError`` when empty (mirrors ``heapq.heappop``).
+        """
+        whens = self._when
+        prios = self._prio
+        eids = self._eid
+        slots = self._slot
+        last_when = whens.pop()
+        last_prio = prios.pop()
+        last_eid = eids.pop()
+        last_slot = slots.pop()
+        if whens:
+            when = whens[0]
+            eid = eids[0]
+            slot = slots[0]
+            # Hole-to-leaf sift (heapq._siftup) with the displaced last
+            # entry, then bubble it back toward the root.
+            self._sift_to_leaf(last_when, last_prio, last_eid, last_slot)
+        else:
+            when = last_when
+            eid = last_eid
+            slot = last_slot
+        payload = self._payload[slot]
+        self._payload[slot] = None
+        self._free.append(slot)
+        # The one sanctioned allocation: the result triple carrying the
+        # freed payload slot's object out to the run loop.
+        return (when, eid, payload)  # checks: ignore[PERF001]
+
+    # -- sifts (index arithmetic over the parallel primitive arrays) -------
+
+    def _sift_to_root(
+        self, pos: int, when: float, prio: int, eid: int, slot: int
+    ) -> None:
+        """Move the entry held in the arguments from *pos* toward the root."""
+        whens = self._when
+        prios = self._prio
+        eids = self._eid
+        slots = self._slot
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            pwhen = whens[parent]
+            if when > pwhen:
+                break
+            if when == pwhen:
+                pprio = prios[parent]
+                if prio > pprio or (prio == pprio and eid > eids[parent]):
+                    break
+            whens[pos] = pwhen
+            prios[pos] = prios[parent]
+            eids[pos] = eids[parent]
+            slots[pos] = slots[parent]
+            pos = parent
+        whens[pos] = when
+        prios[pos] = prio
+        eids[pos] = eid
+        slots[pos] = slot
+
+    def _sift_to_leaf(self, when: float, prio: int, eid: int, slot: int) -> None:
+        """Fill the root hole: walk the smaller child down to a leaf, then
+        place the displaced entry and sift it back up (heapq's strategy —
+        fewer comparisons than the textbook two-way sift-down)."""
+        whens = self._when
+        prios = self._prio
+        eids = self._eid
+        slots = self._slot
+        end = len(whens)
+        pos = 0
+        child = 1
+        while child < end:
+            right = child + 1
+            if right < end:
+                cw = whens[child]
+                rw = whens[right]
+                if rw < cw or (
+                    rw == cw
+                    and (
+                        prios[right] < prios[child]
+                        or (
+                            prios[right] == prios[child]
+                            and eids[right] < eids[child]
+                        )
+                    )
+                ):
+                    child = right
+            whens[pos] = whens[child]
+            prios[pos] = prios[child]
+            eids[pos] = eids[child]
+            slots[pos] = slots[child]
+            pos = child
+            child = 2 * pos + 1
+        self._sift_to_root(pos, when, prio, eid, slot)
