@@ -48,14 +48,28 @@ from .schemes import (
     get_scheme,
     register_scheme,
 )
+from .service import (
+    Answer,
+    CacheNode,
+    NodeConfig,
+    ServiceParams,
+    SWRConfig,
+    VirtualClock,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Answer",
+    "CacheNode",
     "EVALUATED_SCHEMES",
     "FaultConfig",
     "HOTCOLD",
+    "NodeConfig",
+    "SWRConfig",
     "Scheme",
+    "ServiceParams",
+    "VirtualClock",
     "SimulationModel",
     "SimulationResult",
     "SystemParams",

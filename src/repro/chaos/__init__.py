@@ -12,6 +12,7 @@ package for :class:`ChaosConfig`; the model lazy-imports the injector.
 """
 
 from .oracle import LivenessReport, StalenessViolation, account_liveness, oracle_verdict
+from .outages import OutageSchedule
 from .schedule import MIN_DOWNTIME, ChaosConfig, ChaosSchedule, ClockModel
 
 __all__ = [
@@ -20,6 +21,7 @@ __all__ = [
     "ChaosSchedule",
     "ClockModel",
     "LivenessReport",
+    "OutageSchedule",
     "StalenessViolation",
     "account_liveness",
     "oracle_verdict",

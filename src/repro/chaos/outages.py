@@ -1,0 +1,112 @@
+"""Scripted and seeded backend-outage schedules for the service tier.
+
+Where :mod:`repro.chaos.schedule` plans endpoint failures *inside* the
+simulated cell, an :class:`OutageSchedule` plans failures of the service
+façade's dependencies — the IR broker feed and the L2 backend — as plain
+down-time windows on the virtual (or wall) clock.  The fault-injecting
+wrappers in :mod:`repro.service.faults` consult ``down_at(now)`` per
+operation, so a schedule scripts exactly when the node must degrade,
+ride out the outage on the paper's ``Tlb`` semantics, and salvage on
+reconnect.
+
+Determinism contract (same as the chaos schedules): a sampled plan is a
+pure function of ``(seed, name, horizon, mtbf, downtime_mean)`` drawn
+from a salted :class:`~repro.des.RandomStreams` stream
+(``outage/<seed>/<name>``), so campaigns replay byte-identically.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+from ..des.rng import RandomStreams
+
+__all__ = ["OutageSchedule"]
+
+#: Floor on sampled downtimes (mirrors chaos.schedule.MIN_DOWNTIME).
+_MIN_DOWNTIME = 1e-6
+
+
+class OutageSchedule:
+    """Half-open down-time windows ``[start, end)`` for one dependency."""
+
+    __slots__ = ("name", "_starts", "_ends")
+
+    def __init__(
+        self, windows: Sequence[Tuple[float, float]] = (), name: str = "backend"
+    ) -> None:
+        cleaned: List[Tuple[float, float]] = []
+        for start, end in sorted(windows):
+            if end <= start:
+                raise ValueError(f"empty outage window [{start}, {end})")
+            if cleaned and start < cleaned[-1][1]:
+                # Overlapping scripts merge: the union is what matters.
+                prev_start, prev_end = cleaned[-1]
+                cleaned[-1] = (prev_start, max(prev_end, end))
+            else:
+                cleaned.append((float(start), float(end)))
+        self.name = name
+        self._starts = [w[0] for w in cleaned]
+        self._ends = [w[1] for w in cleaned]
+
+    @classmethod
+    def scripted(
+        cls, *windows: Tuple[float, float], name: str = "backend"
+    ) -> "OutageSchedule":
+        """Explicit windows, e.g. ``scripted((100, 180), (400, 520))``."""
+        return cls(windows, name=name)
+
+    @classmethod
+    def sampled(
+        cls,
+        seed: int,
+        horizon: float,
+        *,
+        mtbf: float,
+        downtime_mean: float,
+        name: str = "backend",
+    ) -> "OutageSchedule":
+        """Exponential up/down alternation over ``[0, horizon)``.
+
+        Draws come from the salted stream ``outage/<seed>/<name>`` so the
+        plan never perturbs (and is never perturbed by) any other stream
+        in the campaign.
+        """
+        if mtbf <= 0 or downtime_mean <= 0:
+            raise ValueError("mtbf and downtime_mean must be > 0")
+        stream = RandomStreams(seed).stream(f"outage/{seed}/{name}")
+        windows: List[Tuple[float, float]] = []
+        t = 0.0
+        while True:
+            t += stream.exponential(mtbf)
+            if t >= horizon:
+                break
+            down = max(stream.exponential(downtime_mean), _MIN_DOWNTIME)
+            windows.append((t, min(t + down, horizon)))
+            t += down
+        return cls(windows, name=name)
+
+    @property
+    def windows(self) -> List[Tuple[float, float]]:
+        return list(zip(self._starts, self._ends))
+
+    @property
+    def total_downtime(self) -> float:
+        return sum(end - start for start, end in zip(self._starts, self._ends))
+
+    def down_at(self, now: float) -> bool:
+        """Whether the dependency is down at instant *now*."""
+        idx = bisect_right(self._starts, now) - 1
+        return idx >= 0 and now < self._ends[idx]
+
+    def next_transition_after(self, now: float) -> float:
+        """Next instant the up/down state changes (``inf`` if never)."""
+        idx = bisect_right(self._starts, now) - 1
+        if idx >= 0 and now < self._ends[idx]:
+            return self._ends[idx]
+        nxt = bisect_right(self._starts, now)
+        return self._starts[nxt] if nxt < len(self._starts) else float("inf")
+
+    def __repr__(self) -> str:
+        return f"<OutageSchedule {self.name} windows={len(self._starts)}>"

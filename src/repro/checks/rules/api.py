@@ -1,4 +1,6 @@
-"""API001: every registered scheme implements the policy hook surface.
+"""API001/API002: hook-surface contracts, checked statically.
+
+API001: every registered scheme implements the policy hook surface.
 
 :mod:`repro.schemes.base` declares the contract by convention:
 
@@ -14,6 +16,13 @@ registry imports, walks the factory classes' bases across the package,
 and checks (a) required hooks are overridden and (b) no subclass defines
 an ``on_*``/``build_*`` method the base surface does not know (typo
 guard: a misspelled hook silently never fires).
+
+API002 applies the same convention to the service tier's dependency
+interfaces (:mod:`repro.service.interfaces`): every ``L2Backend`` /
+``IRBroker`` subclass in the tree must override the required hooks, and
+any ``backend_*`` / ``broker_*`` method it defines must exist on the
+base surface — a misspelled wrapper method would silently break the
+delegation chain.
 """
 
 from __future__ import annotations
@@ -25,8 +34,11 @@ from ..engine import Finding, ModuleInfo, Project, Rule, Severity, register_rule
 
 REGISTRY_PATH = "repro/schemes/registry.py"
 BASE_PATH = "repro/schemes/base.py"
+SERVICE_INTERFACES_PATH = "repro/service/interfaces.py"
 _POLICY_BASES = ("ServerPolicy", "ClientPolicy")
 _HOOK_PREFIXES = ("on_", "build_", "salvage_")
+#: Service dependency interfaces and their hook prefix.
+_SERVICE_BASES = {"L2Backend": "backend_", "IRBroker": "broker_"}
 
 
 def _is_bare_not_implemented(stmt: ast.stmt) -> Optional[bool]:
@@ -269,6 +281,67 @@ class SchemeSurfaceRule(Rule):
                                     f"scheme {scheme_name!r}: {cls_name} defines "
                                     f"{name}(), which is not a {base_name} hook "
                                     "(typo? it will never be called)",
+                                )
+                            )
+        return findings
+
+
+@register_rule
+class ServiceSurfaceRule(Rule):
+    """API002: backend/broker implementations match the interface surface."""
+
+    code = "API002"
+    name = "service-hook-surface"
+    description = "service backend/broker missing or misspelling a hook"
+    severity = Severity.ERROR
+    include = ("repro/*",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        interfaces = project.module(SERVICE_INTERFACES_PATH)
+        if interfaces is None:
+            return []
+        surfaces: Dict[str, Tuple[Set[str], Set[str]]] = {}
+        for node in ast.walk(interfaces.tree):
+            if isinstance(node, ast.ClassDef) and node.name in _SERVICE_BASES:
+                surfaces[node.name] = _hook_surface(node)
+        if set(surfaces) != set(_SERVICE_BASES):
+            return []  # interfaces.py reshaped beyond this rule's model
+        findings: List[Finding] = []
+        for module in project.modules:
+            if module.path == SERVICE_INTERFACES_PATH:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                base_names = {
+                    b.id if isinstance(b, ast.Name) else b.attr
+                    for b in node.bases
+                    if isinstance(b, (ast.Name, ast.Attribute))
+                }
+                for base_name in sorted(base_names & set(_SERVICE_BASES)):
+                    surface, required = surfaces[base_name]
+                    prefix = _SERVICE_BASES[base_name]
+                    methods = {
+                        n for n in _method_defs(node) if not n.startswith("_")
+                    }
+                    for hook in sorted(required - methods):
+                        findings.append(
+                            self.finding(
+                                module,
+                                node.lineno,
+                                f"{node.name} subclasses {base_name} but never "
+                                f"implements required hook {hook}()",
+                            )
+                        )
+                    for name in sorted(methods):
+                        if name.startswith(prefix) and name not in surface:
+                            findings.append(
+                                self.finding(
+                                    module,
+                                    node.lineno,
+                                    f"{node.name} defines {name}(), which is "
+                                    f"not an {base_name} hook (typo? callers "
+                                    "resolve it to the base default instead)",
                                 )
                             )
         return findings

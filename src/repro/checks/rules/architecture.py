@@ -40,6 +40,11 @@ LAYER_DAG: Dict[str, Tuple[str, ...]] = {
     # (sim.population, sim.propagation, sim.multicell, ...) are covered
     # by their package's node and impose no extra edges.
     "sim": ("schemes", "net", "analysis", "topology"),
+    # The service tier reuses the certification core and the fault
+    # models but must stay importable without the simulator: it may
+    # never depend on sim or chaos (chaos outage schedules reach it
+    # duck-typed through the OutageLike protocol).
+    "service": ("schemes", "net"),
     "chaos": ("sim",),
     "experiments": ("chaos",),
 }

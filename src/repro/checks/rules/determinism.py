@@ -27,6 +27,7 @@ PROTOCOL_PACKAGES = (
     "cache",
     "db",
     "chaos",
+    "service",
 )
 
 _PROTOCOL_GLOBS = tuple(f"repro/{pkg}/*" for pkg in PROTOCOL_PACKAGES)

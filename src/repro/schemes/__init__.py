@@ -31,6 +31,7 @@ from .registry import (
     get_scheme,
     register_scheme,
 )
+from .session import ClientSession, SessionOutcome
 from .sig import SIG_SCHEME, SIGClientPolicy, SIGServerPolicy
 from .ts_nocheck import TS_SCHEME, TSClientPolicy, TSServerPolicy
 
@@ -51,6 +52,7 @@ __all__ = [
     "CheckingServerPolicy",
     "ClientOutcome",
     "ClientPolicy",
+    "ClientSession",
     "EVALUATED_SCHEMES",
     "GCORE_SCHEME",
     "GCOREClientPolicy",
@@ -64,6 +66,7 @@ __all__ = [
     "SIGServerPolicy",
     "Scheme",
     "ServerPolicy",
+    "SessionOutcome",
     "TS_SCHEME",
     "TSClientPolicy",
     "TSServerPolicy",

@@ -1,0 +1,259 @@
+"""Transport-free client certification core.
+
+:class:`ClientSession` is the piece of the simulated client
+(:mod:`repro.sim.client`) that is pure protocol: report dedup, the
+``(cell, epoch)`` incarnation state machine, missed-report detection,
+``Tlb`` bookkeeping, and dispatch into the scheme's
+:class:`~repro.schemes.base.ClientPolicy`.  No event loop, no channels,
+no energy model — callers feed it reports and replies and observe the
+outcome.  Both the simulator-independent service façade
+(:mod:`repro.service`) and unit tests drive schemes through it, so the
+certification semantics exercised in production are *the same object
+code* the simulation campaigns validated.
+
+The session is its own policy context: it exposes ``cache``, ``tlb``,
+``send_tlb``, ``send_check_request`` and ``note_cache_drop`` exactly as
+the scheme contract in :mod:`repro.schemes.base` requires, forwarding
+the uplink calls to injected callbacks (the service wires them to its
+L2 backend; tests wire them to lists).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Iterable, Optional, Sequence, Tuple
+
+from ..cache import CacheEntry, ClientCache
+from ..reports.base import Report
+from .base import ClientOutcome, ClientPolicy
+
+__all__ = ["ClientSession", "SessionOutcome"]
+
+#: ``send_check_request`` receives ``(item, effective_ts)`` pairs (the
+#: checking/gcore upload wire format; gcore pre-collapses group minima).
+CheckSender = Callable[[Sequence[Tuple[int, float]]], None]
+TlbSender = Callable[[float], None]
+
+
+class SessionOutcome(enum.Enum):
+    """What one offered report did to the session."""
+
+    READY = "ready"          # applied; cache certified as of the report
+    PENDING = "pending"      # salvage in flight (Tlb/check uploaded)
+    DUPLICATE = "duplicate"  # repetition-coded copy already applied
+    LAGGED = "lagged"        # report older than Tlb (stale publisher)
+
+
+def _noop() -> None:
+    return None
+
+
+class ClientSession:
+    """One client's protocol state, decoupled from any transport."""
+
+    __slots__ = (
+        "policy",
+        "cache",
+        "params",
+        "tlb",
+        "_send_tlb",
+        "_send_check",
+        "_note_drop",
+        "_last_applied",
+        "_last_heard",
+        "_cell",
+        "_epoch",
+        "pending",
+        "epoch_purges",
+        "lagged_reports",
+        "missed_reports",
+        "duplicate_reports",
+        "tlb_uploads",
+        "check_uploads",
+    )
+
+    def __init__(
+        self,
+        policy: ClientPolicy,
+        cache: ClientCache,
+        params: Any,
+        *,
+        send_tlb: Optional[TlbSender] = None,
+        send_check_request: Optional[CheckSender] = None,
+        note_cache_drop: Optional[Callable[[], None]] = None,
+        start_tlb: float = 0.0,
+    ) -> None:
+        self.policy = policy
+        self.cache = cache
+        #: Duck-typed protocol parameters (``broadcast_interval`` is the
+        #: only field the session itself reads; the policy reads more).
+        self.params = params
+        #: Last-heard report timestamp — the paper's ``Tlb``.  Settable
+        #: by the policy (the context contract).
+        self.tlb = start_tlb
+        self._send_tlb: TlbSender = send_tlb or (lambda _tlb: None)
+        self._send_check: CheckSender = send_check_request or (lambda _entries: None)
+        self._note_drop: Callable[[], None] = note_cache_drop or _noop
+        self._last_applied: Optional[float] = None
+        self._last_heard: Optional[float] = 0.0
+        self._cell: Optional[int] = None
+        self._epoch = 0
+        #: A scheme salvage (Tlb upload / checking reply) is outstanding.
+        self.pending = False
+        self.epoch_purges = 0
+        self.lagged_reports = 0
+        self.missed_reports = 0
+        self.duplicate_reports = 0
+        self.tlb_uploads = 0
+        self.check_uploads = 0
+
+    # -- the ClientPolicy context surface ---------------------------------
+
+    def send_tlb(self, tlb: float) -> None:
+        self.tlb_uploads += 1
+        self._send_tlb(tlb)
+
+    def send_check_request(
+        self,
+        entries: Sequence[Tuple[int, float]],
+        size_bits: Optional[float] = None,
+    ) -> None:
+        self.check_uploads += 1
+        self._send_check(entries)
+
+    def note_cache_drop(self) -> None:
+        self._note_drop()
+
+    # -- report intake (mirrors repro.sim.client._on_downlink, IR arm) ----
+
+    def offer_report(self, report: Report, now: float) -> SessionOutcome:
+        """Feed one received report through dedup/epoch/gap/policy.
+
+        The exact state machine the simulated client runs: duplicate
+        copies are discarded; a new ``(cell, epoch)`` pair after handoff
+        is adopted without purging; an epoch bump or timeline regression
+        voids certified knowledge via the scheme's ``on_epoch_change``
+        (default: full drop) and resynchronises ``Tlb``; a lagging
+        report (older than ``Tlb``) is skipped; a gap of more than one
+        broadcast interval is reported to the policy before dispatch.
+        """
+        report_ts = report.timestamp
+        if report_ts == self._last_applied:
+            self.duplicate_reports += 1
+            return SessionOutcome.DUPLICATE
+        epoch = report.epoch
+        if self._cell is None:
+            # First report ever (or after a handoff): adopt the cell's
+            # (cell, epoch) identity without purging — timestamps are
+            # global, so prior certification stays honest.
+            self._cell = report.cell
+            self._epoch = epoch
+        elif (
+            epoch != self._epoch
+            or report.cell != self._cell
+            or (self._last_applied is not None and report_ts < self._last_applied)
+        ):
+            # Server restart (or timeline regression — same symptom):
+            # certified history is void.  Scheme purges, Tlb resyncs.
+            self.epoch_purges += 1
+            self.policy.on_epoch_change(self, self._epoch, epoch, now)
+            self._cell = report.cell
+            self._epoch = epoch
+            self.pending = False
+            self._last_heard = None
+            self.tlb = report_ts
+        if report_ts < self.tlb:
+            self.lagged_reports += 1
+            return SessionOutcome.LAGGED
+        self._last_applied = report_ts
+        last = self._last_heard
+        self._last_heard = report_ts
+        interval = float(self.params.broadcast_interval)
+        if last is not None and round((report_ts - last) / interval) > 1:
+            n_missed = int(round((report_ts - last) / interval)) - 1
+            self.missed_reports += n_missed
+            self.policy.on_missed_reports(self, n_missed, now)
+        outcome = self.policy.on_report(self, report)
+        if outcome is ClientOutcome.READY:
+            self.pending = False
+            return SessionOutcome.READY
+        self.pending = True
+        return SessionOutcome.PENDING
+
+    # -- salvage replies ---------------------------------------------------
+
+    def validity_reply(
+        self, invalid_items: Iterable[int], certified_at: float
+    ) -> None:
+        """Apply the server's answer to a checking upload."""
+        if not self.pending:
+            # A reply from a previous episode: applying it would certify
+            # state it never validated.  Drop (sim client does the same).
+            return
+        self.policy.on_validity_reply(self, invalid_items, certified_at)
+        self.pending = False
+
+    def validation_timeout(self, now: float) -> bool:
+        """The expected reply never came.  Returns True when the policy
+        re-issued the upload (stay pending); False degrades to a full
+        drop + resync, exactly like the simulated watchdog."""
+        if not self.pending:
+            return True
+        if self.policy.on_validation_timeout(self, now):
+            return True
+        self.cache.drop_all()
+        self.note_cache_drop()
+        self.pending = False
+        self.policy.on_reconnect(self, now)
+        return False
+
+    # -- connectivity episodes --------------------------------------------
+
+    def disconnect(self, now: float) -> None:
+        """The report feed stopped (doze / outage): freeze ``Tlb``."""
+        self.policy.on_disconnect(self, now)
+
+    def reconnect(self, now: float) -> None:
+        """The feed is back.  Reports missed while away are *expected*,
+        not wireless loss — suppress gap accounting for the first report
+        and reset the policy's per-episode latches."""
+        self._last_heard = None
+        self.policy.on_reconnect(self, now)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def report_identity(self) -> Tuple[Optional[int], int]:
+        """The ``(cell, epoch)`` pair the session is certified against."""
+        return (self._cell, self._epoch)
+
+    @property
+    def last_report_applied(self) -> Optional[float]:
+        return self._last_applied
+
+    def insert_fetched(
+        self, entry: CacheEntry, coherent_ts: Optional[float] = None
+    ) -> bool:
+        """Insert a fetched entry, marking it suspect when its coherence
+        predates ``Tlb`` (fetch crossed a report boundary — the scheme
+        must reconcile it at the next report).  Returns the suspect flag.
+        """
+        ts = entry.ts if coherent_ts is None else coherent_ts
+        suspect = ts < self.tlb
+        self.cache.insert(entry, suspect=suspect)
+        return suspect
+
+    def snapshot(self) -> dict[str, float]:
+        """Deterministic counters for campaign serialisation."""
+        return {
+            "tlb": self.tlb,
+            "epoch_purges": float(self.epoch_purges),
+            "lagged_reports": float(self.lagged_reports),
+            "missed_reports": float(self.missed_reports),
+            "duplicate_reports": float(self.duplicate_reports),
+            "tlb_uploads": float(self.tlb_uploads),
+            "check_uploads": float(self.check_uploads),
+            "cache_len": float(len(self.cache)),
+            "full_drops": float(self.cache.full_drops),
+            "invalidations": float(self.cache.invalidations),
+        }

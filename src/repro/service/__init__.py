@@ -1,0 +1,79 @@
+"""repro.service — the asyncio cache-service façade over the scheme core.
+
+The simulator proves the paper's invalidation schemes safe; this package
+serves them.  A :class:`CacheNode` is one process's cache client: an L1
+in-process store (the same :class:`repro.cache.ClientCache` the simulated
+clients use) over a pluggable L2 backend, fed by invalidation reports
+from a pluggable pub/sub broker, with the scheme logic supplied by the
+very same :mod:`repro.schemes` policies the simulator runs.
+
+Robustness is the point: every L2 call runs under a deadline with
+retry/backoff+jitter behind a per-backend circuit breaker, and IR-feed
+loss degrades the node along the paper's own ladder — record ``Tlb``,
+keep serving what the scheme certified, salvage (never blindly purge) on
+reconnect.  ``health()`` exposes the state machine.
+
+Time is injected: :class:`VirtualClock` drives the whole service
+deterministically at simulation speed for tests and benchmarks, while
+:class:`WallClock` runs it against the real event loop.  See
+``docs/SERVICE.md``.
+"""
+
+from .breaker import BreakerConfig, BreakerState, CircuitBreaker
+from .broker import InMemoryBroker, Subscription
+from .clock import Clock, VirtualClock, WallClock, with_deadline
+from .degrade import DegradationTracker, NodeState
+from .errors import (
+    BackendUnavailable,
+    CircuitOpenError,
+    DeadlineExceeded,
+    NodeDegraded,
+    ServiceError,
+)
+from .faults import FlakyBackend, FlakyBroker
+from .interfaces import CheckReply, FetchResult, IRBroker, L2Backend
+from .metrics import HealthReport, NodeMetrics, Transition
+from .node import Answer, CacheNode, NodeConfig
+from .origin import InMemoryBackend, Origin
+from .params import ServiceParams
+from .retry import RetryConfig, backoff_delay, call_with_retry
+from .swr import ServiceEntry, SWRConfig
+
+__all__ = [
+    "Answer",
+    "BackendUnavailable",
+    "BreakerConfig",
+    "BreakerState",
+    "CacheNode",
+    "CheckReply",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Clock",
+    "DeadlineExceeded",
+    "DegradationTracker",
+    "FetchResult",
+    "FlakyBackend",
+    "FlakyBroker",
+    "HealthReport",
+    "IRBroker",
+    "InMemoryBackend",
+    "InMemoryBroker",
+    "L2Backend",
+    "NodeConfig",
+    "NodeDegraded",
+    "NodeMetrics",
+    "NodeState",
+    "Origin",
+    "RetryConfig",
+    "SWRConfig",
+    "ServiceEntry",
+    "ServiceError",
+    "ServiceParams",
+    "Subscription",
+    "Transition",
+    "VirtualClock",
+    "WallClock",
+    "backoff_delay",
+    "call_with_retry",
+    "with_deadline",
+]

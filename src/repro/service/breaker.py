@@ -1,0 +1,171 @@
+"""Per-backend circuit breaker: closed → open → half-open → closed.
+
+Pure and time-injected (every method takes ``now``), so the state
+machine is directly checkable by Hypothesis without an event loop:
+
+* **closed** — calls flow; failures inside a sliding ``window_seconds``
+  accumulate, and the ``failure_threshold``-th trips the breaker open;
+* **open** — calls fail fast (no dependency traffic) until
+  ``reset_timeout`` has elapsed since the trip;
+* **half-open** — at most ``probe_budget`` concurrent probe calls are
+  admitted (the budget is what prevents a thundering herd from slamming
+  a barely-recovered backend); ``probe_successes`` consecutive probe
+  successes reclose, any probe failure re-opens and restarts the
+  reset timer.
+
+The caller contract is ``allow(now)`` → make the call → exactly one of
+``on_success(now)`` / ``on_failure(now)``.  In the half-open state the
+success/failure call also releases the probe slot, so callers must
+report even on cancellation (the retry helper does this in a
+``finally``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+from collections import deque
+
+__all__ = ["BreakerConfig", "BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning knobs; defaults sized for per-call deadlines ≈ 1 s."""
+
+    #: Failures within ``window_seconds`` that trip the breaker open.
+    failure_threshold: int = 5
+    #: Sliding window over which failures count toward the threshold.
+    window_seconds: float = 30.0
+    #: How long the breaker stays open before admitting probes.
+    reset_timeout: float = 60.0
+    #: Max concurrent probe calls while half-open.
+    probe_budget: int = 2
+    #: Consecutive probe successes required to reclose.
+    probe_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.window_seconds <= 0 or self.reset_timeout <= 0:
+            raise ValueError("window_seconds and reset_timeout must be > 0")
+        if self.probe_budget < 1 or self.probe_successes < 1:
+            raise ValueError("probe budget/successes must be >= 1")
+
+
+#: Observer invoked on every state change: ``(now, old, new)``.
+TransitionHook = Callable[[float, BreakerState, BreakerState], None]
+
+
+class CircuitBreaker:
+    """One dependency's breaker; see the module docstring for the law."""
+
+    __slots__ = (
+        "config",
+        "name",
+        "_state",
+        "_failures",
+        "_opened_at",
+        "_probes_inflight",
+        "_probe_successes",
+        "trips",
+        "fast_fails",
+        "_on_transition",
+    )
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        name: str = "backend",
+        on_transition: Optional[TransitionHook] = None,
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self.name = name
+        self._state = BreakerState.CLOSED
+        self._failures: Deque[float] = deque()
+        self._opened_at = float("-inf")
+        self._probes_inflight = 0
+        self._probe_successes = 0
+        #: Times the breaker transitioned to OPEN.
+        self.trips = 0
+        #: Calls refused without touching the dependency.
+        self.fast_fails = 0
+        self._on_transition = on_transition
+
+    @property
+    def state(self) -> BreakerState:
+        return self._state
+
+    def __repr__(self) -> str:
+        return f"<CircuitBreaker {self.name} {self._state.value}>"
+
+    def _transition(self, now: float, new: BreakerState) -> None:
+        old = self._state
+        if old is new:
+            return
+        self._state = new
+        if new is BreakerState.OPEN:
+            self.trips += 1
+            self._opened_at = now
+        elif new is BreakerState.HALF_OPEN:
+            self._probes_inflight = 0
+            self._probe_successes = 0
+        else:  # CLOSED
+            self._failures.clear()
+            self._probes_inflight = 0
+            self._probe_successes = 0
+        if self._on_transition is not None:
+            self._on_transition(now, old, new)
+
+    def allow(self, now: float) -> bool:
+        """Whether a call may proceed; claims a probe slot if half-open."""
+        if self._state is BreakerState.OPEN:
+            if now - self._opened_at >= self.config.reset_timeout:
+                self._transition(now, BreakerState.HALF_OPEN)
+            else:
+                self.fast_fails += 1
+                return False
+        if self._state is BreakerState.HALF_OPEN:
+            if self._probes_inflight >= self.config.probe_budget:
+                self.fast_fails += 1
+                return False
+            self._probes_inflight += 1
+            return True
+        return True
+
+    def on_success(self, now: float) -> None:
+        if self._state is BreakerState.HALF_OPEN:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
+            self._probe_successes += 1
+            if self._probe_successes >= self.config.probe_successes:
+                self._transition(now, BreakerState.CLOSED)
+        elif self._state is BreakerState.CLOSED and self._failures:
+            self._failures.clear()
+
+    def on_failure(self, now: float) -> None:
+        if self._state is BreakerState.HALF_OPEN:
+            # One failed probe is proof the backend is still down.
+            self._transition(now, BreakerState.OPEN)
+            return
+        if self._state is BreakerState.OPEN:
+            # A straggler call admitted before the trip: already open.
+            return
+        failures = self._failures
+        failures.append(now)
+        horizon = now - self.config.window_seconds
+        while failures and failures[0] < horizon:
+            failures.popleft()
+        if len(failures) >= self.config.failure_threshold:
+            self._transition(now, BreakerState.OPEN)
+
+    def release_probe(self) -> None:
+        """Return an unreported probe slot (call cancelled mid-flight)."""
+        if self._state is BreakerState.HALF_OPEN and self._probes_inflight > 0:
+            self._probes_inflight -= 1

@@ -1,0 +1,109 @@
+"""In-process IR pub/sub with bounded, loss-counting subscriptions.
+
+The broadcast medium in the paper is lossy and unacknowledged — clients
+discover gaps from report timestamps, not from the transport.  The
+in-memory broker mirrors that honestly: each subscription is a bounded
+deque, and when a slow consumer overflows it the *oldest* report is shed
+and counted (``Subscription.dropped``).  The node treats drops exactly
+like wireless IR loss: the gap machinery (missed-report counting, Tlb
+salvage) recovers, and the watchdog uses the drop counter as a lag
+signal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..reports.base import Report
+from .interfaces import IRBroker
+
+__all__ = ["InMemoryBroker", "Subscription"]
+
+#: Default bound on one subscription's backlog (reports, not bytes).
+DEFAULT_SUBSCRIPTION_DEPTH = 8
+
+
+class Subscription:
+    """One consumer's bounded report queue."""
+
+    __slots__ = ("_queue", "_maxlen", "_waiter", "_closed", "dropped", "delivered")
+
+    def __init__(self, maxlen: int = DEFAULT_SUBSCRIPTION_DEPTH) -> None:
+        if maxlen < 1:
+            raise ValueError("subscription depth must be >= 1")
+        self._queue: Deque[Report] = deque()
+        self._maxlen = maxlen
+        self._waiter: Optional["asyncio.Future[None]"] = None
+        self._closed = False
+        #: Reports shed to the bound (consumer lag == wireless loss).
+        self.dropped = 0
+        #: Reports handed to the consumer.
+        self.delivered = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+    def _push(self, report: Report) -> None:
+        if self._closed:
+            return
+        if len(self._queue) >= self._maxlen:
+            self._queue.popleft()
+            self.dropped += 1
+        self._queue.append(report)
+        self._wake()
+
+    def _wake(self) -> None:
+        waiter = self._waiter
+        if waiter is not None and not waiter.done():
+            waiter.set_result(None)
+
+    async def next_report(self) -> Optional[Report]:
+        """Wait for the next report; ``None`` once closed and drained."""
+        while True:
+            if self._queue:
+                self.delivered += 1
+                return self._queue.popleft()
+            if self._closed:
+                return None
+            loop = asyncio.get_running_loop()
+            self._waiter = loop.create_future()
+            try:
+                await self._waiter
+            finally:
+                self._waiter = None
+
+    def close(self) -> None:
+        """Stop delivery; a blocked :meth:`next_report` returns ``None``."""
+        self._closed = True
+        self._wake()
+
+
+class InMemoryBroker(IRBroker):
+    """Single-process broker: publish fans out to every subscription."""
+
+    __slots__ = ("_subs", "published")
+
+    def __init__(self) -> None:
+        self._subs: List[Subscription] = []
+        #: Reports ever published (delivered or shed downstream).
+        self.published = 0
+
+    async def broker_publish(self, report: Report) -> None:
+        self.published += 1
+        for sub in self._subs:
+            sub._push(report)
+
+    def broker_subscribe(self, maxlen: Optional[int] = None) -> Subscription:
+        sub = Subscription(maxlen if maxlen is not None else DEFAULT_SUBSCRIPTION_DEPTH)
+        self._subs.append(sub)
+        return sub
+
+    def broker_subscriber_count(self) -> int:
+        return sum(1 for sub in self._subs if not sub.closed)

@@ -1,0 +1,73 @@
+"""The degradation ladder: backend failure mapped to paper semantics.
+
+The paper's client survives missing reports because its safety never
+depended on hearing all of them: knowledge is certified up to ``Tlb``,
+and a later report either *covers* that timestamp (window reaches back,
+BS salvages: invalidate precisely) or does not (drop what cannot be
+certified).  The node reuses that contract as its degradation state
+machine:
+
+* ``LIVE`` — reports arriving on schedule; L1 answers are certified.
+* ``SALVAGING`` — a scheme salvage is in flight (Tlb uploaded / checking
+  reply pending): L1 is momentarily uncertified, queries prefer L2.
+* ``DISCONNECTED`` — the IR feed is down or lagging beyond the watchdog
+  budget.  The node freezes ``Tlb`` (nothing certifies past it), keeps
+  serving entries certified as of ``Tlb`` (safe: staleness conviction
+  requires an update *before* ``Tlb`` — see the oracle), and on the next
+  report runs the scheme's reconnect path: salvage if covered/``TS(Bn)
+  <= Tlb``, purge only when the scheme itself says so.
+
+Transitions are recorded (timestamped, with reasons) in the node's
+metrics journal; ``health()`` surfaces the current rung.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .metrics import NodeMetrics
+
+__all__ = ["DegradationTracker", "NodeState"]
+
+
+class NodeState(enum.Enum):
+    LIVE = "live"
+    SALVAGING = "salvaging"
+    DISCONNECTED = "disconnected"
+
+
+class DegradationTracker:
+    """Current rung of the ladder plus the journal of every move."""
+
+    __slots__ = ("_state", "_metrics", "disconnected_at", "tlb_at_disconnect")
+
+    def __init__(self, metrics: NodeMetrics) -> None:
+        self._state = NodeState.LIVE
+        self._metrics = metrics
+        #: When the feed was last declared down (None while up).
+        self.disconnected_at: float | None = None
+        #: The frozen ``Tlb`` recorded at that instant.
+        self.tlb_at_disconnect: float | None = None
+
+    @property
+    def state(self) -> NodeState:
+        return self._state
+
+    @property
+    def is_live(self) -> bool:
+        return self._state is NodeState.LIVE
+
+    def to(
+        self, new: NodeState, now: float, reason: str = "", tlb: float = 0.0
+    ) -> None:
+        old = self._state
+        if old is new:
+            return
+        self._state = new
+        self._metrics.record_transition(now, "node", old.value, new.value, reason)
+        self._metrics.incr(f"state.{new.value}")
+        if new is NodeState.DISCONNECTED:
+            self.disconnected_at = now
+            self.tlb_at_disconnect = tlb
+        elif old is NodeState.DISCONNECTED:
+            self.disconnected_at = None

@@ -1,0 +1,43 @@
+"""Service-level exception taxonomy.
+
+Every failure a :class:`repro.service.CacheNode` can surface is one of
+these, so callers can route on type: deadline and transport failures are
+retryable, an open breaker is a fast-fail, and :class:`NodeDegraded` is
+the strict-mode refusal to serve an answer the active scheme cannot
+certify.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BackendUnavailable",
+    "CircuitOpenError",
+    "DeadlineExceeded",
+    "NodeDegraded",
+    "ServiceError",
+]
+
+
+class ServiceError(Exception):
+    """Base class for every repro.service failure."""
+
+
+class DeadlineExceeded(ServiceError):
+    """A dependency call overran its per-call deadline budget."""
+
+
+class BackendUnavailable(ServiceError):
+    """The backend failed outright (transport error, corruption, outage)."""
+
+
+class CircuitOpenError(ServiceError):
+    """The dependency's circuit breaker is open: fail fast, no call made."""
+
+
+class NodeDegraded(ServiceError):
+    """Strict serve policy: the node cannot certify an answer right now.
+
+    Raised instead of serving a potentially-stale value when the node is
+    degraded (IR feed down / validation pending) and the caller asked for
+    certified answers only (``NodeConfig.serve_stale_when_degraded`` off).
+    """

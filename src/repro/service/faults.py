@@ -1,0 +1,166 @@
+"""Fault-injecting wrappers for the service's dependencies.
+
+Failure realism comes from two composable sources, both deterministic:
+
+* a **fate model** — the same :class:`repro.net.FaultModel` distributions
+  the simulator's wireless channels use (per-kind drop probabilities,
+  size-scaled corruption, Gilbert–Elliott bursts), driven by a named
+  seeded stream;
+* an **outage schedule** — scripted down-time windows (duck-typed
+  ``down_at(now)``; :class:`repro.chaos.outages.OutageSchedule` is the
+  shipped implementation — the service stays below :mod:`repro.chaos`
+  in the layering DAG, so the dependency is structural, not imported).
+
+Semantics: a *dropped* backend call is **silence**, not an error — the
+wrapper sleeps until the caller's deadline cancels it (bounded by
+``hang_seconds`` so an undeadlined call still terminates).  That is what
+makes the per-call deadline budget load-bearing: without it the node
+would hang exactly as a real node would on a black-holed TCP connection.
+A *corrupted* call fails loudly.  A dropped/corrupted **report** simply
+never reaches the subscribers — indistinguishable from wireless IR loss,
+which is precisely the degradation path the schemes already handle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence, Tuple
+
+from ..des.rng import RandomStream
+from ..net import Fate, FaultConfig, FaultModel, Message, MessageKind, SERVER_ID
+from ..reports.base import Report
+from .broker import Subscription
+from .clock import Clock
+from .errors import BackendUnavailable
+from .interfaces import CheckReply, FetchResult, IRBroker, L2Backend
+
+__all__ = ["FlakyBackend", "FlakyBroker", "OutageLike"]
+
+#: Ceiling on how long a black-holed call stays silent before erroring
+#: (a caller with a deadline cancels far earlier).
+DEFAULT_HANG_SECONDS = 3600.0
+
+
+class OutageLike(Protocol):
+    """Anything that can say whether a dependency is down right now."""
+
+    def down_at(self, now: float) -> bool: ...
+
+
+class FlakyBackend(L2Backend):
+    """Wrap an :class:`L2Backend` with outage windows + fate judgement."""
+
+    def __init__(
+        self,
+        inner: L2Backend,
+        clock: Clock,
+        *,
+        outage: Optional[OutageLike] = None,
+        faults: Optional[FaultConfig] = None,
+        stream: Optional[RandomStream] = None,
+        client_key: int = 0,
+        hang_seconds: float = DEFAULT_HANG_SECONDS,
+    ) -> None:
+        self.inner = inner
+        self.clock = clock
+        self.outage = outage
+        self.model: Optional[FaultModel] = None
+        if faults is not None and not faults.is_null:
+            if stream is None:
+                raise ValueError("a fate model needs a seeded stream")
+            self.model = FaultModel(faults, stream)
+        self.client_key = client_key
+        self.hang_seconds = hang_seconds
+        self.calls_blackholed = 0
+        self.calls_corrupted = 0
+        self.calls_refused = 0
+
+    async def _blackhole(self, why: str) -> None:
+        """Model silence: sleep out the hang budget, then error."""
+        self.calls_blackholed += 1
+        await self.clock.sleep(self.hang_seconds)
+        raise BackendUnavailable(f"backend silent ({why})")
+
+    async def _gate(self, kind: MessageKind, size_bits: float) -> None:
+        if self.outage is not None and self.outage.down_at(self.clock.now()):
+            await self._blackhole("outage window")
+        if self.model is not None:
+            probe = Message(
+                kind=kind,
+                size_bits=size_bits,
+                src=self.client_key,
+                dest=SERVER_ID,
+                payload=None,
+            )
+            fate = self.model.fate(probe, self.client_key)
+            if fate is Fate.DROP:
+                await self._blackhole("request dropped")
+            if fate is Fate.CORRUPT:
+                self.calls_corrupted += 1
+                raise BackendUnavailable("response corrupted")
+
+    async def backend_fetch(self, item: int) -> FetchResult:
+        await self._gate(MessageKind.DATA_REQUEST, 64.0)
+        return await self.inner.backend_fetch(item)
+
+    async def backend_push_tlb(self, client_id: int, tlb: float) -> None:
+        await self._gate(MessageKind.TLB_UPLOAD, 64.0)
+        await self.inner.backend_push_tlb(client_id, tlb)
+
+    async def backend_check(
+        self, client_id: int, entries: Sequence[Tuple[int, float]]
+    ) -> CheckReply:
+        await self._gate(MessageKind.CHECK_REQUEST, 64.0 * max(1, len(entries)))
+        return await self.inner.backend_check(client_id, entries)
+
+    async def backend_ping(self) -> bool:
+        if self.outage is not None and self.outage.down_at(self.clock.now()):
+            return False
+        return await self.inner.backend_ping()
+
+
+class FlakyBroker(IRBroker):
+    """Wrap an :class:`IRBroker`: lost reports silently never fan out."""
+
+    def __init__(
+        self,
+        inner: IRBroker,
+        clock: Clock,
+        *,
+        outage: Optional[OutageLike] = None,
+        faults: Optional[FaultConfig] = None,
+        stream: Optional[RandomStream] = None,
+    ) -> None:
+        self.inner = inner
+        self.clock = clock
+        self.outage = outage
+        self.model: Optional[FaultModel] = None
+        if faults is not None and not faults.is_null:
+            if stream is None:
+                raise ValueError("a fate model needs a seeded stream")
+            self.model = FaultModel(faults, stream)
+        self.reports_lost = 0
+
+    async def broker_publish(self, report: Report) -> None:
+        if self.outage is not None and self.outage.down_at(self.clock.now()):
+            self.reports_lost += 1
+            return
+        if self.model is not None:
+            probe = Message(
+                kind=MessageKind.INVALIDATION_REPORT,
+                size_bits=report.size_bits,
+                src=SERVER_ID,
+                dest=SERVER_ID,
+                payload=None,
+            )
+            # A corrupted report is indistinguishable from a missed one
+            # (the simulator treats it the same way): both are loss.
+            if self.model.fate(probe, 0) is not Fate.DELIVER:
+                self.reports_lost += 1
+                return
+        await self.inner.broker_publish(report)
+
+    def broker_subscribe(self, maxlen: Optional[int] = None) -> Subscription:
+        return self.inner.broker_subscribe(maxlen)
+
+    def broker_subscriber_count(self) -> int:
+        return self.inner.broker_subscriber_count()

@@ -1,0 +1,92 @@
+"""Pluggable dependency interfaces: the L2 backend and the IR broker.
+
+Hook naming is a checked contract (API002 in :mod:`repro.checks`):
+every :class:`L2Backend` capability is a ``backend_*`` method and every
+:class:`IRBroker` capability is a ``broker_*`` method.  As in the scheme
+policies, a *bare* ``raise NotImplementedError`` marks a required hook,
+a messaged raise marks an optional capability (e.g. ``backend_check`` —
+only checking-style deployments answer it), and any other body is a
+default.  Wrappers and fakes subclass these bases, so a misspelled hook
+is caught statically instead of silently never firing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+from ..reports.base import Report
+
+if TYPE_CHECKING:
+    from .broker import Subscription
+
+__all__ = ["CheckReply", "FetchResult", "IRBroker", "L2Backend"]
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """One item read served by the L2 backend.
+
+    ``ts`` is the value's *coherence time* — the origin vouches the value
+    reflects every update up to that instant (the simulator's
+    ``coherent_ts``).  The node certifies L1 entries against it.
+    """
+
+    item: int
+    version: int
+    ts: float
+    value: object = None
+
+
+@dataclass(frozen=True)
+class CheckReply:
+    """The origin's answer to a checking upload."""
+
+    invalid_items: Tuple[int, ...]
+    certified_at: float
+
+
+class L2Backend:
+    """The node's authoritative store (origin gateway, shared cache...).
+
+    Required: :meth:`backend_fetch`.  Optional (messaged raise):
+    :meth:`backend_push_tlb`, :meth:`backend_check` — the adaptive and
+    checking schemes need them; pure-window deployments do not.
+    """
+
+    async def backend_fetch(self, item: int) -> FetchResult:
+        """Read *item*'s current value with its coherence stamp."""
+        raise NotImplementedError
+
+    async def backend_push_tlb(self, client_id: int, tlb: float) -> None:
+        """Upload a last-heard timestamp for window/BS salvage."""
+        raise NotImplementedError(f"{type(self).__name__} does not accept Tlb uploads")
+
+    async def backend_check(
+        self, client_id: int, entries: Sequence[Tuple[int, float]]
+    ) -> CheckReply:
+        """Validate ``(item, effective_ts)`` pairs (checking schemes)."""
+        raise NotImplementedError(f"{type(self).__name__} does not answer checks")
+
+    async def backend_ping(self) -> bool:
+        """Cheap liveness probe; default assumes reachable."""
+        return True
+
+
+class IRBroker:
+    """Pub/sub fabric carrying the origin's invalidation reports.
+
+    Required: :meth:`broker_publish`, :meth:`broker_subscribe`.
+    """
+
+    async def broker_publish(self, report: Report) -> None:
+        """Broadcast one report to every live subscription."""
+        raise NotImplementedError
+
+    def broker_subscribe(self, maxlen: Optional[int] = None) -> "Subscription":
+        """Open a bounded subscription (old reports shed when full)."""
+        raise NotImplementedError
+
+    def broker_subscriber_count(self) -> int:
+        """Live subscriptions; default for brokers that cannot tell."""
+        return 0

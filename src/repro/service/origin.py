@@ -1,0 +1,160 @@
+"""The cell origin: database + scheme server policy + IR publisher.
+
+:class:`Origin` is the service-tier stand-in for the simulated cell
+server — the same :class:`repro.db.Database`, the same
+:class:`~repro.schemes.base.ServerPolicy` (built by the same
+:class:`~repro.schemes.base.Scheme` factories), publishing each interval's
+report through the injected :class:`~repro.service.interfaces.IRBroker`.
+It also keeps the append-only :class:`repro.db.UpdateLog`, which the
+integration campaign uses as the strict-staleness oracle's ground truth.
+
+:class:`InMemoryBackend` adapts an origin into an
+:class:`~repro.service.interfaces.L2Backend`: fetches answer with the
+current version stamped at the origin's knowledge horizon (= now, single
+cell), and the optional hooks route ``Tlb`` uploads and checking
+requests into the server policy exactly as the simulator's uplink does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..db import Database, UpdateLog
+from ..reports.base import Report
+from ..schemes.base import Scheme, ServerPolicy
+from ..schemes.registry import get_scheme
+from .clock import Clock
+from .errors import BackendUnavailable
+from .interfaces import CheckReply, FetchResult, IRBroker, L2Backend
+from .params import ServiceParams
+
+__all__ = ["InMemoryBackend", "Origin"]
+
+
+class Origin:
+    """One cell's authoritative server, driving the IR broadcast loop."""
+
+    def __init__(
+        self,
+        scheme: Union[str, Scheme],
+        params: ServiceParams,
+        *,
+        clock: Clock,
+        broker: IRBroker,
+        cell: int = 0,
+    ) -> None:
+        self.scheme: Scheme = get_scheme(scheme) if isinstance(scheme, str) else scheme
+        self.params = params
+        self.clock = clock
+        self.broker = broker
+        self.cell = cell
+        self.db = Database(params.db_size)
+        #: Ground truth for the staleness oracle (append-only).
+        self.update_log = UpdateLog()
+        self.policy: ServerPolicy = self.scheme.make_server_policy(params, self.db)
+        #: Incarnation epoch, stamped into every report (a restart bumps it).
+        self.epoch = 0
+        self.reports_published = 0
+        self.updates_applied = 0
+        self._stopped = False
+
+    # ``self`` doubles as the ServerPolicy context: the policies read
+    # ``ctx.db`` and probe ``ctx.effective_window_seconds`` via getattr.
+
+    def apply_update(self, item: int) -> None:
+        """Commit one update at the current instant."""
+        now = self.clock.now()
+        old = int(self.db.version[item])
+        self.db.apply_update(item, now)
+        self.update_log.record(item, now)
+        self.policy.on_item_update(item, old, int(self.db.version[item]))
+        self.updates_applied += 1
+
+    def restart(self) -> None:
+        """Crash-restart: update-time knowledge is lost, epoch bumps."""
+        now = self.clock.now()
+        self.db.forget_history(now)
+        self.policy = self.scheme.make_server_policy(self.params, self.db)
+        self.epoch += 1
+
+    def build_report(self) -> Report:
+        now = self.clock.now()
+        report = self.policy.build_report(self, now)
+        report.epoch = self.epoch
+        report.cell = self.cell
+        return report
+
+    async def publish_once(self) -> Report:
+        """Build and publish this instant's report."""
+        report = self.build_report()
+        await self.broker.broker_publish(report)
+        self.reports_published += 1
+        return report
+
+    async def run(self, n_intervals: Optional[int] = None) -> None:
+        """Broadcast every ``broadcast_interval`` until stopped.
+
+        The driver usually runs this as a task and advances the virtual
+        clock; ``n_intervals`` bounds scripted runs.
+        """
+        published = 0
+        while not self._stopped:
+            if n_intervals is not None and published >= n_intervals:
+                return
+            await self.clock.sleep(self.params.broadcast_interval)
+            if self._stopped:
+                return
+            await self.publish_once()
+            published += 1
+
+    def stop(self) -> None:
+        self._stopped = True
+
+
+class InMemoryBackend(L2Backend):
+    """L2 backend answering straight from an :class:`Origin`.
+
+    ``latency`` adds a fixed (deterministic) service delay per call via
+    the shared clock — enough to exercise deadlines without randomness.
+    """
+
+    def __init__(self, origin: Origin, latency: float = 0.0) -> None:
+        self.origin = origin
+        self.latency = latency
+        self.fetches = 0
+        self.tlb_pushes = 0
+        self.checks = 0
+
+    async def _delay(self) -> None:
+        if self.latency > 0:
+            await self.origin.clock.sleep(self.latency)
+
+    async def backend_fetch(self, item: int) -> FetchResult:
+        await self._delay()
+        db = self.origin.db
+        if not 0 <= item < db.n_items:
+            raise BackendUnavailable(f"item {item} outside the database")
+        self.fetches += 1
+        now = self.origin.clock.now()
+        version = int(db.version[item])
+        # The value reflects all updates up to the origin's knowledge
+        # horizon — the simulator's ``coherent_ts`` contract.
+        return FetchResult(item=item, version=version, ts=now, value=(item, version))
+
+    async def backend_push_tlb(self, client_id: int, tlb: float) -> None:
+        await self._delay()
+        self.tlb_pushes += 1
+        self.origin.policy.on_tlb(
+            self.origin, client_id, tlb, self.origin.clock.now()
+        )
+
+    async def backend_check(
+        self, client_id: int, entries: Sequence[Tuple[int, float]]
+    ) -> CheckReply:
+        await self._delay()
+        self.checks += 1
+        invalid: List[int]
+        invalid, certified_at, _reply_bits = self.origin.policy.on_check_request(
+            self.origin, client_id, list(entries), self.origin.clock.now()
+        )
+        return CheckReply(invalid_items=tuple(invalid), certified_at=certified_at)

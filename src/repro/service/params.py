@@ -1,0 +1,51 @@
+"""Protocol parameters the service shares with the scheme policies.
+
+The scheme policies (:mod:`repro.schemes`) read a duck-typed ``params``
+object; inside the simulator that is ``repro.sim.SystemParams``.  The
+service must not import :mod:`repro.sim` (ARCH001 keeps the façade free
+of the simulation harness), so this dataclass carries exactly the
+fields the policies consume: ``broadcast_interval``, ``window_seconds``
+(derived, ``window_intervals × broadcast_interval`` like the paper's
+``w·L``), ``timestamp_bits``, ``db_size``, ``seed``, and the bounded
+Tlb-salvage buffer size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ServiceParams"]
+
+
+@dataclass(frozen=True)
+class ServiceParams:
+    """Scheme-facing knobs for one cell's service deployment."""
+
+    #: IR broadcast period ``L`` (seconds).
+    broadcast_interval: float = 20.0
+    #: Window size ``w`` in broadcast intervals.
+    window_intervals: int = 10
+    #: Bits per timestamp on the wire (report sizing).
+    timestamp_bits: int = 64
+    #: Number of items in the origin database.
+    db_size: int = 1000
+    #: L1 capacity (items) of one node's client cache.
+    cache_capacity: int = 100
+    #: Master seed for every named random stream (jitter, faults, ...).
+    seed: int = 0
+    #: Bound on the server's per-interval Tlb salvage buffer.
+    max_pending_tlbs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.broadcast_interval <= 0:
+            raise ValueError("broadcast_interval must be > 0")
+        if self.window_intervals < 1:
+            raise ValueError("window_intervals must be >= 1")
+        if self.db_size < 1 or self.cache_capacity < 1:
+            raise ValueError("db_size and cache_capacity must be >= 1")
+
+    @property
+    def window_seconds(self) -> float:
+        """The paper's ``w·L``: how far back a regular report reaches."""
+        return self.window_intervals * self.broadcast_interval

@@ -1,0 +1,128 @@
+"""Bounded retry with exponential backoff, jitter, and breaker wiring.
+
+The delay law is a pure function (:func:`backoff_delay`) so property
+tests can pin its bounds without an event loop: attempt ``k`` nominally
+waits ``base_delay * backoff_base**k`` capped at ``max_delay``, then
+jitter scales that by a factor drawn uniformly from
+``[1 - jitter, 1 + jitter]`` via a named :class:`repro.des.rng.RandomStream`
+— seeded, so a retry storm replays identically under the same seed.
+
+:func:`call_with_retry` composes the whole robustness sandwich for one
+dependency call: breaker admission → per-attempt deadline → failure
+classification → backoff sleep → give up with the last error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Optional, Tuple, Type, TypeVar
+
+from ..des.rng import RandomStream
+from .breaker import CircuitBreaker
+from .clock import Clock, with_deadline
+from .errors import BackendUnavailable, CircuitOpenError, DeadlineExceeded
+
+__all__ = ["RetryConfig", "backoff_delay", "call_with_retry"]
+
+T = TypeVar("T")
+
+#: Failure types a retry attempt absorbs; anything else propagates.
+_RETRYABLE: Tuple[Type[BaseException], ...] = (DeadlineExceeded, BackendUnavailable)
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    """Retry budget for one dependency call."""
+
+    #: Total attempts (first call included); 1 disables retrying.
+    attempts: int = 3
+    #: Nominal delay before the second attempt.
+    base_delay: float = 0.05
+    #: Exponential growth factor per attempt.
+    backoff_base: float = 2.0
+    #: Ceiling on the nominal delay.
+    max_delay: float = 2.0
+    #: Jitter amplitude: the delay is scaled by U[1-jitter, 1+jitter].
+    jitter: float = 0.25
+    #: Per-attempt deadline (seconds); None = no per-attempt bound.
+    attempt_timeout: Optional[float] = 1.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.backoff_base < 1.0:
+            raise ValueError("backoff_base must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+
+def backoff_delay(
+    config: RetryConfig, attempt: int, stream: Optional[RandomStream] = None
+) -> float:
+    """Delay before retry number *attempt* (0-based: the wait after the
+    first failure is ``backoff_delay(cfg, 0)``).
+
+    Always within ``[nominal*(1-jitter), nominal*(1+jitter)]`` where
+    ``nominal = min(base_delay * backoff_base**attempt, max_delay)`` —
+    the bound the Hypothesis property pins.
+    """
+    if attempt < 0:
+        raise ValueError("attempt must be >= 0")
+    nominal = min(config.base_delay * config.backoff_base**attempt, config.max_delay)
+    if stream is None or config.jitter == 0.0 or nominal == 0.0:
+        return nominal
+    return nominal * stream.uniform(1.0 - config.jitter, 1.0 + config.jitter)
+
+
+async def call_with_retry(
+    clock: Clock,
+    call: Callable[[], Awaitable[T]],
+    *,
+    retry: Optional[RetryConfig] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    stream: Optional[RandomStream] = None,
+    on_attempt_failure: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Run ``await call()`` under the full robustness sandwich.
+
+    Per attempt: ask the breaker for admission (open → immediate
+    :class:`CircuitOpenError`, no backend traffic), bound the attempt
+    with ``retry.attempt_timeout``, classify
+    :class:`DeadlineExceeded`/:class:`BackendUnavailable` as retryable,
+    sleep the jittered backoff, and try again.  The last attempt's error
+    propagates.  The breaker hears exactly one verdict per admitted
+    attempt, even when the attempt is cancelled from outside
+    (``release_probe`` in the ``finally``).
+    """
+    cfg = retry or RetryConfig()
+    last_error: BaseException | None = None
+    for attempt in range(cfg.attempts):
+        now = clock.now()
+        if breaker is not None and not breaker.allow(now):
+            raise CircuitOpenError(
+                f"{breaker.name}: circuit open, call refused"
+            ) from last_error
+        try:
+            value = await with_deadline(clock, call(), cfg.attempt_timeout)
+        except _RETRYABLE as exc:
+            if breaker is not None:
+                breaker.on_failure(clock.now())
+            if on_attempt_failure is not None:
+                on_attempt_failure(attempt, exc)
+            last_error = exc
+        except BaseException:
+            # Non-retryable (including cancellation): not the backend's
+            # fault — release the probe slot without a verdict.
+            if breaker is not None:
+                breaker.release_probe()
+            raise
+        else:
+            if breaker is not None:
+                breaker.on_success(clock.now())
+            return value
+        if attempt + 1 < cfg.attempts:
+            await clock.sleep(backoff_delay(cfg, attempt, stream))
+    assert last_error is not None
+    raise last_error

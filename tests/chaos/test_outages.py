@@ -1,0 +1,63 @@
+"""OutageSchedule: window algebra and sampled-plan determinism."""
+
+import pytest
+
+from repro.chaos import OutageSchedule
+
+
+def test_scripted_windows_and_down_at():
+    sched = OutageSchedule.scripted((100.0, 180.0), (400.0, 520.0))
+    assert not sched.down_at(99.9)
+    assert sched.down_at(100.0)
+    assert sched.down_at(179.9)
+    assert not sched.down_at(180.0)  # half-open [start, end)
+    assert sched.down_at(450.0)
+    assert sched.total_downtime == 200.0
+
+
+def test_windows_sort_and_merge_overlaps():
+    sched = OutageSchedule([(50.0, 70.0), (10.0, 30.0), (25.0, 40.0)])
+    assert sched.windows == [(10.0, 40.0), (50.0, 70.0)]
+
+
+def test_empty_window_rejected():
+    with pytest.raises(ValueError):
+        OutageSchedule([(10.0, 10.0)])
+
+
+def test_next_transition_walks_the_plan():
+    sched = OutageSchedule.scripted((100.0, 180.0), (400.0, 520.0))
+    assert sched.next_transition_after(0.0) == 100.0
+    assert sched.next_transition_after(150.0) == 180.0
+    assert sched.next_transition_after(180.0) == 400.0
+    assert sched.next_transition_after(520.0) == float("inf")
+
+
+def test_no_windows_means_always_up():
+    sched = OutageSchedule()
+    assert not sched.down_at(0.0)
+    assert sched.next_transition_after(0.0) == float("inf")
+    assert sched.total_downtime == 0.0
+
+
+def test_sampled_is_a_pure_function_of_seed_and_name():
+    kw = dict(horizon=10_000.0, mtbf=500.0, downtime_mean=60.0)
+    a = OutageSchedule.sampled(7, name="l2", **kw)
+    b = OutageSchedule.sampled(7, name="l2", **kw)
+    assert a.windows == b.windows
+    assert a.windows  # the horizon is long enough to sample something
+    assert OutageSchedule.sampled(8, name="l2", **kw).windows != a.windows
+    assert OutageSchedule.sampled(7, name="ir", **kw).windows != a.windows
+
+
+def test_sampled_respects_horizon():
+    sched = OutageSchedule.sampled(3, horizon=1000.0, mtbf=100.0, downtime_mean=50.0)
+    for start, end in sched.windows:
+        assert 0.0 < start < 1000.0
+        assert end <= 1000.0
+        assert end > start
+
+
+def test_sampled_validation():
+    with pytest.raises(ValueError):
+        OutageSchedule.sampled(0, horizon=100.0, mtbf=0.0, downtime_mean=1.0)

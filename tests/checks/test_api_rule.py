@@ -155,3 +155,116 @@ def test_registry_importing_unscanned_module_flagged(check):
 
 def test_rule_silent_without_registry_or_base(check):
     assert check({"repro/schemes/lone.py": "x = 1\n"}, codes=["API001"]) == []
+
+
+# -- API002: the service tier's backend/broker surfaces ---------------------
+
+SERVICE_IFACE = (
+    "class L2Backend:\n"
+    "    async def backend_fetch(self, item):\n"
+    "        raise NotImplementedError\n"
+    "\n"
+    "    async def backend_check(self, client_id, entries):\n"
+    "        raise NotImplementedError('optional capability')\n"
+    "\n"
+    "    async def backend_ping(self):\n"
+    "        return True\n"
+    "\n"
+    "\n"
+    "class IRBroker:\n"
+    "    async def broker_publish(self, report):\n"
+    "        raise NotImplementedError\n"
+    "\n"
+    "    def broker_subscribe(self, maxlen=None):\n"
+    "        raise NotImplementedError\n"
+)
+
+GOOD_BACKEND = (
+    "from .interfaces import L2Backend\n"
+    "\n"
+    "\n"
+    "class MemoryBackend(L2Backend):\n"
+    "    async def backend_fetch(self, item):\n"
+    "        return item\n"
+)
+
+
+def _service_tree(**overrides):
+    files = {
+        "repro/service/interfaces.py": SERVICE_IFACE,
+        "repro/service/memory.py": GOOD_BACKEND,
+    }
+    files.update(
+        {f"repro/service/{name}.py": text for name, text in overrides.items()}
+    )
+    return files
+
+
+def test_complete_backend_passes(check):
+    assert check(_service_tree(), codes=["API002"]) == []
+
+
+def test_backend_missing_required_hook_flagged(check):
+    lazy = GOOD_BACKEND.replace("backend_fetch", "fetch")
+    findings = check(_service_tree(memory=lazy), codes=["API002"])
+    assert len(findings) == 1
+    assert (
+        "MemoryBackend subclasses L2Backend but never implements "
+        "required hook backend_fetch()" in findings[0].message
+    )
+
+
+def test_backend_optional_hooks_may_stay_unimplemented(check):
+    # GOOD_BACKEND implements neither backend_check (messaged raise)
+    # nor backend_ping (default body) — and still passes.
+    assert check(_service_tree(), codes=["API002"]) == []
+
+
+def test_misspelled_delegation_method_flagged(check):
+    wrapper = GOOD_BACKEND + (
+        "\n"
+        "\n"
+        "class Wrapper(L2Backend):\n"
+        "    async def backend_fetch(self, item):\n"
+        "        return item\n"
+        "\n"
+        "    async def backend_pingg(self):\n"
+        "        return True\n"
+    )
+    findings = check(_service_tree(memory=wrapper), codes=["API002"])
+    assert len(findings) == 1
+    assert "Wrapper defines backend_pingg()" in findings[0].message
+    assert "not an L2Backend hook" in findings[0].message
+
+
+def test_broker_surface_checked_with_its_own_prefix(check):
+    broker = (
+        "from .interfaces import IRBroker\n"
+        "\n"
+        "\n"
+        "class Fanout(IRBroker):\n"
+        "    async def broker_publish(self, report):\n"
+        "        pass\n"
+    )
+    findings = check(_service_tree(fanout=broker), codes=["API002"])
+    assert len(findings) == 1
+    assert (
+        "Fanout subclasses IRBroker but never implements required hook "
+        "broker_subscribe()" in findings[0].message
+    )
+
+
+def test_non_prefixed_helpers_are_not_typo_flagged(check):
+    helper = GOOD_BACKEND.replace(
+        "        return item\n",
+        "        return item\n"
+        "\n"
+        "    def snapshot(self):\n"
+        "        return {}\n",
+    )
+    assert check(_service_tree(memory=helper), codes=["API002"]) == []
+
+
+def test_api002_silent_without_interfaces_module(check):
+    files = {"repro/service/memory.py": GOOD_BACKEND}
+    assert check(files, codes=["API002"]) == []

@@ -14,7 +14,15 @@ from repro.checks.engine import (
     run_checks,
 )
 
-ALL_CODES = ("API001", "ARCH001", "DET001", "DET002", "DET003", "PERF001")
+ALL_CODES = (
+    "API001",
+    "API002",
+    "ARCH001",
+    "DET001",
+    "DET002",
+    "DET003",
+    "PERF001",
+)
 
 
 # ---------------------------------------------------------------- registry

@@ -1,0 +1,225 @@
+"""Circuit breaker: the state-machine law, pinned by Hypothesis."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.service import BreakerConfig, BreakerState, CircuitBreaker
+
+
+def make(threshold=3, window=30.0, reset=60.0, budget=2, successes=2):
+    return CircuitBreaker(
+        BreakerConfig(
+            failure_threshold=threshold,
+            window_seconds=window,
+            reset_timeout=reset,
+            probe_budget=budget,
+            probe_successes=successes,
+        )
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BreakerConfig(failure_threshold=0)
+    with pytest.raises(ValueError):
+        BreakerConfig(window_seconds=0)
+    with pytest.raises(ValueError):
+        BreakerConfig(probe_budget=0)
+
+
+def test_trips_after_threshold_failures():
+    br = make(threshold=3)
+    for t in (1.0, 2.0):
+        assert br.allow(t)
+        br.on_failure(t)
+        assert br.state is BreakerState.CLOSED
+    assert br.allow(3.0)
+    br.on_failure(3.0)
+    assert br.state is BreakerState.OPEN
+    assert br.trips == 1
+
+
+def test_old_failures_age_out_of_window():
+    br = make(threshold=3, window=10.0)
+    br.on_failure(0.0)
+    br.on_failure(1.0)
+    # 0.0 and 1.0 have aged out by t=20: this is failure #1 again.
+    br.on_failure(20.0)
+    assert br.state is BreakerState.CLOSED
+
+
+def test_success_resets_the_failure_count():
+    br = make(threshold=2)
+    br.on_failure(1.0)
+    br.on_success(2.0)
+    br.on_failure(3.0)
+    assert br.state is BreakerState.CLOSED
+
+
+def test_open_fast_fails_until_reset_timeout():
+    br = make(threshold=1, reset=60.0)
+    br.on_failure(0.0)
+    assert br.state is BreakerState.OPEN
+    assert not br.allow(10.0)
+    assert not br.allow(59.9)
+    assert br.fast_fails == 2
+    assert br.allow(60.0)  # first probe admitted
+    assert br.state is BreakerState.HALF_OPEN
+
+
+def test_half_open_probe_budget_bounds_concurrency():
+    br = make(threshold=1, reset=10.0, budget=2)
+    br.on_failure(0.0)
+    assert br.allow(10.0)
+    assert br.allow(10.0)
+    assert not br.allow(10.0)  # budget exhausted
+    br.on_success(11.0)  # one probe returns a slot
+    assert br.allow(11.0)
+
+
+def test_no_thundering_reclose():
+    """One good probe must not reclose when two are required."""
+    br = make(threshold=1, reset=10.0, budget=2, successes=2)
+    br.on_failure(0.0)
+    assert br.allow(10.0)
+    br.on_success(10.5)
+    assert br.state is BreakerState.HALF_OPEN  # still cautious
+    assert br.allow(11.0)
+    br.on_success(11.5)
+    assert br.state is BreakerState.CLOSED
+
+
+def test_probe_failure_reopens_and_restarts_timer():
+    br = make(threshold=1, reset=10.0)
+    br.on_failure(0.0)
+    assert br.allow(10.0)
+    br.on_failure(10.5)
+    assert br.state is BreakerState.OPEN
+    assert br.trips == 2
+    assert not br.allow(19.0)  # timer restarted from 10.5
+    assert br.allow(20.5)
+
+
+def test_straggler_failure_while_open_is_ignored():
+    br = make(threshold=1, reset=60.0)
+    br.on_failure(0.0)
+    br.on_failure(1.0)  # straggler from a call admitted pre-trip
+    assert br.trips == 1
+    assert br.allow(60.0)  # reset clock not disturbed
+
+
+def test_release_probe_returns_slot_without_verdict():
+    br = make(threshold=1, reset=10.0, budget=1)
+    br.on_failure(0.0)
+    assert br.allow(10.0)
+    assert not br.allow(10.0)
+    br.release_probe()
+    assert br.allow(10.0)
+    assert br.state is BreakerState.HALF_OPEN
+
+
+def test_transition_hook_sees_every_change():
+    seen = []
+    br = CircuitBreaker(
+        BreakerConfig(failure_threshold=1, reset_timeout=5.0, probe_successes=1),
+        on_transition=lambda now, old, new: seen.append((now, old.value, new.value)),
+    )
+    br.on_failure(1.0)
+    br.allow(6.0)
+    br.on_success(6.5)
+    assert seen == [
+        (1.0, "closed", "open"),
+        (6.0, "open", "half-open"),
+        (6.5, "half-open", "closed"),
+    ]
+
+
+# -- Hypothesis properties --------------------------------------------------
+
+_events = st.lists(
+    st.tuples(st.sampled_from(["fail", "ok"]), st.floats(0.0, 1.0)),
+    min_size=0,
+    max_size=60,
+)
+
+
+@given(threshold=st.integers(1, 6), events=_events)
+def test_property_opens_only_at_threshold(threshold, events):
+    """Within one window, the breaker opens exactly when ``threshold``
+    failures accumulate with no intervening success — never earlier."""
+    br = make(threshold=threshold, window=1000.0, reset=1e9)
+    t = 0.0
+    consecutive = 0
+    for kind, dt in events:
+        t += dt
+        if br.state is not BreakerState.CLOSED:
+            break
+        if kind == "fail":
+            br.allow(t)
+            br.on_failure(t)
+            consecutive += 1
+            if consecutive < threshold:
+                assert br.state is BreakerState.CLOSED
+            else:
+                assert br.state is BreakerState.OPEN
+        else:
+            br.allow(t)
+            br.on_success(t)
+            consecutive = 0
+            assert br.state is BreakerState.CLOSED
+
+
+@given(
+    budget=st.integers(1, 5),
+    attempts=st.integers(1, 20),
+)
+def test_property_half_open_never_exceeds_probe_budget(budget, attempts):
+    br = make(threshold=1, reset=1.0, budget=budget, successes=budget + 1)
+    br.on_failure(0.0)
+    admitted = sum(1 for _ in range(attempts) if br.allow(2.0))
+    assert admitted == min(attempts, budget)
+    assert br.state is BreakerState.HALF_OPEN
+
+
+@given(
+    successes_needed=st.integers(1, 5),
+    delivered=st.integers(0, 10),
+)
+def test_property_recloses_only_after_enough_probe_successes(
+    successes_needed, delivered
+):
+    br = make(
+        threshold=1,
+        reset=1.0,
+        budget=successes_needed,
+        successes=successes_needed,
+    )
+    br.on_failure(0.0)
+    t = 2.0
+    done = 0
+    for _ in range(delivered):
+        if br.state is BreakerState.CLOSED:
+            break
+        if br.allow(t):
+            br.on_success(t)
+            done += 1
+        t += 0.1
+    if delivered >= successes_needed:
+        assert br.state is BreakerState.CLOSED
+        assert done == successes_needed  # not one probe more than needed
+    else:
+        # Not enough probes delivered: the breaker must stay cautious
+        # (OPEN if never probed, HALF_OPEN otherwise) — never reclosed.
+        assert br.state is not BreakerState.CLOSED
+
+
+@given(st.data())
+def test_property_open_never_admits_before_reset_timeout(data):
+    reset = data.draw(st.floats(1.0, 100.0))
+    br = make(threshold=1, reset=reset)
+    trip_at = data.draw(st.floats(0.0, 50.0))
+    br.on_failure(trip_at)
+    probe_at = data.draw(st.floats(trip_at, trip_at + 2 * reset))
+    allowed = br.allow(probe_at)
+    assert allowed == (probe_at - trip_at >= reset)

@@ -1,0 +1,92 @@
+"""In-memory broker: fan-out, bounded backlog, shed accounting, close."""
+
+import asyncio
+
+import pytest
+
+from repro.reports.window import WindowReport
+from repro.service import InMemoryBroker, Subscription
+
+
+def report(ts):
+    return WindowReport(timestamp=ts, window_start=ts - 200.0, items={}, n_items=10)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_publish_fans_out_to_every_subscription():
+    async def main():
+        broker = InMemoryBroker()
+        a = broker.broker_subscribe()
+        b = broker.broker_subscribe()
+        await broker.broker_publish(report(20.0))
+        assert (await a.next_report()).timestamp == 20.0
+        assert (await b.next_report()).timestamp == 20.0
+        assert broker.published == 1
+        assert broker.broker_subscriber_count() == 2
+
+    run(main())
+
+
+def test_bounded_backlog_sheds_oldest_and_counts():
+    async def main():
+        broker = InMemoryBroker()
+        sub = broker.broker_subscribe(maxlen=2)
+        for ts in (20.0, 40.0, 60.0):
+            await broker.broker_publish(report(ts))
+        assert sub.dropped == 1
+        assert sub.backlog == 2
+        # Consumer sees the *newest* two: the shed one is the oldest,
+        # exactly like wireless IR loss of the report it slept through.
+        assert (await sub.next_report()).timestamp == 40.0
+        assert (await sub.next_report()).timestamp == 60.0
+
+    run(main())
+
+
+def test_next_report_blocks_until_publish():
+    async def main():
+        broker = InMemoryBroker()
+        sub = broker.broker_subscribe()
+        waiter = asyncio.ensure_future(sub.next_report())
+        await asyncio.sleep(0)
+        assert not waiter.done()
+        await broker.broker_publish(report(20.0))
+        assert (await waiter).timestamp == 20.0
+
+    run(main())
+
+
+def test_close_wakes_blocked_consumer_with_none():
+    async def main():
+        broker = InMemoryBroker()
+        sub = broker.broker_subscribe()
+        waiter = asyncio.ensure_future(sub.next_report())
+        await asyncio.sleep(0)
+        sub.close()
+        assert await waiter is None
+        assert broker.broker_subscriber_count() == 0
+        # Publishing to a closed subscription is a silent no-op.
+        await broker.broker_publish(report(20.0))
+        assert sub.backlog == 0
+
+    run(main())
+
+
+def test_close_drains_backlog_first():
+    async def main():
+        broker = InMemoryBroker()
+        sub = broker.broker_subscribe()
+        await broker.broker_publish(report(20.0))
+        sub.close()
+        assert (await sub.next_report()).timestamp == 20.0
+        assert await sub.next_report() is None
+
+    run(main())
+
+
+def test_subscription_depth_validation():
+    with pytest.raises(ValueError):
+        Subscription(maxlen=0)

@@ -1,0 +1,250 @@
+"""Fault injection: blackholes bounded by deadlines, breaker lifecycle."""
+
+import asyncio
+
+import pytest
+
+from repro.chaos import OutageSchedule
+from repro.des.rng import RandomStream
+from repro.net import FaultConfig
+from repro.service import (
+    BackendUnavailable,
+    BreakerConfig,
+    CacheNode,
+    CircuitOpenError,
+    DeadlineExceeded,
+    FlakyBackend,
+    FlakyBroker,
+    InMemoryBackend,
+    InMemoryBroker,
+    NodeConfig,
+    Origin,
+    RetryConfig,
+    ServiceParams,
+    VirtualClock,
+)
+
+PARAMS = ServiceParams(broadcast_interval=20.0, db_size=50, cache_capacity=16, seed=3)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_outage_blackhole_is_silence_not_error():
+    """A dropped call sleeps — only the caller's deadline unsticks it."""
+
+    async def main():
+        clock = VirtualClock()
+        broker = InMemoryBroker()
+        origin = Origin("ts", PARAMS, clock=clock, broker=broker)
+        flaky = FlakyBackend(
+            InMemoryBackend(origin),
+            clock,
+            outage=OutageSchedule.scripted((0.0, 1000.0)),
+            hang_seconds=50.0,
+        )
+        task = asyncio.ensure_future(flaky.backend_fetch(3))
+        await clock.advance(49.0)
+        assert not task.done()  # silent, exactly like a black-holed socket
+        await clock.advance(2.0)
+        with pytest.raises(BackendUnavailable):
+            await task
+        assert flaky.calls_blackholed == 1
+
+    run(main())
+
+
+def test_deadline_bounds_every_blackholed_call():
+    """With the robustness sandwich on, no call outlives its budget."""
+
+    async def main():
+        clock = VirtualClock()
+        broker = InMemoryBroker()
+        origin = Origin("ts", PARAMS, clock=clock, broker=broker)
+        flaky = FlakyBackend(
+            InMemoryBackend(origin),
+            clock,
+            outage=OutageSchedule.scripted((0.0, 1000.0)),
+        )
+        node = CacheNode(
+            "ts",
+            PARAMS,
+            backend=flaky,
+            broker=broker,
+            clock=clock,
+            config=NodeConfig(
+                retry=RetryConfig(
+                    attempts=2, base_delay=0.1, jitter=0.0, attempt_timeout=0.5
+                ),
+                deadline=0.5,
+            ),
+        )
+        await node.start()
+        t0 = clock.now()
+        with pytest.raises(DeadlineExceeded):
+            await clock.drive(node.get(3))
+        # 2 attempts x 0.5 s deadline + 0.1 s backoff: bounded, no hang.
+        assert clock.now() - t0 == pytest.approx(1.1)
+        await node.stop()
+
+    run(main())
+
+
+def test_breaker_trips_recovers_through_half_open_and_journals():
+    async def main():
+        clock = VirtualClock()
+        broker = InMemoryBroker()
+        origin = Origin("ts", PARAMS, clock=clock, broker=broker)
+        outage = OutageSchedule.scripted((0.0, 100.0), name="l2")
+        flaky = FlakyBackend(InMemoryBackend(origin), clock, outage=outage)
+        node = CacheNode(
+            "ts",
+            PARAMS,
+            backend=flaky,
+            broker=broker,
+            clock=clock,
+            config=NodeConfig(
+                retry=RetryConfig(
+                    attempts=1, base_delay=0.1, jitter=0.0, attempt_timeout=0.5
+                ),
+                deadline=0.5,
+                breaker=BreakerConfig(
+                    failure_threshold=3,
+                    window_seconds=60.0,
+                    reset_timeout=30.0,
+                    probe_budget=1,
+                    probe_successes=1,
+                ),
+            ),
+        )
+        await node.start()
+        # Three failed fetches trip the breaker.
+        for k in range(3):
+            with pytest.raises(DeadlineExceeded):
+                await clock.drive(node.get(k))
+            await clock.advance(1.0)
+        assert node.breaker.state.value == "open"
+        assert node.breaker.trips == 1
+        # While open: fail fast, zero backend traffic.
+        blackholed_before = flaky.calls_blackholed
+        with pytest.raises(CircuitOpenError):
+            await clock.drive(node.get(9))
+        assert flaky.calls_blackholed == blackholed_before
+        # Past the outage AND the reset timeout: one probe recloses.
+        await clock.run_until(110.0)
+        a = await clock.drive(node.get(3))
+        assert a.source == "l2"
+        assert node.breaker.state.value == "closed"
+        # health() + journal report the full lifecycle.
+        h = node.health()
+        assert h.breaker_trips == 1
+        assert h.breakers == {"l2": "closed"}
+        moves = [
+            (tr.old, tr.new)
+            for tr in node.metrics.transitions
+            if tr.subject == "breaker.l2"
+        ]
+        assert moves == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+        await node.stop()
+
+    run(main())
+
+
+def test_fate_model_drops_are_seeded_and_counted():
+    async def main():
+        clock = VirtualClock()
+        broker = InMemoryBroker()
+        origin = Origin("ts", PARAMS, clock=clock, broker=broker)
+        faults = FaultConfig(drop_prob=0.5)
+        flaky = FlakyBackend(
+            InMemoryBackend(origin),
+            clock,
+            faults=faults,
+            stream=RandomStream(3, "test/fates"),
+            hang_seconds=10.0,
+        )
+        outcomes = []
+        for k in range(30):
+            try:
+                await clock.drive(flaky.backend_fetch(k % 50))
+                outcomes.append("ok")
+            except BackendUnavailable:
+                outcomes.append("lost")
+        assert "ok" in outcomes and "lost" in outcomes
+        assert flaky.calls_blackholed + flaky.calls_corrupted == outcomes.count(
+            "lost"
+        )
+        # Same seed, same fate sequence.
+        clock2 = VirtualClock()
+        origin2 = Origin("ts", PARAMS, clock=clock2, broker=InMemoryBroker())
+        flaky2 = FlakyBackend(
+            InMemoryBackend(origin2),
+            clock2,
+            faults=faults,
+            stream=RandomStream(3, "test/fates"),
+            hang_seconds=10.0,
+        )
+        outcomes2 = []
+        for k in range(30):
+            try:
+                await clock2.drive(flaky2.backend_fetch(k % 50))
+                outcomes2.append("ok")
+            except BackendUnavailable:
+                outcomes2.append("lost")
+        assert outcomes == outcomes2
+
+    run(main())
+
+
+def test_null_fault_config_adds_no_model():
+    clock = VirtualClock()
+    broker = InMemoryBroker()
+    origin = Origin("ts", PARAMS, clock=clock, broker=broker)
+    flaky = FlakyBackend(InMemoryBackend(origin), clock, faults=FaultConfig())
+    assert flaky.model is None
+    with pytest.raises(ValueError):
+        FlakyBackend(
+            InMemoryBackend(origin),
+            clock,
+            faults=FaultConfig(drop_prob=0.5),  # lossy but no stream
+        )
+
+
+def test_flaky_broker_loses_reports_during_outage():
+    async def main():
+        clock = VirtualClock()
+        inner = InMemoryBroker()
+        outage = OutageSchedule.scripted((30.0, 70.0), name="ir")
+        flaky = FlakyBroker(inner, clock, outage=outage)
+        origin = Origin("ts", PARAMS, clock=clock, broker=flaky)
+        sub = flaky.broker_subscribe()
+        for t in (20.0, 40.0, 60.0, 80.0):
+            await clock.run_until(t)
+            await origin.publish_once()
+        assert flaky.reports_lost == 2
+        assert inner.published == 2
+        assert (await sub.next_report()).timestamp == 20.0
+        assert (await sub.next_report()).timestamp == 80.0
+
+    run(main())
+
+
+def test_ping_reports_outage_without_erroring():
+    async def main():
+        clock = VirtualClock()
+        origin = Origin("ts", PARAMS, clock=clock, broker=InMemoryBroker())
+        flaky = FlakyBackend(
+            InMemoryBackend(origin),
+            clock,
+            outage=OutageSchedule.scripted((10.0, 20.0)),
+        )
+        assert await flaky.backend_ping() is True
+        await clock.run_until(15.0)
+        assert await flaky.backend_ping() is False
+
+    run(main())

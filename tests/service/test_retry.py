@@ -1,0 +1,212 @@
+"""Retry/backoff: jitter bounds (Hypothesis) and the retry sandwich."""
+
+import asyncio
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.des.rng import RandomStream
+from repro.service import (
+    BackendUnavailable,
+    BreakerConfig,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceeded,
+    RetryConfig,
+    VirtualClock,
+    backoff_delay,
+    call_with_retry,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# -- the pure delay law -----------------------------------------------------
+
+def test_backoff_grows_exponentially_then_caps():
+    cfg = RetryConfig(base_delay=0.1, backoff_base=2.0, max_delay=0.5, jitter=0.0)
+    delays = [backoff_delay(cfg, k) for k in range(5)]
+    assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+
+def test_negative_attempt_rejected():
+    with pytest.raises(ValueError):
+        backoff_delay(RetryConfig(), -1)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        RetryConfig(attempts=0)
+    with pytest.raises(ValueError):
+        RetryConfig(jitter=1.0)
+    with pytest.raises(ValueError):
+        RetryConfig(backoff_base=0.5)
+
+
+@given(
+    attempt=st.integers(0, 20),
+    base=st.floats(0.001, 5.0),
+    factor=st.floats(1.0, 4.0),
+    cap=st.floats(0.001, 10.0),
+    jitter=st.floats(0.0, 0.99),
+    seed=st.integers(0, 2**31),
+)
+def test_property_jitter_stays_in_bounds(attempt, base, factor, cap, jitter, seed):
+    """backoff_delay always lands in [nominal*(1-j), nominal*(1+j)]."""
+    cfg = RetryConfig(
+        base_delay=base, backoff_base=factor, max_delay=cap, jitter=jitter
+    )
+    stream = RandomStream(seed, "test/jitter")
+    nominal = min(base * factor**attempt, cap)
+    d = backoff_delay(cfg, attempt, stream)
+    assert nominal * (1 - jitter) <= d <= nominal * (1 + jitter)
+
+
+@given(seed=st.integers(0, 2**31), attempt=st.integers(0, 10))
+def test_property_jitter_is_seed_deterministic(seed, attempt):
+    cfg = RetryConfig(jitter=0.5)
+    a = backoff_delay(cfg, attempt, RandomStream(seed, "test/jitter"))
+    b = backoff_delay(cfg, attempt, RandomStream(seed, "test/jitter"))
+    assert a == b
+
+
+# -- the retry sandwich -----------------------------------------------------
+
+def test_retries_then_succeeds():
+    async def main():
+        clock = VirtualClock()
+        calls = []
+
+        async def flaky():
+            calls.append(clock.now())
+            if len(calls) < 3:
+                raise BackendUnavailable("down")
+            return "finally"
+
+        cfg = RetryConfig(attempts=3, base_delay=1.0, jitter=0.0, attempt_timeout=None)
+        value = await clock.drive(call_with_retry(clock, flaky, retry=cfg))
+        assert value == "finally"
+        # attempt 0 at t=0, backoff 1s, attempt 1 at 1, backoff 2s, attempt 2 at 3
+        assert calls == [0.0, 1.0, 3.0]
+
+    run(main())
+
+
+def test_exhausted_attempts_raise_last_error():
+    async def main():
+        clock = VirtualClock()
+
+        async def dead():
+            raise BackendUnavailable("still down")
+
+        cfg = RetryConfig(attempts=2, base_delay=0.1, jitter=0.0, attempt_timeout=None)
+        with pytest.raises(BackendUnavailable):
+            await clock.drive(call_with_retry(clock, dead, retry=cfg))
+
+    run(main())
+
+
+def test_attempt_deadline_converts_hang_to_retry():
+    async def main():
+        clock = VirtualClock()
+        attempts = []
+
+        async def hang_once():
+            attempts.append(clock.now())
+            if len(attempts) == 1:
+                await clock.sleep(1000.0)
+            return "recovered"
+
+        cfg = RetryConfig(
+            attempts=2, base_delay=0.5, jitter=0.0, attempt_timeout=2.0
+        )
+        value = await clock.drive(call_with_retry(clock, hang_once, retry=cfg))
+        assert value == "recovered"
+        assert attempts == [0.0, 2.5]  # 2s deadline + 0.5s backoff
+
+    run(main())
+
+
+def test_non_retryable_error_propagates_immediately():
+    async def main():
+        clock = VirtualClock()
+        calls = []
+
+        async def broken():
+            calls.append(1)
+            raise KeyError("a bug, not an outage")
+
+        with pytest.raises(KeyError):
+            await clock.drive(
+                call_with_retry(clock, broken, retry=RetryConfig(attempts=3))
+            )
+        assert len(calls) == 1
+
+    run(main())
+
+
+def test_breaker_hears_one_verdict_per_attempt():
+    async def main():
+        clock = VirtualClock()
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=3, window_seconds=1e6)
+        )
+
+        async def dead():
+            raise BackendUnavailable("down")
+
+        cfg = RetryConfig(attempts=3, base_delay=0.1, jitter=0.0, attempt_timeout=None)
+        with pytest.raises(BackendUnavailable):
+            await clock.drive(
+                call_with_retry(clock, dead, retry=cfg, breaker=breaker)
+            )
+        assert breaker.trips == 1  # exactly 3 failures -> one trip
+
+    run(main())
+
+
+def test_open_breaker_refuses_without_calling():
+    async def main():
+        clock = VirtualClock()
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=1, reset_timeout=1e6)
+        )
+        breaker.on_failure(0.0)
+        calls = []
+
+        async def never():
+            calls.append(1)
+            return "?"
+
+        with pytest.raises(CircuitOpenError):
+            await clock.drive(call_with_retry(clock, never, breaker=breaker))
+        assert calls == []
+        assert breaker.fast_fails >= 1
+
+    run(main())
+
+
+def test_failure_callback_observes_each_attempt():
+    async def main():
+        clock = VirtualClock()
+        seen = []
+
+        async def dead():
+            raise DeadlineExceeded("slow")
+
+        cfg = RetryConfig(attempts=3, base_delay=0.0, jitter=0.0, attempt_timeout=None)
+        with pytest.raises(DeadlineExceeded):
+            await clock.drive(
+                call_with_retry(
+                    clock,
+                    dead,
+                    retry=cfg,
+                    on_attempt_failure=lambda k, e: seen.append(k),
+                )
+            )
+        assert seen == [0, 1, 2]
+
+    run(main())

@@ -1,0 +1,80 @@
+"""SWR entries: two independent timers; refresh never extends expiry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache import CacheEntry, ClientCache
+from repro.service import ServiceEntry, SWRConfig
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SWRConfig(freshness_seconds=0)
+    with pytest.raises(ValueError):
+        SWRConfig(freshness_seconds=10, expiry_seconds=5)
+
+
+def test_timers_from_fetch_instant():
+    swr = SWRConfig(freshness_seconds=30.0, expiry_seconds=100.0)
+    e = ServiceEntry(item=1, version=0, ts=50.0, fetched_at=50.0, swr=swr)
+    assert e.is_fresh(79.9) and not e.is_expired(79.9)
+    assert not e.is_fresh(80.0)  # SWR-stale but alive
+    assert not e.is_expired(149.9)
+    assert e.is_expired(150.0)
+
+
+def test_no_swr_means_infinite_timers():
+    e = ServiceEntry(item=1, version=0, ts=0.0)
+    assert e.is_fresh(1e12) and not e.is_expired(1e12)
+
+
+def test_service_entry_is_a_cache_entry():
+    """The L1 store and the scheme reconciliation code see a CacheEntry."""
+    swr = SWRConfig()
+    e = ServiceEntry(item=3, version=2, ts=7.0, value="v", fetched_at=7.0, swr=swr)
+    assert isinstance(e, CacheEntry)
+    cache = ClientCache(4)
+    cache.insert(e)
+    assert cache.lookup(3) is e
+    assert cache.effective_ts(e) == 7.0
+
+
+def test_refresh_restores_freshness_and_restamps():
+    swr = SWRConfig(freshness_seconds=10.0, expiry_seconds=100.0)
+    e = ServiceEntry(item=1, version=0, ts=0.0, value="old", fetched_at=0.0, swr=swr)
+    e.refreshing = True
+    e.refreshed(version=3, ts=50.0, value="new", now=50.0, swr=swr)
+    assert (e.version, e.ts, e.value) == (3, 50.0, "new")
+    assert e.fresh_until == 60.0
+    assert e.refreshing is False
+
+
+def test_refresh_never_extends_expiry():
+    swr = SWRConfig(freshness_seconds=10.0, expiry_seconds=30.0)
+    e = ServiceEntry(item=1, version=0, ts=0.0, fetched_at=0.0, swr=swr)
+    original_expiry = e.expires_at
+    e.refreshed(version=1, ts=25.0, value=None, now=25.0, swr=swr)
+    assert e.expires_at == original_expiry
+    # Freshness clamps to the hard deadline, never past it.
+    assert e.fresh_until == original_expiry
+
+
+@given(
+    fresh=st.floats(0.1, 100.0),
+    extra=st.floats(0.0, 1000.0),
+    fetched_at=st.floats(0.0, 1e6),
+    refreshes=st.lists(st.floats(0.0, 1e5), max_size=8),
+)
+def test_property_expiry_is_fixed_at_insert(fresh, extra, fetched_at, refreshes):
+    """However many refreshes land, ``expires_at`` is the original bound
+    and ``fresh_until`` never exceeds it."""
+    swr = SWRConfig(freshness_seconds=fresh, expiry_seconds=fresh + extra)
+    e = ServiceEntry(item=0, version=0, ts=fetched_at, fetched_at=fetched_at, swr=swr)
+    fixed = e.expires_at
+    t = fetched_at
+    for dt in refreshes:
+        t += dt
+        e.refreshed(version=1, ts=t, value=None, now=t, swr=swr)
+        assert e.expires_at == fixed
+        assert e.fresh_until <= fixed
