@@ -11,11 +11,17 @@ invariants — the ones generic linters cannot know about:
 * the package layering DAG (``des -> net -> reports -> schemes -> sim ->
   chaos -> experiments``) must hold, with no import cycles;
 * every registered invalidation scheme must implement the policy hook
-  surface declared in :mod:`repro.schemes.base`.
+  surface declared in :mod:`repro.schemes.base`;
+* whole-program rules over the project call graph
+  (:mod:`repro.checks.callgraph`) and stream-taint result
+  (:mod:`repro.checks.dataflow`): RNG draws traceable to named streams
+  with no escaping handles (DET004), every CacheNode-to-backend path
+  breaker-wrapped (SVC001), and async hygiene in the service tier
+  (ASYNC001/ASYNC002).
 
 Run it with ``python -m repro.checks src`` (or the ``repro-checks``
 console script).  See ``docs/STATIC_ANALYSIS.md`` for the rule catalog,
-the ``# checks: ignore[CODE]`` suppression syntax, and the baseline
+the ``checks: ignore[CODE]`` suppression syntax, and the baseline
 workflow for grandfathered findings.
 """
 

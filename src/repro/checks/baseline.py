@@ -32,7 +32,7 @@ class Baseline:
 
     __slots__ = ("_fingerprints",)
 
-    def __init__(self, fingerprints: Iterable[_Fingerprint] = ()):
+    def __init__(self, fingerprints: Iterable[_Fingerprint] = ()) -> None:
         self._fingerprints: Set[_Fingerprint] = set(fingerprints)
 
     def __contains__(self, fingerprint: _Fingerprint) -> bool:

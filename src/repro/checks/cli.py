@@ -64,13 +64,25 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parse files with N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--callgraph-dump",
+        action="store_true",
+        help="print the resolved project call graph (caller -> callee) and exit",
+    )
     return parser
 
 
 def _select_rules(spec: Optional[str]) -> List[Rule]:
     if spec is None:
         return all_rules()
-    rules = []
+    rules: List[Rule] = []
     for code in spec.split(","):
         code = code.strip()
         if code:
@@ -78,6 +90,28 @@ def _select_rules(spec: Optional[str]) -> List[Rule]:
     if not rules:
         raise KeyError("empty --select")
     return rules
+
+
+def _dump_callgraph(paths: Sequence[str], jobs: Optional[int]) -> int:
+    """Debugging aid behind ``--callgraph-dump``: print resolved edges."""
+    from .callgraph import build_call_graph
+    from .engine import ModuleInfo, Project, _collect_files, _parse_files
+
+    try:
+        parsed = _parse_files(_collect_files(paths), jobs)
+    except FileNotFoundError as exc:
+        print(f"error: no such path: {exc.args[0]}", file=sys.stderr)
+        return EXIT_USAGE
+    modules = [m for m in parsed if isinstance(m, ModuleInfo)]
+    graph = build_call_graph(Project(modules))
+    print(graph.dump())
+    print(
+        f"# {len(graph.functions)} functions, "
+        f"{sum(len(e) for e in graph.edges.values())} edges "
+        f"across {len(modules)} modules",
+        file=sys.stderr,
+    )
+    return EXIT_CLEAN
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -89,13 +123,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{rule.code}  [{rule.severity.value:7s}]  {rule.description}")
         return EXIT_CLEAN
 
+    if args.callgraph_dump:
+        return _dump_callgraph(args.paths, args.jobs)
+
     try:
         rules = _select_rules(args.select)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return EXIT_USAGE
 
-    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+    baseline_path = (
+        Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+    )
     baseline: Optional[Baseline] = None
     if not args.no_baseline and not args.write_baseline and baseline_path.exists():
         try:
@@ -105,7 +144,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return EXIT_USAGE
 
     try:
-        findings = run_checks(args.paths, rules=rules, baseline=baseline)
+        findings = run_checks(
+            args.paths, rules=rules, baseline=baseline, jobs=args.jobs
+        )
     except FileNotFoundError as exc:
         print(f"error: no such path: {exc.args[0]}", file=sys.stderr)
         return EXIT_USAGE

@@ -14,7 +14,18 @@ import enum
 import re
 from dataclasses import dataclass
 from pathlib import Path, PurePosixPath
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Type
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+    Union,
+)
 
 from .baseline import Baseline
 
@@ -49,11 +60,15 @@ class Finding:
         return (self.path, self.code, self.message)
 
     def format(self) -> str:
-        return f"{self.path}:{self.line}: {self.code} [{self.severity.value}] {self.message}"
+        where = f"{self.path}:{self.line}"
+        return f"{where}: {self.code} [{self.severity.value}] {self.message}"
 
 
-#: ``# checks: ignore`` or ``# checks: ignore[DET001]`` or
-#: ``# checks: ignore[DET001, PERF001]`` — same-line suppression.
+#: Same-line suppression comments: a hash followed by ``checks: ignore``
+#: alone, or with codes — ``checks: ignore[DET001]``,
+#: ``checks: ignore[DET001, PERF001]``.  (The examples here spell the
+#: comment without its leading hash so this very file does not register
+#: phantom suppressions — CHK001 would flag them as unused.)
 _SUPPRESS_RE = re.compile(
     r"#\s*checks:\s*ignore(?:\[(?P<codes>[A-Z0-9_,\s]+)\])?"
 )
@@ -97,7 +112,7 @@ class ModuleInfo:
 
     __slots__ = ("path", "text", "tree", "suppressions")
 
-    def __init__(self, path: str, text: str, tree: ast.AST):
+    def __init__(self, path: str, text: str, tree: ast.AST) -> None:
         self.path = path          # package-relative posix path
         self.text = text
         self.tree = tree
@@ -127,11 +142,14 @@ class ModuleInfo:
 class Project:
     """Every module of one engine invocation, for cross-module rules."""
 
-    __slots__ = ("modules", "_by_path")
+    __slots__ = ("modules", "_by_path", "callgraph_cache")
 
-    def __init__(self, modules: Sequence[ModuleInfo]):
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
         self.modules = list(modules)
         self._by_path = {m.path: m for m in self.modules}
+        #: Lazily built by :func:`repro.checks.callgraph.build_call_graph`
+        #: so the interprocedural rules share one graph per invocation.
+        self.callgraph_cache: Optional[object] = None
 
     def module(self, package_path: str) -> Optional[ModuleInfo]:
         return self._by_path.get(package_path)
@@ -234,46 +252,146 @@ def _collect_files(paths: Sequence[str]) -> List[Path]:
     return unique
 
 
+def _parse_one(path_str: str) -> Union[ModuleInfo, Finding]:
+    """Read and parse one file (top-level so worker processes can run it)."""
+    text = Path(path_str).read_text(encoding="utf-8")
+    try:
+        return ModuleInfo.from_source(path_str, text)
+    except SyntaxError as exc:
+        return Finding(
+            code=SYNTAX_ERROR_CODE,
+            path=package_path_of(path_str),
+            line=exc.lineno or 1,
+            message=f"could not parse: {exc.msg}",
+        )
+
+
+def _parse_files(
+    files: Sequence[Path], jobs: Optional[int]
+) -> List[Union[ModuleInfo, Finding]]:
+    """Parse *files*, fanning out over processes when ``jobs > 1``.
+
+    ``ModuleInfo`` (slots of str + AST) pickles cleanly; ``map`` keeps
+    input order so the run is byte-identical to the serial path.
+    """
+    paths = [str(f) for f in files]
+    if jobs is not None and jobs > 1 and len(paths) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                return list(pool.map(_parse_one, paths, chunksize=8))
+        except (OSError, ImportError):  # no fork/spawn available: fall back
+            pass
+    return [_parse_one(p) for p in paths]
+
+
+#: Code for ``checks: ignore`` comments that no longer suppress anything.
+UNUSED_SUPPRESSION_CODE = "CHK001"
+
+
+def _unused_suppressions(
+    project: Project,
+    used: Set[Tuple[str, int]],
+    active_codes: Set[str],
+    all_codes: Set[str],
+) -> List[Finding]:
+    """CHK001 findings for suppression comments that never fired.
+
+    A coded suppression is judged only when *every* code it names ran in
+    this invocation (otherwise the un-run rule might have fired); a bare
+    ``checks: ignore`` is judged only when the full registry ran.
+    """
+    judgeable = active_codes - {UNUSED_SUPPRESSION_CODE, SYNTAX_ERROR_CODE}
+    full_run = judgeable >= (all_codes - {UNUSED_SUPPRESSION_CODE})
+    out: List[Finding] = []
+    for module in project.modules:
+        for line, codes in sorted(module.suppressions.items()):
+            if (module.path, line) in used:
+                continue
+            if codes is None:
+                if not full_run:
+                    continue
+                detail = "suppresses no finding of any rule"
+            else:
+                if not codes <= judgeable:
+                    continue
+                detail = f"suppresses no {', '.join(sorted(codes))} finding"
+            out.append(
+                Finding(
+                    code=UNUSED_SUPPRESSION_CODE,
+                    path=module.path,
+                    line=line,
+                    message=f"unused suppression: {detail}; remove the comment",
+                    severity=Severity.WARNING,
+                )
+            )
+    return out
+
+
 def run_checks(
     paths: Sequence[str],
     rules: Optional[Sequence[Rule]] = None,
     baseline: Optional[Baseline] = None,
+    jobs: Optional[int] = None,
 ) -> List[Finding]:
     """Run *rules* (default: all) over *paths*; return surviving findings.
 
-    Suppressed (``# checks: ignore[CODE]`` on the finding's line) and
+    Suppressed (``checks: ignore[CODE]`` on the finding's line) and
     baselined findings are filtered out.  Unparseable files surface as
-    ``CHK000`` findings rather than crashing the run.
+    ``CHK000`` findings rather than crashing the run.  ``jobs`` parallelises
+    the parse phase over processes (analysis itself stays serial — rules
+    share the in-process project/call-graph).
     """
     active = list(rules) if rules is not None else all_rules()
     modules: List[ModuleInfo] = []
     findings: List[Finding] = []
-    for file in _collect_files(paths):
-        text = file.read_text(encoding="utf-8")
-        try:
-            modules.append(ModuleInfo.from_source(str(file), text))
-        except SyntaxError as exc:
-            findings.append(
-                Finding(
-                    code=SYNTAX_ERROR_CODE,
-                    path=package_path_of(str(file)),
-                    line=exc.lineno or 1,
-                    message=f"could not parse: {exc.msg}",
-                )
-            )
+    for parsed in _parse_files(_collect_files(paths), jobs):
+        if isinstance(parsed, ModuleInfo):
+            modules.append(parsed)
+        else:
+            findings.append(parsed)
     project = Project(modules)
     for rule in active:
         for module in modules:
             if rule.applies_to(module.path):
                 findings.extend(rule.check_module(module))
         findings.extend(rule.check_project(project))
-    kept = []
-    for f in findings:
+
+    def suppressed(f: Finding) -> bool:
         mod = project.module(f.path)
-        if mod is not None and mod.is_suppressed(f.code, f.line):
-            continue
-        if baseline is not None and f.fingerprint in baseline:
-            continue
-        kept.append(f)
+        if mod is None:
+            return False
+        if f.code == UNUSED_SUPPRESSION_CODE:
+            # A bare ignore must not shield its own unused-ness finding
+            # (it would be unflaggable by construction); only an explicit
+            # ``checks: ignore[CHK001]`` opts a line out.
+            codes = mod.suppressions.get(f.line)
+            return codes is not None and f.code in codes
+        return mod.is_suppressed(f.code, f.line)
+
+    def survivors(candidates: Iterable[Finding]) -> List[Finding]:
+        kept = []
+        for f in candidates:
+            if suppressed(f):
+                used_suppressions.add((f.path, f.line))
+                continue
+            if baseline is not None and f.fingerprint in baseline:
+                continue
+            kept.append(f)
+        return kept
+
+    used_suppressions: Set[Tuple[str, int]] = set()
+    kept = survivors(findings)
+    active_codes = {r.code for r in active}
+    if UNUSED_SUPPRESSION_CODE in active_codes:
+        _load_builtin_rules()
+        kept.extend(
+            survivors(
+                _unused_suppressions(
+                    project, used_suppressions, active_codes, set(_REGISTRY)
+                )
+            )
+        )
     kept.sort(key=lambda f: (f.path, f.line, f.code, f.message))
     return kept

@@ -1,5 +1,21 @@
 """Built-in rule set.  Importing this package registers every rule."""
 
-from . import api, architecture, determinism, performance
+from . import (
+    api,
+    architecture,
+    asynchrony,
+    determinism,
+    hygiene,
+    performance,
+    streams,
+)
 
-__all__ = ["api", "architecture", "determinism", "performance"]
+__all__ = [
+    "api",
+    "architecture",
+    "asynchrony",
+    "determinism",
+    "hygiene",
+    "performance",
+    "streams",
+]

@@ -92,7 +92,7 @@ class _ClassIndex:
     """All class definitions under ``repro/schemes``, with enough import
     resolution to follow ``from .afw import AdaptiveClientPolicy``."""
 
-    def __init__(self, project: Project):
+    def __init__(self, project: Project) -> None:
         # (module path, class name) -> ClassDef; plus per-module alias
         # maps for names imported from sibling scheme modules.
         self.classes: Dict[Tuple[str, str], ast.ClassDef] = {}
@@ -169,7 +169,7 @@ def _scheme_factories(
 ) -> List[Tuple[str, str, str, int]]:
     """``(scheme name, server factory, client factory, line)`` for each
     ``*_SCHEME = Scheme(...)`` assignment (class-name factories only)."""
-    out = []
+    out: List[Tuple[str, str, str, int]] = []
     for node in module.tree.body:
         if not (
             isinstance(node, ast.Assign)

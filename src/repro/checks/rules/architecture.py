@@ -19,7 +19,7 @@ who imported what first.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..engine import Finding, Project, Rule, Severity, register_rule
 
@@ -217,7 +217,7 @@ class LayeringRule(Rule):
         path: List[str] = []
         on_path: Set[str] = set()
         done: Set[str] = set()
-        reported: Set[frozenset] = set()
+        reported: Set[FrozenSet[str]] = set()
 
         def visit(pkg: str) -> None:
             if pkg in done:

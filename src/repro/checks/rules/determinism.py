@@ -296,31 +296,120 @@ class SetIterationRule(Rule):
             and node.func.id in ("set", "frozenset")
         )
 
+    @staticmethod
+    def _is_identity_keyed_dict(node: ast.AST) -> bool:
+        """A dict display/comprehension whose keys are freshly constructed
+        instances (capitalised constructor calls): without a __hash__
+        override those hash by id(), so key order is process-dependent."""
+
+        def identity_key(key: ast.expr) -> bool:
+            return (
+                isinstance(key, ast.Call)
+                and isinstance(key.func, ast.Name)
+                and key.func.id[:1].isupper()
+            )
+
+        if isinstance(node, ast.Dict):
+            return bool(node.keys) and all(
+                k is not None and identity_key(k) for k in node.keys
+            )
+        if isinstance(node, ast.DictComp):
+            return identity_key(node.key)
+        return False
+
     def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
         findings: List[Finding] = []
         seen: Set[Tuple[int, int]] = set()
 
-        def flag(it: ast.expr) -> None:
+        def flag(it: ast.expr, reason: str) -> None:
             key = (it.lineno, it.col_offset)
             if key in seen:
                 return
             seen.add(key)
-            findings.append(
-                self.finding(
-                    module,
-                    it.lineno,
-                    "iterating a set: ordering is process-dependent; "
-                    "iterate a list/tuple or sorted(...) instead",
-                )
+            findings.append(self.finding(module, it.lineno, reason))
+
+        set_reason = (
+            "iterating a set: ordering is process-dependent; "
+            "iterate a list/tuple or sorted(...) instead"
+        )
+        keys_reason = (
+            "iterating .keys() of an identity-hash-keyed dict: ordering is "
+            "process-dependent; key by a value type or sort the keys"
+        )
+
+        # Names whose every assignment in their scope is a set expression
+        # (or, for the .keys() check, an identity-keyed dict): iterating
+        # such a name is the same hazard one assignment later.
+        set_names, ident_dict_names = self._scope_names(module.tree)
+
+        def is_set_iter(it: ast.expr) -> bool:
+            if self._is_set_expr(it):
+                return True
+            return isinstance(it, ast.Name) and it.id in set_names
+
+        def is_ident_keys_iter(it: ast.expr) -> bool:
+            return (
+                isinstance(it, ast.Call)
+                and isinstance(it.func, ast.Attribute)
+                and it.func.attr == "keys"
+                and not it.args
+                and isinstance(it.func.value, ast.Name)
+                and it.func.value.id in ident_dict_names
             )
 
         for node in ast.walk(module.tree):
-            if isinstance(node, (ast.For, ast.AsyncFor)) and self._is_set_expr(
-                node.iter
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters = [node.iter]
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
             ):
-                flag(node.iter)
-            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
-                for gen in node.generators:
-                    if self._is_set_expr(gen.iter):
-                        flag(gen.iter)
+                iters = [gen.iter for gen in node.generators]
+            for it in iters:
+                if is_set_iter(it):
+                    flag(it, set_reason)
+                elif is_ident_keys_iter(it):
+                    flag(it, keys_reason)
         return findings
+
+    def _scope_names(self, tree: ast.AST) -> Tuple[Set[str], Set[str]]:
+        """Names that only ever hold sets / identity-keyed dicts.
+
+        Tracked by bare name across the whole module: a name is eligible
+        only if *every* assignment to it anywhere in the module is the
+        hazardous kind — mixed or mutated names are skipped.  Coarser
+        than true scoping (a set-valued ``pending`` in one function
+        convicts iteration of a different ``pending`` in another), but
+        the conservative direction for a warning-severity rule and it
+        keeps the pass O(n).
+        """
+        set_ok: Set[str] = set()
+        set_bad: Set[str] = set()
+        dict_ok: Set[str] = set()
+        dict_bad: Set[str] = set()
+        for node in ast.walk(tree):
+            targets: List[ast.expr] = []
+            value: ast.expr
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, ast.AugAssign):
+                # ``s |= {...}`` keeps a set a set; anything else is a
+                # mutation we cannot track — disqualify.
+                targets, value = [node.target], node.value
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if self._is_set_expr(value):
+                    set_ok.add(name)
+                else:
+                    set_bad.add(name)
+                if self._is_identity_keyed_dict(value):
+                    dict_ok.add(name)
+                else:
+                    dict_bad.add(name)
+        return set_ok - set_bad, dict_ok - dict_bad

@@ -1,0 +1,32 @@
+"""CHK001: unused-suppression detection.
+
+A ``checks: ignore[CODE]`` comment is a standing claim that the line
+violates CODE for a sanctioned reason.  When the code is refactored and
+the violation disappears, the stale comment keeps the door open for a
+*new* violation to land on that line unnoticed — so the gate flags
+suppressions that no longer suppress anything.
+
+The detection itself lives in the engine (:func:`repro.checks.engine.
+run_checks` knows which suppressions fired during filtering); this class
+is the catalog entry that makes CHK001 selectable, listable, and
+baseline-able like every other code.  A coded suppression is only judged
+when every code it names ran in the invocation, and a bare ``# checks:
+ignore`` only on a full-registry run — a rule that did not run might
+have fired.
+"""
+
+from __future__ import annotations
+
+from ..engine import Rule, Severity, register_rule
+
+
+@register_rule
+class UnusedSuppressionRule(Rule):
+    """CHK001: a suppression comment that suppresses nothing."""
+
+    code = "CHK001"
+    name = "unused-suppression"
+    description = "suppression comment that no longer suppresses any finding"
+    severity = Severity.WARNING
+    # Findings are synthesised by the engine after filtering; the rule
+    # class itself contributes no per-module/per-project pass.

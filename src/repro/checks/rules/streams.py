@@ -1,0 +1,152 @@
+"""DET004: interprocedural RNG-stream discipline.
+
+Replayability rests on every draw coming from a *named*
+:class:`repro.des.rng.RandomStream` and on each stream staying inside
+the component that minted it (common random numbers: one component's
+draw count must not perturb another's).  The per-file DET002 rule bans
+bare ``random``/``numpy.random``; this rule closes the remaining gaps
+with the whole-program taint result:
+
+* **untraceable draw** — a ``.uniform()``/``.bernoulli()``/... call whose
+  receiver the taint engine cannot trace back to a stream source;
+* **shared-state store** — a stream handle assigned to a module global,
+  a ``global``-declared name, or a class attribute (shared across
+  instances): any second consumer desynchronises the draw sequence;
+* **cross-DAG pass** — a stream handed to a function in a package the
+  caller's package may not depend on (judged against the ARCH001
+  layering DAG closure): ownership would cross the architecture's
+  component boundaries;
+* **fault-ordered draw** — a draw lexically inside ``except``/``finally``:
+  whether it executes depends on fault timing, so replay diverges the
+  moment fault schedules change.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..callgraph import build_call_graph
+from ..dataflow import DRAW_METHODS, StreamTaint, build_stream_taint
+from ..engine import Finding, ModuleInfo, Project, Rule, Severity, register_rule
+from .architecture import LAYER_DAG, _transitive_allowed
+from .determinism import _PROTOCOL_GLOBS
+
+
+@register_rule
+class StreamEscapeRule(Rule):
+    """DET004: draws traceable to named streams; streams never escape."""
+
+    code = "DET004"
+    name = "stream-taint"
+    description = "RNG draw untraceable to a named stream, or a stream escape"
+    severity = Severity.ERROR
+    include = _PROTOCOL_GLOBS
+    # The stream implementation draws on its internal numpy generator.
+    exclude = ("repro/des/rng.py",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = build_call_graph(project)
+        taint = build_stream_taint(graph)
+        findings: List[Finding] = []
+        findings.extend(self._untraceable_draws(taint))
+        findings.extend(self._shared_stores(taint))
+        findings.extend(self._cross_dag_passes(taint))
+        for module in project.modules:
+            if self.applies_to(module.path) and isinstance(module.tree, ast.Module):
+                findings.extend(self._fault_ordered_draws(module, taint))
+        return findings
+
+    def _untraceable_draws(self, taint: StreamTaint) -> List[Finding]:
+        out: List[Finding] = []
+        for module, scope, call in taint.draw_sites():
+            if not self.applies_to(module.path):
+                continue
+            assert isinstance(call.func, ast.Attribute)
+            if not taint.receiver_tainted(module, scope, call):
+                out.append(
+                    self.finding(
+                        module,
+                        call.lineno,
+                        f"draw .{call.func.attr}() on a receiver not traceable "
+                        "to a named repro.des.rng stream; mint it via "
+                        "RandomStreams.stream(name) or annotate the parameter "
+                        "as RandomStream",
+                    )
+                )
+        return out
+
+    def _shared_stores(self, taint: StreamTaint) -> List[Finding]:
+        out: List[Finding] = []
+        for store in taint.shared_stores:
+            if not self.applies_to(store.module.path):
+                continue
+            out.append(
+                self.finding(
+                    store.module,
+                    store.lineno,
+                    f"stream handle stored on shared state "
+                    f"({store.kind} {store.target!r}): a stream must stay "
+                    "owned by the one component that draws from it",
+                )
+            )
+        return out
+
+    def _cross_dag_passes(self, taint: StreamTaint) -> List[Finding]:
+        allowed = _transitive_allowed()
+        out: List[Finding] = []
+        for ev in taint.cross_package:
+            if ev.fuzzy or not self.applies_to(ev.module.path):
+                continue
+            src_pkg = ev.module.package
+            dst_pkg = ev.callee.package
+            if not src_pkg or not dst_pkg:
+                continue
+            if src_pkg not in LAYER_DAG or dst_pkg not in LAYER_DAG:
+                continue
+            if dst_pkg == src_pkg or dst_pkg in allowed[src_pkg]:
+                continue
+            out.append(
+                self.finding(
+                    ev.module,
+                    ev.lineno,
+                    f"stream handle passed from package {src_pkg!r} to "
+                    f"{ev.callee.qualname} (package {dst_pkg!r}), outside the "
+                    "layering DAG: pass a seed or a stream *name* across "
+                    "layers, never the handle",
+                )
+            )
+        return out
+
+    def _fault_ordered_draws(
+        self, module: ModuleInfo, taint: StreamTaint
+    ) -> List[Finding]:
+        out: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            shielded: List[ast.stmt] = []
+            for handler in node.handlers:
+                shielded.extend(handler.body)
+            shielded.extend(node.finalbody)
+            for stmt in shielded:
+                for sub in ast.walk(stmt):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in DRAW_METHODS
+                    ):
+                        scope = taint.scope_of(sub) or ""
+                        if scope and taint.receiver_tainted(module, scope, sub):
+                            out.append(
+                                self.finding(
+                                    module,
+                                    sub.lineno,
+                                    f"stream draw .{sub.func.attr}() inside "
+                                    "except/finally: execution becomes "
+                                    "fault-dependent and replay diverges when "
+                                    "fault timing changes; draw before the "
+                                    "try block instead",
+                                )
+                            )
+        return out

@@ -14,8 +14,10 @@ give updates locality too.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..des import RandomStream
 
@@ -57,6 +59,13 @@ class AccessPattern:
         When True (default) cold picks avoid the hot region (paper:
         "the other 20 % of the requests are directed to elsewhere in
         the database").
+    zipf_alpha:
+        When set (``alpha > 0``), queries follow a Zipf(alpha)
+        popularity law over the whole database — item ``i`` has rank
+        ``i + 1``, so low ids are the popular ones, matching the
+        hot-region convention.  Mutually exclusive with ``hot``; when
+        unset (the default) every draw takes the exact two-region code
+        path above, so existing seeded runs stay bit-identical.
     """
 
     def __init__(
@@ -65,6 +74,7 @@ class AccessPattern:
         hot: Optional[Region] = None,
         hot_prob: float = 0.0,
         cold_excludes_hot: bool = True,
+        zipf_alpha: Optional[float] = None,
     ):
         if hot is not None:
             if hot.hi >= n_items:
@@ -77,8 +87,28 @@ class AccessPattern:
         self.hot = hot
         self.hot_prob = hot_prob if hot is not None else 0.0
         self.cold_excludes_hot = cold_excludes_hot
+        self.zipf_alpha = zipf_alpha
+        self._zipf_cdf: Optional[List[float]] = None
+        if zipf_alpha is not None:
+            if hot is not None:
+                raise ValueError("zipf_alpha and a hot region are exclusive")
+            if not zipf_alpha > 0:
+                raise ValueError("zipf_alpha must be > 0")
+            # Inverse-CDF table: one uniform draw per pick, bisected into
+            # the normalised cumulative rank weights (rank k ~ k**-alpha).
+            weights = [float(k) ** -zipf_alpha for k in range(1, n_items + 1)]
+            total = math.fsum(weights)
+            cdf: List[float] = []
+            acc = 0.0
+            for w in weights:
+                acc += w / total
+                cdf.append(acc)
+            cdf[-1] = 1.0  # guard fsum rounding at the top end
+            self._zipf_cdf = cdf
 
     def __repr__(self):
+        if self._zipf_cdf is not None:
+            return f"<AccessPattern zipf a={self.zipf_alpha} n={self.n_items}>"
         if self.hot is None:
             return f"<AccessPattern uniform n={self.n_items}>"
         return (
@@ -88,6 +118,8 @@ class AccessPattern:
 
     def pick(self, stream: RandomStream) -> int:
         """Draw one item id."""
+        if self._zipf_cdf is not None:
+            return bisect_right(self._zipf_cdf, stream.uniform())
         if self.hot is not None and stream.bernoulli(self.hot_prob):
             return self.hot.pick(stream)
         if self.hot is None or not self.cold_excludes_hot:
@@ -106,6 +138,9 @@ class AccessPattern:
         the cold complement.
         """
         capacity = min(capacity, self.n_items)
+        if self._zipf_cdf is not None:
+            # Steady-state LRU occupancy under Zipf is the top ranks.
+            return list(range(capacity))
         items: list = []
         if self.hot is not None and self.hot_prob > 0:
             hot_take = min(capacity, self.hot.size)
@@ -141,6 +176,9 @@ class Workload:
     query_hot_prob: float = 0.0
     update_hot: Optional[Tuple[int, int]] = None
     update_hot_prob: float = 0.0
+    #: Zipf exponent for the query side (ablations beyond Table 2);
+    #: ``None`` keeps the paper's two-region patterns bit-identical.
+    query_zipf_alpha: Optional[float] = None
 
     def query_pattern(self, n_items: int, client_id: int = 0) -> AccessPattern:
         """The query pattern for one client.
@@ -150,7 +188,12 @@ class Workload:
         per-client regions.
         """
         hot = Region(*self.query_hot) if self.query_hot else None
-        return AccessPattern(n_items, hot, self.query_hot_prob)
+        return AccessPattern(
+            n_items,
+            hot,
+            self.query_hot_prob,
+            zipf_alpha=self.query_zipf_alpha,
+        )
 
     def update_pattern(self, n_items: int) -> AccessPattern:
         """The server update pattern."""

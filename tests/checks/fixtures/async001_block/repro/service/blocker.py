@@ -1,0 +1,13 @@
+"""Seeded ASYNC001 bug: a blocking ``time.sleep`` in a sync helper that
+is reachable from an async method — the interprocedural case a lexical
+grep would miss."""
+
+import time
+
+
+class Warmer:
+    async def refresh(self) -> None:
+        self._warm()
+
+    def _warm(self) -> None:
+        time.sleep(0.1)  # blocks the event loop via refresh()

@@ -1,0 +1,20 @@
+"""Clean counterpart for ASYNC002: every spawned task either gets a
+done-callback or is returned to the caller."""
+
+import asyncio
+
+
+class Spawner:
+    async def start(self) -> None:
+        task = asyncio.create_task(self._loop())
+        task.add_done_callback(self._reap)
+
+    async def handoff(self):
+        task = asyncio.create_task(self._loop())
+        return task
+
+    async def _loop(self) -> None:
+        await asyncio.sleep(0)
+
+    def _reap(self, task) -> None:
+        task.exception()

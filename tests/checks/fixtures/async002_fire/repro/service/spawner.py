@@ -1,0 +1,12 @@
+"""Seeded ASYNC002 bug: a task spawned and immediately forgotten — no
+done-callback, never awaited, never returned, so its exceptions vanish."""
+
+import asyncio
+
+
+class Spawner:
+    async def start(self) -> None:
+        asyncio.create_task(self._loop())  # fire-and-forget
+
+    async def _loop(self) -> None:
+        await asyncio.sleep(0)

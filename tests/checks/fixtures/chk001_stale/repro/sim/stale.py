@@ -1,0 +1,6 @@
+"""Seeded CHK001 bug: a suppression comment left behind after the
+violation it excused was refactored away."""
+
+
+def add(a: int, b: int) -> int:
+    return a + b  # checks: ignore[DET002]

@@ -1,0 +1,25 @@
+"""Clean counterpart for DET004: every draw is traceable to a named
+stream (factory call, instance attribute, annotated parameter) and no
+stream is stored in shared state or passed across the DAG."""
+
+from repro.des.rng import RandomStream, RandomStreams
+
+
+class Component:
+    def __init__(self, streams: RandomStreams) -> None:
+        self.stream = streams.stream("sim/component")
+
+    def tick(self) -> float:
+        return self.stream.exponential(2.0)
+
+
+def helper(stream: RandomStream) -> bool:
+    return stream.bernoulli(0.5)
+
+
+def local_mint() -> float:
+    streams = RandomStreams(11)
+    try:
+        return streams.stream("sim/local").uniform(0.0, 1.0)
+    finally:
+        pass

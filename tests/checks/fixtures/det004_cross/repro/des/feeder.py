@@ -1,0 +1,15 @@
+"""Seeded DET004 bug: a stream handle handed from ``des`` to ``sim``.
+
+The function-scoped import keeps ARCH001 quiet (runtime inversion), but
+passing the stream against the layering DAG is exactly the escape DET004
+exists to catch (E2).
+"""
+
+from .rng import RandomStream
+
+
+def feed() -> float:
+    from repro.sim.consume import consume
+
+    stream = RandomStream(3, "des/feeder")
+    return consume(stream)  # E2: stream crosses des -> sim

@@ -1,0 +1,7 @@
+"""Receiver side of the cross-DAG pass: the draw itself is traceable
+(the parameter is tainted interprocedurally), so only the *pass* in
+``repro/des/feeder.py`` is a finding."""
+
+
+def consume(stream) -> float:
+    return stream.uniform(0.0, 1.0)

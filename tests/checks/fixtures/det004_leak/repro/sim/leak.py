@@ -1,0 +1,23 @@
+"""Seeded DET004 bugs: shared-state stores, an untraceable draw, and a
+draw inside an except handler.  Each marked line must yield exactly one
+finding; the try-body draw and the annotated-parameter draw must not.
+"""
+
+from repro.des.rng import RandomStream
+
+STREAM = RandomStream(7, "sim/global")  # E1: module-global store
+
+
+class Roulette:
+    table_stream = RandomStream(7, "sim/table")  # E1: class-attribute store
+
+
+def untraceable(gen) -> float:
+    return gen.uniform(0.0, 1.0)  # E4: receiver not traceable to a stream
+
+
+def fault_ordered(stream: RandomStream) -> float:
+    try:
+        return stream.uniform(0.0, 1.0)  # fine: annotated, not fault-ordered
+    except ValueError:
+        return stream.uniform(0.0, 0.5)  # E3: draw inside except handler

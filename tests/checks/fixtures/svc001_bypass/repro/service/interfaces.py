@@ -1,0 +1,6 @@
+"""Minimal backend protocol for the SVC001 fixtures."""
+
+
+class L2Backend:
+    async def backend_fetch(self, item: int) -> int:
+        raise NotImplementedError

@@ -1,0 +1,19 @@
+"""Seeded SVC001 bug: one public CacheNode method calls the backend
+directly, bypassing ``call_with_retry``; the other goes through the
+wrapper and must stay clean."""
+
+from .interfaces import L2Backend
+from .retry import call_with_retry
+
+
+class CacheNode:
+    def __init__(self, backend: L2Backend) -> None:
+        self.backend = backend
+
+    async def get(self, item: int) -> int:
+        return await self.backend.backend_fetch(item)  # bypass!
+
+    async def get_wrapped(self, item: int) -> int:
+        return await call_with_retry(
+            None, lambda: self.backend.backend_fetch(item)
+        )

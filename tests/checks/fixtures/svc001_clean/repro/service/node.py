@@ -1,0 +1,19 @@
+"""Clean counterpart for SVC001: every backend call from a public
+CacheNode method goes through ``call_with_retry`` — including one
+reached through a private helper."""
+
+from .interfaces import L2Backend
+from .retry import call_with_retry
+
+
+class CacheNode:
+    def __init__(self, backend: L2Backend) -> None:
+        self.backend = backend
+
+    async def get(self, item: int) -> int:
+        return await self._fetch(item)
+
+    async def _fetch(self, item: int) -> int:
+        return await call_with_retry(
+            None, lambda: self.backend.backend_fetch(item)
+        )

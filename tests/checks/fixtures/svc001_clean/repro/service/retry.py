@@ -1,0 +1,5 @@
+"""Minimal resilience wrapper for the SVC001 clean fixture."""
+
+
+async def call_with_retry(clock, fn):
+    return await fn()

@@ -146,3 +146,39 @@ def test_module_entry_point_runs():
     )
     assert proc.returncode == 0
     assert "DET001" in proc.stdout
+
+
+def test_callgraph_dump_prints_edges_and_exits_clean(tree, capsys):
+    root = tree(
+        {
+            "repro/sim/a.py": (
+                "def helper():\n"
+                "    return 1\n"
+                "\n"
+                "def entry():\n"
+                "    return helper()\n"
+            )
+        }
+    )
+    assert main([str(root), "--callgraph-dump"]) == EXIT_CLEAN
+    captured = capsys.readouterr()
+    assert "repro/sim/a.py::entry -> repro/sim/a.py::helper" in captured.out
+    assert "functions" in captured.err  # stats line goes to stderr
+
+
+def test_callgraph_dump_missing_path_is_usage_error(capsys):
+    assert main(["/no/such/tree-anywhere", "--callgraph-dump"]) == EXIT_USAGE
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_jobs_flag_matches_serial_run(tree, capsys):
+    root = tree(
+        {
+            "repro/sim/bad.py": "import random\n",
+            "repro/sim/worse.py": "import random\n",
+        }
+    )
+    assert main([str(root), "--no-baseline", "--jobs", "2"]) == EXIT_FINDINGS
+    parallel_out = capsys.readouterr().out
+    assert main([str(root), "--no-baseline"]) == EXIT_FINDINGS
+    assert parallel_out == capsys.readouterr().out

@@ -245,3 +245,79 @@ def test_det003_scope_excludes_schemes(check):
         codes=["DET003"],
     )
     assert findings == []
+
+
+def test_det003_frozenset_bound_name_iteration_flagged(check):
+    findings = check(
+        {
+            "repro/sim/t.py": (
+                "ids = frozenset({1, 2, 3})\n"
+                "out = [i for i in ids]\n"
+            )
+        },
+        codes=["DET003"],
+    )
+    assert [f.line for f in findings] == [2]
+    assert "frozenset" in findings[0].message or "set" in findings[0].message
+
+
+def test_det003_set_comprehension_bound_name_flagged(check):
+    findings = check(
+        {
+            "repro/sim/t.py": (
+                "xs = [3, 1, 2]\n"
+                "uniq = {x for x in xs}\n"
+                "for x in uniq:\n"
+                "    pass\n"
+            )
+        },
+        codes=["DET003"],
+    )
+    assert [f.line for f in findings] == [3]
+
+
+def test_det003_identity_keyed_dict_keys_iteration_flagged(check):
+    findings = check(
+        {
+            "repro/sim/t.py": (
+                "class Tag:\n"
+                "    pass\n"
+                "table = {Tag(): 1, Tag(): 2}\n"
+                "ks = [k for k in table.keys()]\n"
+            )
+        },
+        codes=["DET003"],
+    )
+    assert [f.line for f in findings] == [4]
+    assert "keys()" in findings[0].message
+
+
+def test_det003_literal_keyed_dict_keys_not_flagged(check):
+    # Insertion-ordered and value-hashed: iteration order is stable.
+    findings = check(
+        {
+            "repro/sim/t.py": (
+                "table = {'a': 1, 'b': 2}\n"
+                "ks = [k for k in table.keys()]\n"
+            )
+        },
+        codes=["DET003"],
+    )
+    assert findings == []
+
+
+def test_det003_reassigned_name_loses_the_set_taint(check):
+    # A name that is *sometimes* a list is not tracked: only names whose
+    # every assignment is a set expression are hazardous.
+    findings = check(
+        {
+            "repro/sim/t.py": (
+                "ids = {1, 2}\n"
+                "ids = sorted(ids)\n"
+                "for i in ids:\n"
+                "    pass\n"
+            )
+        },
+        codes=["DET003"],
+    )
+    assert findings == []

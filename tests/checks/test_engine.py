@@ -18,10 +18,15 @@ ALL_CODES = (
     "API001",
     "API002",
     "ARCH001",
+    "ASYNC001",
+    "ASYNC002",
+    "CHK001",
     "DET001",
     "DET002",
     "DET003",
+    "DET004",
     "PERF001",
+    "SVC001",
 )
 
 

@@ -73,3 +73,66 @@ def test_bare_randomness_in_update_generator_fails_the_gate(tmp_path):
     )
     findings = run_checks([str(path)], rules=[get_rule("DET002")])
     assert [f.code for f in findings] == ["DET002"]
+
+
+# ----------------------------------------------- service resilience gate
+
+
+def _copy_service_tree(tmp_path, mutate_node=None) -> Path:
+    """Copy the whole real ``repro/service`` package (SVC001 needs the
+    hooks, the wrapper, and the node together), optionally mutating
+    ``node.py``."""
+    for f in sorted((REPO_SRC / "repro" / "service").glob("*.py")):
+        _copy_real(
+            tmp_path,
+            f"repro/service/{f.name}",
+            mutate=mutate_node if f.name == "node.py" else None,
+        )
+    return tmp_path
+
+
+def test_pristine_service_tree_passes_the_resilience_gate(tmp_path):
+    root = _copy_service_tree(tmp_path)
+    assert run_checks([str(root)], rules=[get_rule("SVC001")]) == []
+
+
+def test_unwrapping_a_backend_call_fails_svc001(tmp_path):
+    # Strip call_with_retry from the L2 fetch on the CacheNode.get miss
+    # path: the breaker/retry/deadline stack disappears and the gate
+    # must notice.
+    import re
+
+    def unwrap(text: str) -> str:
+        out, n = re.subn(
+            r"call_with_retry\(\s*self\.clock,\s*"
+            r"lambda: self\.backend\.backend_fetch\(item\),[^)]*\)",
+            "self.backend.backend_fetch(item)",
+            text,
+            count=1,
+        )
+        assert n == 1, "mutation target not found in node.py"
+        return out
+
+    root = _copy_service_tree(tmp_path, mutate_node=unwrap)
+    findings = run_checks([str(root)], rules=[get_rule("SVC001")])
+    assert findings, "unwrapped backend call must trip SVC001"
+    assert all(f.code == "SVC001" for f in findings)
+    assert any(
+        "backend_fetch" in f.message and "call_with_retry" in f.message
+        for f in findings
+    )
+
+
+def test_blocking_sleep_in_service_fails_async001(tmp_path):
+    def inject(text: str) -> str:
+        assert "fetched = await call_with_retry(" in text
+        return text.replace("import asyncio", "import asyncio\nimport time", 1).replace(
+            "fetched = await call_with_retry(",
+            "time.sleep(0); fetched = await call_with_retry(",
+            1,
+        )
+
+    root = _copy_service_tree(tmp_path, mutate_node=inject)
+    findings = run_checks([str(root)], rules=[get_rule("ASYNC001")])
+    assert findings
+    assert all(f.code == "ASYNC001" for f in findings)

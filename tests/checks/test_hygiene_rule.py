@@ -1,0 +1,72 @@
+"""CHK001 (unused suppressions): judged only when the named rules ran,
+used suppressions stay silent, and a bare ignore cannot shield its own
+unused-ness finding."""
+
+from repro.checks.engine import run_checks
+
+
+def test_used_suppression_is_not_flagged(check):
+    findings = check(
+        {"repro/sim/s.py": "import random  # checks: ignore[DET002]\n"},
+        codes=["DET002", "CHK001"],
+    )
+    assert findings == []
+
+
+def test_stale_coded_suppression_is_flagged(check):
+    findings = check(
+        {"repro/sim/s.py": "x = 1  # checks: ignore[DET002]\n"},
+        codes=["DET002", "CHK001"],
+    )
+    assert [f.code for f in findings] == ["CHK001"]
+    assert "suppresses no DET002 finding" in findings[0].message
+    assert findings[0].severity.value == "warning"
+
+
+def test_coded_suppression_not_judged_without_its_rule(check):
+    # Only DET001 ran; the DET002 suppression might still be needed.
+    findings = check(
+        {"repro/sim/s.py": "x = 1  # checks: ignore[DET002]\n"},
+        codes=["DET001", "CHK001"],
+    )
+    assert findings == []
+
+
+def test_bare_suppression_judged_only_on_full_registry_run(check, tmp_path):
+    files = {"repro/sim/s.py": "x = 1  # checks: ignore\n"}
+    assert check(files, codes=["DET001", "DET002", "CHK001"]) == []
+    findings = run_checks([str(tmp_path)])  # full registry
+    assert [f.code for f in findings] == ["CHK001"]
+    assert "any rule" in findings[0].message
+
+
+def test_bare_suppression_does_not_shield_its_own_finding(check, tmp_path):
+    # Would be unflaggable by construction otherwise; only an explicit
+    # CHK001 code opts the line out.
+    check({"repro/sim/s.py": "x = 1  # checks: ignore\n"}, codes=[])
+    assert [f.code for f in run_checks([str(tmp_path)])] == ["CHK001"]
+
+
+def test_explicit_chk001_suppression_opts_a_line_out(check):
+    findings = check(
+        {
+            "repro/sim/s.py": (
+                "x = 1  # checks: ignore[DET002, CHK001]\n"
+            )
+        },
+        codes=["DET002", "CHK001"],
+    )
+    assert findings == []
+
+
+def test_partially_used_multi_code_suppression_is_used(check):
+    # The DET002 half fires, so the comment is load-bearing: no CHK001.
+    findings = check(
+        {
+            "repro/sim/s.py": (
+                "import random  # checks: ignore[DET001, DET002]\n"
+            )
+        },
+        codes=["DET001", "DET002", "CHK001"],
+    )
+    assert findings == []
